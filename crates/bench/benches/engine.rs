@@ -1,0 +1,86 @@
+//! Execution-engine micro-benchmarks: one full invocation per workload,
+//! single-region vs cross-region plans, and per-orchestrator overhead.
+
+use caribou_bench::harness::ExpEnv;
+use caribou_exec::engine::{ExecutionEngine, WorkflowApp};
+use caribou_metrics::carbonmodel::{CarbonModel, TransmissionScenario};
+use caribou_model::dag::NodeId;
+use caribou_model::plan::DeploymentPlan;
+use caribou_model::rng::Pcg32;
+use caribou_simcloud::orchestration::Orchestrator;
+use caribou_workloads::benchmarks::{all_benchmarks, video_analytics, InputSize};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_invocation_per_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/invoke");
+    for bench in all_benchmarks(InputSize::Small) {
+        let mut env = ExpEnv::new(66);
+        let app = WorkflowApp {
+            name: bench.dag.name().to_string(),
+            dag: bench.dag.clone(),
+            profile: bench.profile.clone(),
+            home: env.home,
+        };
+        let plan = DeploymentPlan::uniform(bench.dag.node_count(), env.home);
+        let carbon = env.carbon.clone();
+        let engine = ExecutionEngine {
+            carbon_source: &carbon,
+            carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+            orchestrator: Orchestrator::Caribou,
+        };
+        engine.provision(&mut env.cloud, &app, &plan);
+        group.bench_function(BenchmarkId::from_parameter(bench.name), |b| {
+            let mut rng = Pcg32::seed(1);
+            let mut inv = 0u64;
+            b.iter(|| {
+                inv += 1;
+                engine.invoke(&mut env.cloud, &app, &plan, inv, 100.0, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cross_region_invocation(c: &mut Criterion) {
+    let bench = video_analytics(InputSize::Small);
+    let mut group = c.benchmark_group("engine/placement");
+    for (label, remote) in [("single_region", false), ("cross_region", true)] {
+        let mut env = ExpEnv::new(67);
+        let app = WorkflowApp {
+            name: bench.dag.name().to_string(),
+            dag: bench.dag.clone(),
+            profile: bench.profile.clone(),
+            home: env.home,
+        };
+        let mut plan = DeploymentPlan::uniform(bench.dag.node_count(), env.home);
+        if remote {
+            let ca = env.region("ca-central-1");
+            for i in 1..bench.dag.node_count() {
+                plan.set(NodeId(i as u32), ca);
+            }
+        }
+        let carbon = env.carbon.clone();
+        let engine = ExecutionEngine {
+            carbon_source: &carbon,
+            carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+            orchestrator: Orchestrator::Caribou,
+        };
+        engine.provision(&mut env.cloud, &app, &plan);
+        group.bench_function(label, |b| {
+            let mut rng = Pcg32::seed(2);
+            let mut inv = 0u64;
+            b.iter(|| {
+                inv += 1;
+                engine.invoke(&mut env.cloud, &app, &plan, inv, 100.0, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_invocation_per_workload,
+    bench_cross_region_invocation
+);
+criterion_main!(benches);

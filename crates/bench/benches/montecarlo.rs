@@ -1,0 +1,89 @@
+//! Monte Carlo estimator micro-benchmarks (§7.1).
+//!
+//! Measures the end-to-end estimation cost per workload and the effect of
+//! the batch-size/CV stopping-rule parameters — the design choice behind
+//! the paper's "batches of 200 until CV < 0.05 or 2,000 samples". The Go
+//! re-implementation's 2x speedup motivated exactly this hot loop; this
+//! Rust implementation is the equivalent optimization taken further.
+
+use caribou_bench::harness::ExpEnv;
+use caribou_metrics::carbonmodel::{CarbonModel, TransmissionScenario};
+use caribou_metrics::costmodel::CostModel;
+use caribou_metrics::montecarlo::{DefaultModels, MonteCarloConfig, MonteCarloEstimator};
+use caribou_model::plan::DeploymentPlan;
+use caribou_model::rng::Pcg32;
+use caribou_simcloud::orchestration::Orchestrator;
+use caribou_workloads::benchmarks::{all_benchmarks, video_analytics, InputSize};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_estimation_per_workload(c: &mut Criterion) {
+    let env = ExpEnv::new(88);
+    let mut group = c.benchmark_group("montecarlo/workload");
+    for bench in all_benchmarks(InputSize::Small) {
+        let models = DefaultModels {
+            profile: &bench.profile,
+            runtime: &env.cloud.compute,
+            latency: &env.cloud.latency,
+            orchestrator: Orchestrator::Caribou,
+        };
+        let est = MonteCarloEstimator {
+            dag: &bench.dag,
+            profile: &bench.profile,
+            carbon_source: &env.carbon,
+            carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+            cost_model: CostModel::new(&env.cloud.pricing),
+            models: &models,
+            home: env.home,
+            config: MonteCarloConfig::default(),
+        };
+        let plan = DeploymentPlan::uniform(bench.dag.node_count(), env.home);
+        group.bench_function(BenchmarkId::from_parameter(bench.name), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                est.estimate(&plan, 12.5, &mut Pcg32::seed(seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stopping_rule(c: &mut Criterion) {
+    let env = ExpEnv::new(89);
+    let bench = video_analytics(InputSize::Small);
+    let models = DefaultModels {
+        profile: &bench.profile,
+        runtime: &env.cloud.compute,
+        latency: &env.cloud.latency,
+        orchestrator: Orchestrator::Caribou,
+    };
+    let plan = DeploymentPlan::uniform(bench.dag.node_count(), env.home);
+    let mut group = c.benchmark_group("montecarlo/batch_size");
+    for batch in [50usize, 200, 500] {
+        let est = MonteCarloEstimator {
+            dag: &bench.dag,
+            profile: &bench.profile,
+            carbon_source: &env.carbon,
+            carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+            cost_model: CostModel::new(&env.cloud.pricing),
+            models: &models,
+            home: env.home,
+            config: MonteCarloConfig {
+                batch,
+                max_samples: 2000,
+                cv_threshold: 0.05,
+            },
+        };
+        group.bench_function(BenchmarkId::from_parameter(batch), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                est.estimate(&plan, 12.5, &mut Pcg32::seed(seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimation_per_workload, bench_stopping_rule);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Substrate micro-benchmarks: pub/sub publish, KV atomic update (the
+//! synchronization-node primitive), Holt-Winters fitting, and the HBSS
+//! neighbour-generation hot path via the PCG generator.
+
+use caribou_carbon::forecast::HoltWinters;
+use caribou_carbon::synth::SyntheticCarbonSource;
+use caribou_model::region::RegionCatalog;
+use caribou_model::rng::Pcg32;
+use caribou_simcloud::kv::KvStore;
+use caribou_simcloud::latency::LatencyModel;
+use caribou_simcloud::pubsub::{PubSub, TopicKey};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_pubsub_publish(c: &mut Criterion) {
+    let cat = RegionCatalog::aws_default();
+    let lm = LatencyModel::from_catalog(&cat);
+    let mut ps = PubSub::new();
+    let east = cat.id_of("us-east-1").unwrap();
+    let west = cat.id_of("us-west-2").unwrap();
+    let key = TopicKey {
+        workflow: "wf".into(),
+        stage: "a".into(),
+        region: west,
+    };
+    ps.create_topic(key.clone());
+    c.bench_function("substrate/pubsub_publish_cross_region", |b| {
+        let mut rng = Pcg32::seed(1);
+        b.iter(|| ps.publish(&key, east, 2048.0, &lm, &mut rng));
+    });
+}
+
+fn bench_kv_atomic_update(c: &mut Criterion) {
+    let cat = RegionCatalog::aws_default();
+    let lm = LatencyModel::from_catalog(&cat);
+    let mut kv = KvStore::new();
+    let east = cat.id_of("us-east-1").unwrap();
+    kv.create_table("sync", east);
+    c.bench_function("substrate/kv_atomic_update", |b| {
+        let mut rng = Pcg32::seed(2);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            kv.atomic_update(
+                "sync",
+                &format!("k{}", i % 64),
+                east,
+                &lm,
+                &mut rng,
+                |prev| {
+                    let n = prev.map(|b| b.len()).unwrap_or(0);
+                    bytes::Bytes::from(vec![b'x'; (n + 1).min(32)])
+                },
+            )
+        });
+    });
+}
+
+fn bench_holt_winters_fit(c: &mut Criterion) {
+    let synth = SyntheticCarbonSource::aws_calibrated(3);
+    let data: Vec<f64> = (0..168)
+        .map(|h| synth.zone_intensity("US-CAL-CISO", h as f64 + 0.5))
+        .collect();
+    c.bench_function("substrate/holt_winters_fit_week", |b| {
+        b.iter(|| HoltWinters::fit(&data, 24));
+    });
+    let hw = HoltWinters::fit(&data, 24);
+    c.bench_function("substrate/holt_winters_forecast_48h", |b| {
+        b.iter(|| hw.forecast(48));
+    });
+}
+
+fn bench_synth_intensity(c: &mut Criterion) {
+    let synth = SyntheticCarbonSource::aws_calibrated(4);
+    c.bench_function("substrate/synth_intensity_lookup", |b| {
+        let mut h = 0.0f64;
+        b.iter(|| {
+            h += 0.37;
+            synth.zone_intensity("US-MIDA-PJM", h)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pubsub_publish,
+    bench_kv_atomic_update,
+    bench_holt_winters_fit,
+    bench_synth_intensity
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Table 1 — benchmark workflow structures, features, and input sizes.
+
+use caribou_bench::harness::write_json;
+use caribou_workloads::benchmarks::{all_benchmarks, InputSize};
+
+fn main() {
+    println!("Table 1 — benchmark workflows");
+    println!(
+        "{:<24}{:>7}{:>7}{:>6}{:>6}{:>14}{:>14}",
+        "benchmark", "nodes", "edges", "sync", "cond", "small input", "large input"
+    );
+    let mut rows = Vec::new();
+    let small = all_benchmarks(InputSize::Small);
+    let large = all_benchmarks(InputSize::Large);
+    for (s, l) in small.iter().zip(large.iter()) {
+        let mark = |b: bool| if b { "yes" } else { "no" };
+        let input_desc = |b: &caribou_workloads::benchmarks::Benchmark| -> String {
+            let bytes = b.profile.input_bytes.mean()
+                + b.profile
+                    .nodes
+                    .iter()
+                    .map(|n| n.external_data_bytes)
+                    .sum::<f64>();
+            if bytes >= 1e6 {
+                format!("{:.1} MB", bytes / 1e6)
+            } else {
+                format!("{:.0} KB", bytes / 1e3)
+            }
+        };
+        println!(
+            "{:<24}{:>7}{:>7}{:>6}{:>6}{:>14}{:>14}",
+            s.name,
+            s.dag.node_count(),
+            s.dag.edge_count(),
+            mark(s.dag.has_sync_nodes()),
+            mark(s.dag.has_conditional_edges()),
+            input_desc(s),
+            input_desc(l),
+        );
+        rows.push(serde_json::json!({
+            "benchmark": s.name,
+            "nodes": s.dag.node_count(),
+            "edges": s.dag.edge_count(),
+            "sync": s.dag.has_sync_nodes(),
+            "conditional": s.dag.has_conditional_edges(),
+            "small_total_bytes": s.profile.input_bytes.mean(),
+            "large_total_bytes": l.profile.input_bytes.mean(),
+        }));
+    }
+    write_json("table1", &serde_json::Value::Array(rows));
+}

@@ -1,0 +1,5 @@
+//! Shared experiment harness for regenerating the paper's tables/figures.
+//!
+//! Populated by the experiment binaries (`fig2` … `fig13`, `table1`).
+
+pub mod harness;

@@ -1,0 +1,214 @@
+//! Holt-Winters triple exponential smoothing (§7.2).
+//!
+//! The Metrics Manager forecasts carbon intensity "using Holt-Winters
+//! Forecasting Exponential Smoothing once every day using the hourly
+//! carbon intensities of the previous week as input". This is the additive
+//! formulation with a 24-hour season; smoothing parameters are selected by
+//! a small grid search minimizing in-sample one-step-ahead error.
+
+/// A fitted additive Holt-Winters model.
+///
+/// # Examples
+///
+/// ```
+/// use caribou_carbon::forecast::HoltWinters;
+///
+/// // Two days of a clean daily pattern forecast the third day closely.
+/// let data: Vec<f64> = (0..48)
+///     .map(|h| 300.0 + 40.0 * (std::f64::consts::TAU * (h % 24) as f64 / 24.0).cos())
+///     .collect();
+/// let model = HoltWinters::fit(&data, 24);
+/// let day3 = model.forecast(24);
+/// assert!((day3[0] - data[0]).abs() < 15.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HoltWinters {
+    level: f64,
+    trend: f64,
+    seasonal: Vec<f64>,
+    /// Season length (24 for hourly data with daily seasonality).
+    pub season: usize,
+    /// Level smoothing parameter.
+    pub alpha: f64,
+    /// Trend smoothing parameter.
+    pub beta: f64,
+    /// Seasonal smoothing parameter.
+    pub gamma: f64,
+    /// In-sample one-step-ahead mean absolute error.
+    pub mae: f64,
+    /// Next seasonal index to emit.
+    phase: usize,
+}
+
+impl HoltWinters {
+    /// Fits the model on `data` with the given season length, grid-searching
+    /// the smoothing parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` holds fewer than two full seasons or `season == 0`.
+    pub fn fit(data: &[f64], season: usize) -> Self {
+        assert!(season > 0, "season must be positive");
+        assert!(
+            data.len() >= 2 * season,
+            "need at least two seasons of data ({} < {})",
+            data.len(),
+            2 * season
+        );
+        let grid = [0.05, 0.15, 0.3, 0.5];
+        let gamma_grid = [0.05, 0.15, 0.3, 0.5];
+        let beta_grid = [0.0, 0.01, 0.05];
+        let mut best: Option<HoltWinters> = None;
+        for &alpha in &grid {
+            for &beta in &beta_grid {
+                for &gamma in &gamma_grid {
+                    let m = Self::fit_params(data, season, alpha, beta, gamma);
+                    if best.as_ref().map(|b| m.mae < b.mae).unwrap_or(true) {
+                        best = Some(m);
+                    }
+                }
+            }
+        }
+        best.expect("non-empty grid")
+    }
+
+    /// Fits with explicit smoothing parameters.
+    pub fn fit_params(data: &[f64], season: usize, alpha: f64, beta: f64, gamma: f64) -> Self {
+        // Initialization: level = mean of the first season; trend from the
+        // difference of the first two season means; seasonal indices from
+        // deviations of the first season.
+        let s0: f64 = data[..season].iter().sum::<f64>() / season as f64;
+        let s1: f64 = data[season..2 * season].iter().sum::<f64>() / season as f64;
+        let mut level = s0;
+        let mut trend = (s1 - s0) / season as f64;
+        let mut seasonal: Vec<f64> = data[..season].iter().map(|x| x - s0).collect();
+
+        let mut abs_err = 0.0;
+        let mut count = 0usize;
+        for (t, &x) in data.iter().enumerate().skip(season) {
+            let si = t % season;
+            let predicted = level + trend + seasonal[si];
+            abs_err += (x - predicted).abs();
+            count += 1;
+            let prev_level = level;
+            level = alpha * (x - seasonal[si]) + (1.0 - alpha) * (level + trend);
+            trend = beta * (level - prev_level) + (1.0 - beta) * trend;
+            seasonal[si] = gamma * (x - level) + (1.0 - gamma) * seasonal[si];
+        }
+        let phase = data.len() % season;
+        HoltWinters {
+            level,
+            trend,
+            seasonal,
+            season,
+            alpha,
+            beta,
+            gamma,
+            mae: abs_err / count.max(1) as f64,
+            phase,
+        }
+    }
+
+    /// Forecasts the next `horizon` steps after the end of the fitted data.
+    pub fn forecast(&self, horizon: usize) -> Vec<f64> {
+        (1..=horizon)
+            .map(|h| {
+                let si = (self.phase + h - 1) % self.season;
+                (self.level + h as f64 * self.trend + self.seasonal[si]).max(0.0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seasonal_series(days: usize) -> Vec<f64> {
+        (0..days * 24)
+            .map(|h| {
+                let hod = (h % 24) as f64;
+                300.0 + 50.0 * (std::f64::consts::TAU * (hod - 18.0) / 24.0).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_pure_seasonal_pattern() {
+        let data = seasonal_series(7);
+        let hw = HoltWinters::fit(&data, 24);
+        let f = hw.forecast(24);
+        for (h, v) in f.iter().enumerate() {
+            let expected = 300.0 + 50.0 * (std::f64::consts::TAU * (h as f64 - 18.0) / 24.0).cos();
+            assert!(
+                (v - expected).abs() < 10.0,
+                "hour {h}: forecast {v}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn tracks_linear_trend() {
+        let data: Vec<f64> = (0..7 * 24).map(|h| 100.0 + 0.5 * h as f64).collect();
+        let hw = HoltWinters::fit(&data, 24);
+        let f = hw.forecast(24);
+        // At step h the truth is 100 + 0.5*(168 + h - 1 + 1).
+        let truth_24 = 100.0 + 0.5 * (168.0 + 24.0);
+        assert!(
+            (f[23] - truth_24).abs() / truth_24 < 0.1,
+            "forecast {} truth {truth_24}",
+            f[23]
+        );
+    }
+
+    #[test]
+    fn forecast_never_negative() {
+        let data: Vec<f64> = (0..48)
+            .map(|h| if h % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let hw = HoltWinters::fit(&data, 24);
+        assert!(hw.forecast(100).iter().all(|v| *v >= 0.0));
+    }
+
+    #[test]
+    fn error_grows_with_horizon_on_noisy_series() {
+        use caribou_model::rng::Pcg32;
+        let mut rng = Pcg32::seed(5);
+        // Seasonal pattern plus a slow random walk: near-term forecasts
+        // should beat far-term ones.
+        let mut walk: f64 = 0.0;
+        let data: Vec<f64> = (0..14 * 24)
+            .map(|h| {
+                walk += rng.normal(0.0, 3.0);
+                let hod = (h % 24) as f64;
+                400.0 + walk + 60.0 * (std::f64::consts::TAU * (hod - 19.0) / 24.0).cos()
+            })
+            .collect();
+        let train = &data[..7 * 24];
+        let test = &data[7 * 24..];
+        let hw = HoltWinters::fit(train, 24);
+        let f = hw.forecast(7 * 24);
+        let err = |range: std::ops::Range<usize>| -> f64 {
+            range.clone().map(|i| (f[i] - test[i]).abs()).sum::<f64>() / range.len() as f64
+        };
+        let near = err(0..24);
+        let far = err(5 * 24..7 * 24);
+        assert!(far > near, "near {near} far {far}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_little_data_panics() {
+        HoltWinters::fit(&[1.0; 30], 24);
+    }
+
+    #[test]
+    fn explicit_params_respected() {
+        let data = seasonal_series(7);
+        let hw = HoltWinters::fit_params(&data, 24, 0.3, 0.01, 0.2);
+        assert_eq!(hw.alpha, 0.3);
+        assert_eq!(hw.beta, 0.01);
+        assert_eq!(hw.gamma, 0.2);
+        assert_eq!(hw.forecast(24).len(), 24);
+    }
+}

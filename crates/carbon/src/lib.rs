@@ -1,0 +1,35 @@
+//! Carbon-intensity data for the Caribou framework.
+//!
+//! The paper drives its evaluation with Electricity Maps data for the
+//! grids backing the AWS North American regions over 2023-10-15 to
+//! 2023-10-21 (§9.1). This crate provides:
+//!
+//! * [`series`] — hourly carbon-intensity time series with CSV
+//!   import/export, so real Electricity Maps extracts can be dropped in;
+//! * [`synth`] — a synthetic generator calibrated to the paper's reported
+//!   statistics (ca-central-1 averages 91.5% below us-east-1, us-west-1
+//!   6.1% below with a deep solar midday dip, us-west-2 comparable, §9.2);
+//! * [`source`] — the [`source::CarbonDataSource`] abstraction the Metrics
+//!   Manager consumes;
+//! * [`forecast`] — Holt-Winters triple exponential smoothing with a
+//!   24-hour season, refit daily on the trailing week (§7.2);
+//! * [`route`] — transmission-route carbon intensity (the `I_route` of
+//!   Eq. 7.5);
+//! * [`marginal`] — a synthetic marginal-carbon-intensity (MCI) view for
+//!   studying the paper's ACI-vs-MCI design choice (§7.1).
+//!
+//! Time is measured in fractional hours since the simulation epoch, which
+//! experiments anchor at 2023-10-15 00:00 UTC.
+
+pub mod forecast;
+pub mod marginal;
+pub mod route;
+pub mod series;
+pub mod source;
+pub mod synth;
+
+pub use forecast::HoltWinters;
+pub use marginal::MarginalSource;
+pub use series::CarbonSeries;
+pub use source::{CarbonDataSource, ForecastingSource, TableSource};
+pub use synth::SyntheticCarbonSource;

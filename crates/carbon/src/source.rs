@@ -1,0 +1,348 @@
+//! The carbon data source abstraction consumed by the Metrics Manager.
+//!
+//! The paper's Metrics Manager gathers carbon intensity from Electricity
+//! Maps periodically and forecasts it with Holt-Winters smoothing once a
+//! day (§7.2). [`CarbonDataSource`] is the common interface; the solver is
+//! always handed a [`ForecastingSource`] so that deployment plans are
+//! based on *forecast* data while experiment evaluation uses the *actual*
+//! underlying source — separating the two is what lets the harness measure
+//! forecast-induced suboptimality (Fig. 11, Fig. 13b).
+
+use std::collections::HashMap;
+
+use caribou_model::region::{RegionCatalog, RegionId};
+
+use crate::forecast::HoltWinters;
+use crate::series::CarbonSeries;
+use crate::synth::SyntheticCarbonSource;
+
+/// Provides grid average carbon intensity (ACI, §7.1) per region and hour.
+pub trait CarbonDataSource {
+    /// Intensity in gCO₂eq/kWh of `region`'s grid at fractional `hour`
+    /// since the epoch.
+    fn intensity(&self, region: RegionId, hour: f64) -> f64;
+
+    /// Average intensity over `[from_hour, to_hour)` sampled hourly.
+    fn average(&self, region: RegionId, from_hour: f64, to_hour: f64) -> f64 {
+        let n = ((to_hour - from_hour).max(1.0)) as usize;
+        let sum: f64 = (0..n)
+            .map(|i| self.intensity(region, from_hour + i as f64 + 0.5))
+            .sum();
+        sum / n as f64
+    }
+}
+
+impl<S: CarbonDataSource + ?Sized> CarbonDataSource for &S {
+    fn intensity(&self, region: RegionId, hour: f64) -> f64 {
+        (**self).intensity(region, hour)
+    }
+}
+
+/// Adapter exposing a [`SyntheticCarbonSource`] per region via the catalog's
+/// grid-zone mapping. Regions on the same grid (us-east-1 and us-east-2 on
+/// PJM) automatically see identical intensity, as in §2.1.
+#[derive(Debug, Clone)]
+pub struct RegionalSource {
+    zones: Vec<String>,
+    synth: SyntheticCarbonSource,
+}
+
+impl RegionalSource {
+    /// Builds the adapter for a catalog.
+    pub fn new(catalog: &RegionCatalog, synth: SyntheticCarbonSource) -> Self {
+        RegionalSource {
+            zones: catalog.iter().map(|(_, s)| s.grid_zone.clone()).collect(),
+            synth,
+        }
+    }
+
+    /// The grid zone backing a region.
+    pub fn zone(&self, region: RegionId) -> &str {
+        &self.zones[region.index()]
+    }
+}
+
+impl CarbonDataSource for RegionalSource {
+    fn intensity(&self, region: RegionId, hour: f64) -> f64 {
+        self.synth.zone_intensity(&self.zones[region.index()], hour)
+    }
+}
+
+/// A source backed by explicit per-region series (e.g. real Electricity
+/// Maps CSV extracts). Out-of-range hours fall back to the series mean.
+#[derive(Debug, Clone, Default)]
+pub struct TableSource {
+    series: HashMap<RegionId, CarbonSeries>,
+}
+
+impl TableSource {
+    /// Creates an empty table source.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs the series for a region.
+    pub fn insert(&mut self, region: RegionId, series: CarbonSeries) {
+        self.series.insert(region, series);
+    }
+
+    /// The series for a region, if present.
+    pub fn series(&self, region: RegionId) -> Option<&CarbonSeries> {
+        self.series.get(&region)
+    }
+
+    /// Loads one `<region-name>.csv` file per region from a directory —
+    /// the drop-in path for real Electricity Maps extracts. Files whose
+    /// stem does not resolve against the catalog are reported as errors;
+    /// regions without a file are simply absent from the source.
+    pub fn from_csv_dir(dir: &std::path::Path, catalog: &RegionCatalog) -> Result<Self, String> {
+        let mut out = TableSource::new();
+        let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| e.to_string())?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("csv") {
+                continue;
+            }
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| format!("{}: unreadable file name", path.display()))?;
+            let region = catalog
+                .id_of(stem)
+                .ok_or_else(|| format!("{}: unknown region `{stem}`", path.display()))?;
+            let csv =
+                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let series =
+                CarbonSeries::from_csv(&csv).map_err(|e| format!("{}: {e}", path.display()))?;
+            out.insert(region, series);
+        }
+        if out.series.is_empty() {
+            return Err(format!("{}: no region CSV files found", dir.display()));
+        }
+        Ok(out)
+    }
+
+    /// Regions covered by this source.
+    pub fn regions(&self) -> Vec<RegionId> {
+        let mut v: Vec<RegionId> = self.series.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl CarbonDataSource for TableSource {
+    fn intensity(&self, region: RegionId, hour: f64) -> f64 {
+        let s = self
+            .series
+            .get(&region)
+            .unwrap_or_else(|| panic!("no carbon series for region {region}"));
+        s.at(hour).unwrap_or_else(|| s.mean())
+    }
+}
+
+/// A forecasting wrapper: knows the real source's history up to
+/// `trained_at_hour` and answers future queries with Holt-Winters
+/// forecasts, exactly as the Metrics Manager hands data to the solver
+/// (§7.2).
+pub struct ForecastingSource<'a, S: CarbonDataSource> {
+    actual: &'a S,
+    regions: Vec<RegionId>,
+    trained_at_hour: f64,
+    forecasts: HashMap<RegionId, Vec<f64>>,
+    history_hours: usize,
+}
+
+impl<'a, S: CarbonDataSource> ForecastingSource<'a, S> {
+    /// Fits forecasts at `trained_at_hour` using the trailing week of
+    /// hourly history, for up to `horizon_hours` of future queries.
+    pub fn fit(
+        actual: &'a S,
+        regions: &[RegionId],
+        trained_at_hour: f64,
+        horizon_hours: usize,
+    ) -> Self {
+        let history_hours = 7 * 24;
+        let mut forecasts = HashMap::new();
+        for &r in regions {
+            let from = trained_at_hour - history_hours as f64;
+            let history: Vec<f64> = (0..history_hours)
+                .map(|i| actual.intensity(r, from + i as f64 + 0.5))
+                .collect();
+            let hw = HoltWinters::fit(&history, 24);
+            forecasts.insert(r, hw.forecast(horizon_hours));
+        }
+        ForecastingSource {
+            actual,
+            regions: regions.to_vec(),
+            trained_at_hour,
+            forecasts,
+            history_hours,
+        }
+    }
+
+    /// The hour the forecast was trained at.
+    pub fn trained_at(&self) -> f64 {
+        self.trained_at_hour
+    }
+
+    /// Regions covered by the forecast.
+    pub fn regions(&self) -> &[RegionId] {
+        &self.regions
+    }
+
+    /// Length of the history window used for fitting, hours.
+    pub fn history_hours(&self) -> usize {
+        self.history_hours
+    }
+}
+
+impl<S: CarbonDataSource> CarbonDataSource for ForecastingSource<'_, S> {
+    fn intensity(&self, region: RegionId, hour: f64) -> f64 {
+        if hour < self.trained_at_hour {
+            // The past is known.
+            return self.actual.intensity(region, hour);
+        }
+        let steps = (hour - self.trained_at_hour).floor() as usize;
+        let f = self
+            .forecasts
+            .get(&region)
+            .unwrap_or_else(|| panic!("region {region} not covered by forecast"));
+        let idx = steps.min(f.len().saturating_sub(1));
+        f.get(idx).copied().unwrap_or_else(|| {
+            // Horizon exhausted with an empty forecast: fall back to the
+            // actual source's long-run behaviour at the trained hour.
+            self.actual.intensity(region, self.trained_at_hour)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caribou_model::region::RegionCatalog;
+
+    fn regional() -> (RegionCatalog, RegionalSource) {
+        let cat = RegionCatalog::aws_default();
+        let src = RegionalSource::new(&cat, SyntheticCarbonSource::aws_calibrated(3));
+        (cat, src)
+    }
+
+    #[test]
+    fn same_grid_regions_identical() {
+        let (cat, src) = regional();
+        let e1 = cat.id_of("us-east-1").unwrap();
+        let e2 = cat.id_of("us-east-2").unwrap();
+        for h in 0..48 {
+            assert_eq!(src.intensity(e1, h as f64), src.intensity(e2, h as f64));
+        }
+    }
+
+    #[test]
+    fn average_matches_hourly_mean() {
+        let (cat, src) = regional();
+        let r = cat.id_of("ca-central-1").unwrap();
+        let avg = src.average(r, 0.0, 24.0);
+        let manual: f64 = (0..24)
+            .map(|h| src.intensity(r, h as f64 + 0.5))
+            .sum::<f64>()
+            / 24.0;
+        assert!((avg - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_source_round_trips() {
+        let mut t = TableSource::new();
+        t.insert(RegionId(0), CarbonSeries::new(0, vec![100.0, 200.0]));
+        assert_eq!(t.intensity(RegionId(0), 0.5), 100.0);
+        assert_eq!(t.intensity(RegionId(0), 1.5), 200.0);
+        // Out-of-range falls back to the mean.
+        assert_eq!(t.intensity(RegionId(0), 99.0), 150.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn table_source_missing_region_panics() {
+        let t = TableSource::new();
+        t.intensity(RegionId(5), 0.0);
+    }
+
+    #[test]
+    fn csv_dir_round_trip() {
+        let cat = RegionCatalog::aws_default();
+        let dir = std::env::temp_dir().join(format!("caribou_csv_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let s1 = CarbonSeries::new(0, vec![380.0, 390.0, 370.0]);
+        let s2 = CarbonSeries::new(0, vec![30.0, 32.0, 31.0]);
+        std::fs::write(dir.join("us-east-1.csv"), s1.to_csv()).unwrap();
+        std::fs::write(dir.join("ca-central-1.csv"), s2.to_csv()).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let t = TableSource::from_csv_dir(&dir, &cat).unwrap();
+        assert_eq!(t.regions().len(), 2);
+        assert_eq!(t.intensity(cat.id_of("us-east-1").unwrap(), 1.5), 390.0);
+        assert_eq!(t.intensity(cat.id_of("ca-central-1").unwrap(), 0.5), 30.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn csv_dir_unknown_region_rejected() {
+        let cat = RegionCatalog::aws_default();
+        let dir = std::env::temp_dir().join(format!("caribou_csv_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("atlantis-1.csv"),
+            CarbonSeries::new(0, vec![1.0]).to_csv(),
+        )
+        .unwrap();
+        let err = TableSource::from_csv_dir(&dir, &cat).unwrap_err();
+        assert!(err.contains("unknown region"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn csv_dir_empty_rejected() {
+        let cat = RegionCatalog::aws_default();
+        let dir = std::env::temp_dir().join(format!("caribou_csv_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(TableSource::from_csv_dir(&dir, &cat).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn forecasting_source_past_is_exact() {
+        let (cat, src) = regional();
+        let r = cat.id_of("us-east-1").unwrap();
+        let f = ForecastingSource::fit(&src, &[r], 7.0 * 24.0 * 2.0, 48);
+        let h = 7.0 * 24.0; // in the past
+        assert_eq!(f.intensity(r, h), src.intensity(r, h));
+    }
+
+    #[test]
+    fn forecast_tracks_diurnal_shape() {
+        let (cat, src) = regional();
+        let r = cat.id_of("us-west-1").unwrap();
+        let t0 = 24.0 * 14.0;
+        let f = ForecastingSource::fit(&src, &[r], t0, 24);
+        // Compare forecast vs actual across the next day: the mean
+        // absolute percentage error should be modest for a strongly
+        // seasonal series.
+        let mut mape = 0.0;
+        for h in 0..24 {
+            let actual = src.intensity(r, t0 + h as f64 + 0.5);
+            let predicted = f.intensity(r, t0 + h as f64 + 0.5);
+            mape += ((predicted - actual) / actual).abs();
+        }
+        mape /= 24.0;
+        assert!(mape < 0.25, "MAPE {mape}");
+    }
+
+    #[test]
+    fn forecast_horizon_clamps() {
+        let (cat, src) = regional();
+        let r = cat.id_of("us-east-1").unwrap();
+        let f = ForecastingSource::fit(&src, &[r], 24.0 * 10.0, 24);
+        // Query far beyond the horizon: clamps to the last forecast value.
+        let v = f.intensity(r, 24.0 * 10.0 + 1000.0);
+        assert!(v > 0.0);
+    }
+}

@@ -1,0 +1,414 @@
+//! The `caribou` command-line utility — the Rust analogue of the paper's
+//! Deployment Utility CLI (§6.1, §8).
+//!
+//! ```text
+//! caribou manifest validate <file.json>     # validate a deployment manifest
+//! caribou manifest example                  # print a starter manifest
+//! caribou carbon <region> [--hours N]       # dump grid carbon intensity
+//! caribou plan <benchmark> [--input small|large] [--hour H]
+//!                                           # solve a deployment plan
+//! caribou simulate <benchmark> [--days D] [--per-day N] [--worst-case]
+//!                                           # run the full framework loop
+//! caribou benchmarks                        # list available benchmarks
+//! ```
+//!
+//! Argument parsing is hand-rolled to keep the dependency surface at the
+//! workspace's approved set.
+
+use std::process::ExitCode;
+
+use caribou_carbon::source::{CarbonDataSource, ForecastingSource, RegionalSource};
+use caribou_carbon::synth::SyntheticCarbonSource;
+use caribou_core::framework::{Caribou, CaribouConfig};
+use caribou_exec::engine::WorkflowApp;
+use caribou_metrics::carbonmodel::{CarbonModel, TransmissionScenario};
+use caribou_metrics::costmodel::CostModel;
+use caribou_metrics::montecarlo::{DefaultModels, MonteCarloConfig};
+use caribou_model::constraints::Objective;
+use caribou_model::manifest::DeploymentManifest;
+use caribou_model::rng::Pcg32;
+use caribou_simcloud::cloud::SimCloud;
+use caribou_simcloud::orchestration::Orchestrator;
+use caribou_solver::context::SolverContext;
+use caribou_solver::hbss::HbssSolver;
+use caribou_workloads::benchmarks::{all_benchmarks, Benchmark, InputSize};
+use caribou_workloads::traces::uniform_trace;
+
+const USAGE: &str = "\
+caribou — carbon-aware geospatial shifting of serverless workflows
+
+USAGE:
+    caribou benchmarks
+    caribou manifest validate <file.json>
+    caribou manifest example
+    caribou carbon <region> [--hours N]
+    caribou plan <benchmark> [--input small|large] [--hour H] [--worst-case]
+    caribou simulate <benchmark> [--input small|large] [--days D] [--per-day N] [--worst-case]
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("benchmarks") => cmd_benchmarks(),
+        Some("manifest") => cmd_manifest(&args[1..]),
+        Some("carbon") => cmd_carbon(&args[1..]),
+        Some("plan") => cmd_plan(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--key value` style flags from the tail of an argument list.
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn input_size(args: &[String]) -> Result<InputSize, String> {
+    match flag(args, "--input") {
+        None | Some("small") => Ok(InputSize::Small),
+        Some("large") => Ok(InputSize::Large),
+        Some(other) => Err(format!("unknown input size `{other}` (small|large)")),
+    }
+}
+
+fn scenario(args: &[String]) -> TransmissionScenario {
+    if has_flag(args, "--worst-case") {
+        TransmissionScenario::WORST
+    } else {
+        TransmissionScenario::BEST
+    }
+}
+
+fn find_benchmark(name: &str, input: InputSize) -> Result<Benchmark, String> {
+    let key = name.to_lowercase().replace(['-', '_'], "");
+    all_benchmarks(input)
+        .into_iter()
+        .find(|b| {
+            b.name
+                .to_lowercase()
+                .replace([' ', '-', '_'], "")
+                .contains(&key)
+                || b.dag.name().replace('_', "").contains(&key)
+        })
+        .ok_or_else(|| format!("unknown benchmark `{name}` (try `caribou benchmarks`)"))
+}
+
+fn cmd_benchmarks() -> Result<(), String> {
+    println!(
+        "{:<24}{:<24}{:>7}{:>7}{:>6}{:>6}",
+        "name", "id", "nodes", "edges", "sync", "cond"
+    );
+    for b in all_benchmarks(InputSize::Small) {
+        println!(
+            "{:<24}{:<24}{:>7}{:>7}{:>6}{:>6}",
+            b.name,
+            b.dag.name(),
+            b.dag.node_count(),
+            b.dag.edge_count(),
+            if b.dag.has_sync_nodes() { "yes" } else { "no" },
+            if b.dag.has_conditional_edges() {
+                "yes"
+            } else {
+                "no"
+            },
+        );
+    }
+    Ok(())
+}
+
+fn cmd_manifest(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("example") => {
+            println!(
+                "{}",
+                DeploymentManifest::new("my_workflow", "1.0", "us-east-1").to_json()
+            );
+            Ok(())
+        }
+        Some("validate") => {
+            let path = args
+                .get(1)
+                .ok_or("usage: caribou manifest validate <file.json>")?;
+            let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let manifest = DeploymentManifest::from_json(&json).map_err(|e| e.to_string())?;
+            let catalog = caribou_model::region::RegionCatalog::aws_default();
+            manifest.validate(&catalog).map_err(|e| e.to_string())?;
+            println!(
+                "ok: workflow `{}` v{} targeting {}",
+                manifest.workflow_name, manifest.version, manifest.home_region
+            );
+            Ok(())
+        }
+        _ => Err("usage: caribou manifest <validate|example>".into()),
+    }
+}
+
+fn cmd_carbon(args: &[String]) -> Result<(), String> {
+    let region_name = args
+        .first()
+        .ok_or("usage: caribou carbon <region> [--hours N]")?;
+    let hours: usize = flag(args, "--hours")
+        .map(|v| v.parse().map_err(|e| format!("--hours: {e}")))
+        .transpose()?
+        .unwrap_or(48);
+    let catalog = caribou_model::region::RegionCatalog::aws_default();
+    let region = catalog.resolve(region_name).map_err(|e| e.to_string())?;
+    let source = RegionalSource::new(&catalog, SyntheticCarbonSource::aws_calibrated(20231015));
+    println!(
+        "hour  gCO2eq/kWh   ({}: grid {})",
+        region_name,
+        catalog.spec(region).grid_zone
+    );
+    for h in 0..hours {
+        let v = source.intensity(region, h as f64 + 0.5);
+        let bar = "#".repeat((v / 12.0) as usize);
+        println!("{h:>4}  {v:>10.1}   {bar}");
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let name = args
+        .first()
+        .ok_or("usage: caribou plan <benchmark> [...]")?;
+    let input = input_size(args)?;
+    let hour: f64 = flag(args, "--hour")
+        .map(|v| v.parse().map_err(|e| format!("--hour: {e}")))
+        .transpose()?
+        .unwrap_or(12.5);
+    let bench = find_benchmark(name, input)?;
+
+    let cloud = SimCloud::aws(7);
+    let carbon = RegionalSource::new(
+        &cloud.regions,
+        SyntheticCarbonSource::aws_calibrated(20231015),
+    );
+    let home = cloud.region("us-east-1");
+    let regions = cloud.regions.evaluation_regions();
+    let mut constraints = bench.constraints.clone();
+    constraints.tolerances.latency = 0.10;
+    constraints.tolerances.cost = 1.0;
+    let permitted = constraints
+        .permitted_regions(&bench.dag, &regions, &cloud.regions, home)
+        .map_err(|e| e.to_string())?;
+    let day_start = (hour / 24.0).floor() * 24.0;
+    let forecast = ForecastingSource::fit(&carbon, &regions, day_start, 48);
+    let models = DefaultModels {
+        profile: &bench.profile,
+        runtime: &cloud.compute,
+        latency: &cloud.latency,
+        orchestrator: Orchestrator::Caribou,
+    };
+    let ctx = SolverContext {
+        dag: &bench.dag,
+        profile: &bench.profile,
+        permitted: &permitted,
+        home,
+        objective: Objective::Carbon,
+        tolerances: constraints.tolerances,
+        carbon_source: &forecast,
+        carbon_model: CarbonModel::new(scenario(args)),
+        cost_model: CostModel::new(&cloud.pricing),
+        models: &models,
+        mc_config: MonteCarloConfig::default(),
+    };
+    let outcome = HbssSolver::new().solve(&ctx, hour, &mut Pcg32::seed(7));
+    println!(
+        "deployment plan for `{}` ({} input) at hour {hour}:",
+        bench.name,
+        input.label()
+    );
+    for node in bench.dag.all_nodes() {
+        println!(
+            "  {:<20} -> {}",
+            bench.dag.node(node).name,
+            cloud.regions.name(outcome.best.region_of(node))
+        );
+    }
+    let best = ctx.metric_of(&outcome.best_estimate);
+    let home_m = ctx.metric_of(&outcome.home_estimate);
+    println!(
+        "estimated: {best:.3e} g/invocation vs {home_m:.3e} at home ({:+.1}%)",
+        (best / home_m - 1.0) * 100.0
+    );
+    println!(
+        "latency: {:.2} s mean / {:.2} s p95 (home {:.2} / {:.2})",
+        outcome.best_estimate.latency.mean,
+        outcome.best_estimate.latency.p95,
+        outcome.home_estimate.latency.mean,
+        outcome.home_estimate.latency.p95,
+    );
+    println!("evaluated {} candidate deployments", outcome.evaluated);
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let name = args
+        .first()
+        .ok_or("usage: caribou simulate <benchmark> [...]")?;
+    let input = input_size(args)?;
+    let days: f64 = flag(args, "--days")
+        .map(|v| v.parse().map_err(|e| format!("--days: {e}")))
+        .transpose()?
+        .unwrap_or(2.0);
+    let per_day: f64 = flag(args, "--per-day")
+        .map(|v| v.parse().map_err(|e| format!("--per-day: {e}")))
+        .transpose()?
+        .unwrap_or(1500.0);
+    let bench = find_benchmark(name, input)?;
+
+    let cloud = SimCloud::aws(7);
+    let carbon = RegionalSource::new(
+        &cloud.regions,
+        SyntheticCarbonSource::aws_calibrated(20231015),
+    );
+    let regions = cloud.regions.evaluation_regions();
+    let config = CaribouConfig::new(regions, scenario(args));
+    let mut caribou = Caribou::new(cloud, carbon, config);
+    let mut constraints = bench.constraints.clone();
+    constraints.tolerances.latency = 0.10;
+    constraints.tolerances.cost = 1.0;
+    let app = WorkflowApp {
+        name: bench.dag.name().to_string(),
+        home: caribou.cloud.region("us-east-1"),
+        dag: bench.dag.clone(),
+        profile: bench.profile.clone(),
+    };
+    let manifest = DeploymentManifest::new(app.name.clone(), "1.0", "us-east-1");
+    let idx = caribou
+        .deploy(app, &manifest, constraints)
+        .map_err(|e| e.to_string())?;
+    let trace = uniform_trace(30.0, days * 86_400.0, per_day);
+    eprintln!(
+        "simulating {} invocations over {days} day(s)...",
+        trace.len()
+    );
+    let report = caribou.run_trace(idx, &trace);
+
+    println!("invocations:       {}", report.samples.len());
+    println!(
+        "completed:         {:.2}%",
+        report.completion_rate() * 100.0
+    );
+    println!(
+        "workflow carbon:   {:.3} g total",
+        report.workflow_carbon_g()
+    );
+    println!(
+        "framework carbon:  {:.4} g total",
+        report.framework_carbon_g
+    );
+    println!("cost:              ${:.4}", report.total_cost_usd());
+    println!(
+        "latency:           {:.2} s mean / {:.2} s p95",
+        report.mean_latency_s(),
+        report.p95_latency_s()
+    );
+    println!(
+        "plan generations:  {:?} (hours)",
+        report
+            .dp_generations
+            .iter()
+            .map(|t| (t / 3600.0).round())
+            .collect::<Vec<_>>()
+    );
+    let by_region = {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for s in &report.samples {
+            let n = caribou.cloud.regions.name(s.majority_region).to_string();
+            match counts.iter_mut().find(|(r, _)| *r == n) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((n, 1)),
+            }
+        }
+        counts.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+        counts
+    };
+    println!("majority regions:  {by_region:?}");
+    if has_flag(args, "--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report.summary_json()).expect("summary serializes")
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let a = args(&["plan", "dna", "--hour", "12", "--worst-case"]);
+        assert_eq!(flag(&a, "--hour"), Some("12"));
+        assert_eq!(flag(&a, "--days"), None);
+        assert!(has_flag(&a, "--worst-case"));
+        assert!(!has_flag(&a, "--json"));
+        // A flag at the end without a value yields None.
+        let b = args(&["plan", "--hour"]);
+        assert_eq!(flag(&b, "--hour"), None);
+    }
+
+    #[test]
+    fn input_size_parsing() {
+        assert_eq!(input_size(&args(&[])).unwrap(), InputSize::Small);
+        assert_eq!(
+            input_size(&args(&["--input", "large"])).unwrap(),
+            InputSize::Large
+        );
+        assert!(input_size(&args(&["--input", "huge"])).is_err());
+    }
+
+    #[test]
+    fn benchmark_lookup_is_fuzzy() {
+        assert_eq!(
+            find_benchmark("dna", InputSize::Small).unwrap().name,
+            "DNA Visualization"
+        );
+        assert_eq!(
+            find_benchmark("text2speech", InputSize::Small)
+                .unwrap()
+                .name,
+            "Text2Speech Censoring"
+        );
+        assert_eq!(
+            find_benchmark("video-analytics", InputSize::Large)
+                .unwrap()
+                .name,
+            "Video Analytics"
+        );
+        assert!(find_benchmark("pacman", InputSize::Small).is_err());
+    }
+
+    #[test]
+    fn scenario_parsing() {
+        assert_eq!(
+            scenario(&args(&["--worst-case"])),
+            TransmissionScenario::WORST
+        );
+        assert_eq!(scenario(&args(&[])), TransmissionScenario::BEST);
+    }
+}

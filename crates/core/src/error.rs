@@ -1,0 +1,54 @@
+//! Framework error types.
+
+use std::fmt;
+
+use caribou_model::error::ModelError;
+use caribou_model::region::RegionId;
+
+/// Errors raised by the deployment control plane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A model-layer validation failed.
+    Model(ModelError),
+    /// A function re-deployment to a region failed (the Migrator rolls
+    /// back to the home deployment, §6.1).
+    DeploymentFailed {
+        /// Region the deployment failed in.
+        region: RegionId,
+        /// Stage that failed.
+        stage: String,
+    },
+    /// A crane image copy failed because the source image is missing.
+    ImageMissing {
+        /// Image reference.
+        image: String,
+    },
+    /// The workflow was never initially deployed.
+    NotDeployed {
+        /// Workflow name.
+        workflow: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::DeploymentFailed { region, stage } => {
+                write!(f, "deployment of `{stage}` to {region} failed")
+            }
+            CoreError::ImageMissing { image } => write!(f, "image `{image}` missing"),
+            CoreError::NotDeployed { workflow } => {
+                write!(f, "workflow `{workflow}` is not deployed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}

@@ -1,0 +1,237 @@
+//! The Deployment Migrator: automated cross-regional re-deployment (§6.1).
+//!
+//! Given a freshly solved plan set, the Migrator determines which regions
+//! need a function deployment, replays the deployment steps there — IAM
+//! role, crane image copy from the home region (no rebuild), topic
+//! creation — and activates the plan by updating the KV metadata only once
+//! *every* deployment succeeded. "If any function re-deployment fails,
+//! the framework defaults to the home region deployment"; the failed plan
+//! is retained and retried on later ticks until replaced.
+
+use caribou_model::manifest::IamPolicy;
+use caribou_model::plan::HourlyPlans;
+use caribou_model::region::RegionId;
+use caribou_simcloud::cloud::SimCloud;
+use caribou_simcloud::pubsub::TopicKey;
+
+use crate::error::CoreError;
+use crate::utility::DeployedWorkflow;
+
+/// Summary of one migration attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationReport {
+    /// Regions that received a new deployment in this attempt.
+    pub newly_deployed: Vec<RegionId>,
+    /// Total crane-copy egress bytes.
+    pub egress_bytes: f64,
+    /// Total wall-clock of the migration, seconds.
+    pub duration_s: f64,
+    /// Whether the plan set was activated.
+    pub activated: bool,
+}
+
+/// The Deployment Migrator.
+#[derive(Debug, Default)]
+pub struct Migrator;
+
+impl Migrator {
+    /// Attempts to roll out `plans`, activating them on success. On any
+    /// failure the router keeps (or reverts to) the home deployment and
+    /// the plan set is stored in `workflow.pending` for retry.
+    pub fn rollout(
+        cloud: &mut SimCloud,
+        workflow: &mut DeployedWorkflow,
+        plans: HourlyPlans,
+        now_s: f64,
+    ) -> Result<MigrationReport, CoreError> {
+        let needed = plans.regions_used();
+        let home = workflow.app.home;
+        let mut report = MigrationReport {
+            newly_deployed: Vec::new(),
+            egress_bytes: 0.0,
+            duration_s: 0.0,
+            activated: false,
+        };
+        let mut rng = cloud.rng.fork(0x4d16);
+        for region in needed {
+            if workflow.active_regions.contains(&region) {
+                continue;
+            }
+            // Fault injection: region outage or stochastic deploy failure.
+            if cloud
+                .faults
+                .deploy_fails(region, now_s + report.duration_s, &mut rng)
+            {
+                workflow.pending = Some(plans);
+                return Err(CoreError::DeploymentFailed {
+                    region,
+                    stage: workflow.app.name.clone(),
+                });
+            }
+            // Replay step 2 in the new region: IAM role, crane copy,
+            // topics, framework tables.
+            let policy = cloud
+                .iam
+                .policy(&workflow.app.name, home)
+                .cloned()
+                .unwrap_or_else(IamPolicy::caribou_default);
+            cloud
+                .iam
+                .put_role(workflow.app.name.clone(), region, policy);
+            let lm = cloud.latency.clone();
+            let copy = cloud
+                .registry
+                .crane_copy(&workflow.image, home, region, &lm, &mut rng)
+                .ok_or_else(|| CoreError::ImageMissing {
+                    image: workflow.image.clone(),
+                })?;
+            report.egress_bytes += copy.egress_bytes;
+            report.duration_s += copy.duration_s;
+            cloud.meter.record_transfer(home, region, copy.egress_bytes);
+            for node in workflow.app.dag.all_nodes() {
+                cloud.pubsub.create_topic(TopicKey {
+                    workflow: workflow.app.name.clone(),
+                    stage: workflow.app.dag.node(node).name.clone(),
+                    region,
+                });
+            }
+            cloud
+                .kv
+                .create_table(format!("caribou-data@{}", region.0), region);
+            cloud
+                .kv
+                .create_table(format!("caribou-sync@{}", region.0), region);
+            workflow.active_regions.insert(region);
+            report.newly_deployed.push(region);
+        }
+
+        // Activate: update the KV metadata and the router atomically (the
+        // paper flips the value in the distributed KV store).
+        let plan_json = serde_json::to_vec(&plans).expect("plan serialization is infallible");
+        cloud.kv.put_if_absent(
+            "caribou-meta",
+            &format!("plans:{}:{}", workflow.app.name, now_s as u64),
+            bytes::Bytes::from(plan_json),
+            home,
+        );
+        workflow.router.activate(plans);
+        workflow.pending = None;
+        report.activated = true;
+        Ok(report)
+    }
+
+    /// Retries a pending (previously failed) rollout, if any.
+    pub fn retry_pending(
+        cloud: &mut SimCloud,
+        workflow: &mut DeployedWorkflow,
+        now_s: f64,
+    ) -> Option<Result<MigrationReport, CoreError>> {
+        let plans = workflow.pending.take()?;
+        if plans.expired(now_s) {
+            // An expired plan is worthless; drop it (traffic is already
+            // routed home).
+            return None;
+        }
+        Some(Self::rollout(cloud, workflow, plans, now_s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::utility::DeploymentUtility;
+    use caribou_exec::engine::WorkflowApp;
+    use caribou_model::builder::Workflow;
+    use caribou_model::manifest::DeploymentManifest;
+    use caribou_model::plan::DeploymentPlan;
+    use caribou_simcloud::faults::FaultPlan;
+
+    fn deployed(cloud: &mut SimCloud) -> DeployedWorkflow {
+        let mut wf = Workflow::new("wf", "0.1");
+        let a = wf.serverless_function("A").register();
+        let b = wf.serverless_function("B").register();
+        wf.invoke(a, b, None);
+        let (dag, profile, _) = wf.extract().unwrap();
+        let app = WorkflowApp {
+            name: "wf".into(),
+            dag,
+            profile,
+            home: cloud.region("us-east-1"),
+        };
+        let manifest = DeploymentManifest::new("wf", "0.1", "us-east-1");
+        DeploymentUtility::deploy_initial(cloud, app, &manifest).unwrap()
+    }
+
+    fn plans_using(region: RegionId, expires: f64) -> HourlyPlans {
+        HourlyPlans::hourly(
+            (0..24)
+                .map(|_| DeploymentPlan::uniform(2, region))
+                .collect(),
+            0.0,
+            expires,
+        )
+    }
+
+    #[test]
+    fn rollout_deploys_and_activates() {
+        let mut cloud = SimCloud::aws(1);
+        let mut wf = deployed(&mut cloud);
+        let ca = cloud.region("ca-central-1");
+        let report = Migrator::rollout(&mut cloud, &mut wf, plans_using(ca, 1e9), 10.0).unwrap();
+        assert!(report.activated);
+        assert_eq!(report.newly_deployed, vec![ca]);
+        assert!(report.egress_bytes > 0.0, "crane copy charges egress");
+        assert!(cloud.iam.role_exists("wf", ca));
+        assert!(cloud.registry.has_replica("wf:0.1", ca));
+        assert!(wf.router.has_active_plan(10.0));
+        assert!(wf.active_regions.contains(&ca));
+    }
+
+    #[test]
+    fn second_rollout_to_same_region_copies_nothing() {
+        let mut cloud = SimCloud::aws(2);
+        let mut wf = deployed(&mut cloud);
+        let ca = cloud.region("ca-central-1");
+        Migrator::rollout(&mut cloud, &mut wf, plans_using(ca, 1e9), 10.0).unwrap();
+        let report = Migrator::rollout(&mut cloud, &mut wf, plans_using(ca, 2e9), 20.0).unwrap();
+        assert!(report.activated);
+        assert!(report.newly_deployed.is_empty());
+        assert_eq!(report.egress_bytes, 0.0);
+    }
+
+    #[test]
+    fn failed_rollout_falls_back_home_and_retains_pending() {
+        let mut cloud = SimCloud::aws(3);
+        let mut wf = deployed(&mut cloud);
+        let ca = cloud.region("ca-central-1");
+        cloud.set_faults(FaultPlan::none().with_outage(ca, 0.0, 1000.0));
+        let err = Migrator::rollout(&mut cloud, &mut wf, plans_using(ca, 1e9), 10.0);
+        assert!(matches!(err, Err(CoreError::DeploymentFailed { .. })));
+        assert!(!wf.router.has_active_plan(10.0), "traffic stays home");
+        assert!(wf.pending.is_some(), "plan retained for retry");
+        // After the outage, the retry succeeds.
+        let retry = Migrator::retry_pending(&mut cloud, &mut wf, 2000.0).unwrap();
+        assert!(retry.is_ok());
+        assert!(wf.router.has_active_plan(2000.0));
+    }
+
+    #[test]
+    fn expired_pending_plan_is_dropped() {
+        let mut cloud = SimCloud::aws(4);
+        let mut wf = deployed(&mut cloud);
+        let ca = cloud.region("ca-central-1");
+        cloud.set_faults(FaultPlan::none().with_outage(ca, 0.0, 1000.0));
+        let _ = Migrator::rollout(&mut cloud, &mut wf, plans_using(ca, 500.0), 10.0);
+        assert!(wf.pending.is_some());
+        // The plan expired during the outage.
+        assert!(Migrator::retry_pending(&mut cloud, &mut wf, 2000.0).is_none());
+        assert!(wf.pending.is_none());
+    }
+
+    #[test]
+    fn retry_with_no_pending_is_noop() {
+        let mut cloud = SimCloud::aws(5);
+        let mut wf = deployed(&mut cloud);
+        assert!(Migrator::retry_pending(&mut cloud, &mut wf, 0.0).is_none());
+    }
+}

@@ -1,0 +1,229 @@
+//! Token-bucket self-regulation of deployment-plan generation (§5.2).
+//!
+//! "Tokens represent the carbon budget for system overhead"; they are
+//! earned from past-period invocations weighted by runtime and the carbon
+//! intensity differential between the home region and the cleanest
+//! available region — a sliding-window estimate of the savings a new plan
+//! could realize. A deployment solve consumes tokens proportional to the
+//! workflow's complexity and the carbon intensity of the region the
+//! framework itself runs in. The next token-check time is derived from the
+//! gap between bucket content and solve cost, smoothed by a sigmoid so it
+//! tracks the invocation rate of the past period.
+
+use caribou_metrics::energy;
+
+/// Modeled solver wall-clock per solve-iteration-unit, seconds. Calibrated
+/// to the paper's report: a 24-hour-granularity solve of Text2Speech
+/// Censoring (complexity 10) runs ~534 s in Python (~22.3 s per hourly
+/// solve → 2.225 s per complexity unit).
+pub const SOLVE_SECONDS_PER_COMPLEXITY: f64 = 2.225;
+
+/// Speedup of the Go Monte Carlo re-implementation (§9.7: "doubling
+/// performance compared to Python", dropping 534 s to ~276 s).
+pub const GO_SPEEDUP: f64 = 534.0 / 276.0;
+
+/// Modeled wall-clock of one deployment solve, seconds.
+pub fn solve_seconds(complexity: usize, hourly_solves: usize, go_runtime: bool) -> f64 {
+    let per_solve = SOLVE_SECONDS_PER_COMPLEXITY * complexity as f64;
+    let total = per_solve * hourly_solves as f64;
+    if go_runtime {
+        total / GO_SPEEDUP
+    } else {
+        total
+    }
+}
+
+/// Carbon cost of one deployment solve, gCO₂eq: the solver runs one fully
+/// utilized vCPU for [`solve_seconds`] in the framework's region.
+pub fn solve_carbon_g(
+    complexity: usize,
+    hourly_solves: usize,
+    go_runtime: bool,
+    framework_intensity: f64,
+) -> f64 {
+    let secs = solve_seconds(complexity, hourly_solves, go_runtime);
+    framework_intensity * energy::P_MAX_KW * energy::PUE * secs / 3600.0
+}
+
+/// The per-workflow token bucket.
+///
+/// # Examples
+///
+/// ```
+/// use caribou_core::tokens::TokenBucket;
+///
+/// let mut bucket = TokenBucket::new(0.0, 1e6);
+/// // 1,000 invocations of a 10 s workflow at 1e-6 kWh/s across a
+/// // 348 g/kWh differential earn ~3.5 g of carbon budget.
+/// bucket.earn(1000, 10.0, 1e-6, 348.0);
+/// assert!(bucket.try_consume(3.0));
+/// assert!(!bucket.try_consume(3.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenBucket {
+    /// Current budget, gCO₂eq.
+    tokens: f64,
+    /// Cap on the bucket (multiples of one hourly solve's cost keep the
+    /// budget from growing unboundedly during long stable periods).
+    pub cap: f64,
+    /// Simulation time of the next scheduled token check.
+    pub next_check_s: f64,
+    /// Minimum interval between checks, seconds.
+    pub min_interval_s: f64,
+    /// Maximum interval between checks, seconds.
+    pub max_interval_s: f64,
+}
+
+impl TokenBucket {
+    /// Creates an empty bucket with its first check due at `first_check_s`.
+    pub fn new(first_check_s: f64, cap: f64) -> Self {
+        TokenBucket {
+            tokens: 0.0,
+            cap,
+            next_check_s: first_check_s,
+            min_interval_s: 3600.0,
+            max_interval_s: 86_400.0,
+        }
+    }
+
+    /// Current budget, gCO₂eq.
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+
+    /// Earns tokens from observed potential savings (§5.2: "Functions
+    /// with higher invocation counts and longer runtimes accumulate more
+    /// tokens. Each token represents the carbon intensity differential
+    /// between target regions").
+    ///
+    /// `invocations` and `mean_exec_s` describe the past period (the
+    /// sliding window); `energy_per_s_kwh` is the workflow's facility
+    /// energy draw per execution second; `intensity_differential` is
+    /// `I_home − I_cleanest` (clamped at zero).
+    pub fn earn(
+        &mut self,
+        invocations: usize,
+        mean_exec_s: f64,
+        energy_per_s_kwh: f64,
+        intensity_differential: f64,
+    ) -> f64 {
+        let earned = invocations as f64
+            * mean_exec_s.max(0.0)
+            * energy_per_s_kwh.max(0.0)
+            * intensity_differential.max(0.0);
+        self.tokens = (self.tokens + earned).min(self.cap);
+        earned
+    }
+
+    /// Attempts to pay for a solve costing `cost_g`; returns whether the
+    /// budget sufficed (and was consumed).
+    pub fn try_consume(&mut self, cost_g: f64) -> bool {
+        if self.tokens + 1e-15 >= cost_g {
+            self.tokens -= cost_g;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Schedules the next check: the time to accumulate the remaining
+    /// deficit at the past period's earn rate, squashed through a sigmoid
+    /// onto `[min_interval, max_interval]` so that bursty workflows check
+    /// often and idle ones back off (§5.2, Fig. 6 "Determine Check Time").
+    pub fn schedule_next_check(&mut self, now_s: f64, earn_rate_per_s: f64, cost_g: f64) -> f64 {
+        let deficit = (cost_g - self.tokens).max(0.0);
+        let eta_s = if earn_rate_per_s > 1e-18 {
+            deficit / earn_rate_per_s
+        } else {
+            self.max_interval_s * 10.0
+        };
+        // Sigmoid-smooth the ETA onto the interval band: an ETA equal to
+        // the geometric mid-band maps to ~the middle of the band.
+        let mid = (self.min_interval_s * self.max_interval_s).sqrt();
+        let x = (eta_s / mid).ln();
+        let sig = 1.0 / (1.0 + (-x).exp());
+        let interval = self.min_interval_s + (self.max_interval_s - self.min_interval_s) * sig;
+        self.next_check_s = now_s + interval;
+        self.next_check_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_seconds_matches_paper_calibration() {
+        // Text2Speech Censoring: 5 nodes + 5 edges = complexity 10;
+        // 24-hour granularity → ~534 s in Python, ~276 s in Go (§9.7).
+        let py = solve_seconds(10, 24, false);
+        assert!((py - 534.0).abs() < 10.0, "python {py}");
+        let go = solve_seconds(10, 24, true);
+        assert!((go - 276.0).abs() < 10.0, "go {go}");
+    }
+
+    #[test]
+    fn solve_carbon_matches_paper_figure() {
+        // ~1.98e-2 gCO₂eq for the 534 s solve in ca-central-1 (§9.7).
+        let g = solve_carbon_g(10, 24, false, 32.0);
+        assert!((g / 1.98e-2 - 1.0).abs() < 0.15, "carbon {g}");
+    }
+
+    #[test]
+    fn earn_scales_with_volume_and_differential() {
+        let mut b = TokenBucket::new(0.0, 1e9);
+        let e1 = b.earn(100, 2.0, 1e-6, 300.0);
+        let e2 = b.earn(200, 2.0, 1e-6, 300.0);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+        assert!((b.tokens() - (e1 + e2)).abs() < 1e-12);
+        // No differential → nothing earned.
+        assert_eq!(b.earn(100, 2.0, 1e-6, 0.0), 0.0);
+        assert_eq!(b.earn(100, 2.0, 1e-6, -50.0), 0.0);
+    }
+
+    #[test]
+    fn bucket_caps() {
+        let mut b = TokenBucket::new(0.0, 1.0);
+        b.earn(1_000_000, 10.0, 1e-3, 500.0);
+        assert_eq!(b.tokens(), 1.0);
+    }
+
+    #[test]
+    fn consume_requires_budget() {
+        let mut b = TokenBucket::new(0.0, 1e9);
+        b.earn(10, 1.0, 1e-6, 100.0); // 1e-3 g
+        assert!(!b.try_consume(1.0));
+        assert!(b.try_consume(5e-4));
+        assert!(b.tokens() < 1e-3);
+    }
+
+    #[test]
+    fn next_check_tracks_earn_rate() {
+        let mut fast = TokenBucket::new(0.0, 1e9);
+        let mut slow = TokenBucket::new(0.0, 1e9);
+        let cost = 1.0;
+        let t_fast = fast.schedule_next_check(0.0, 1e-3, cost); // 1000 s ETA
+        let t_slow = slow.schedule_next_check(0.0, 1e-6, cost); // 1e6 s ETA
+        assert!(t_fast < t_slow, "fast {t_fast} slow {t_slow}");
+        for t in [t_fast, t_slow] {
+            assert!(t >= fast.min_interval_s);
+            assert!(t <= fast.max_interval_s + 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_rate_backs_off_to_max() {
+        let mut b = TokenBucket::new(0.0, 1e9);
+        let t = b.schedule_next_check(100.0, 0.0, 1.0);
+        assert!((t - (100.0 + b.max_interval_s)).abs() < b.max_interval_s * 0.05);
+    }
+
+    #[test]
+    fn full_bucket_checks_soon() {
+        let mut b = TokenBucket::new(0.0, 1e9);
+        b.earn(1000, 10.0, 1e-3, 500.0); // plenty of tokens
+        let t = b.schedule_next_check(0.0, 1e-3, 0.5);
+        // No deficit → ETA 0 → near the minimum interval.
+        assert!(t < b.min_interval_s * 2.0, "t {t}");
+    }
+}

@@ -1,0 +1,217 @@
+//! The Deployment Utility: initial deployment (§6.1).
+//!
+//! Packages the workflow into a container image, deploys it to the
+//! developer-defined home region, and uploads the framework metadata:
+//!
+//! 1. static analysis extracts the workflow DAG (done by the builder's
+//!    [`caribou_model::builder::Workflow::extract`]);
+//! 2. IAM roles are created, the image is pushed to the home-region
+//!    registry, and one pub/sub topic per function is created;
+//! 3. metadata (the active plan — initially the home plan) is uploaded to
+//!    the distributed key-value store.
+
+use std::collections::HashSet;
+
+use caribou_exec::engine::WorkflowApp;
+use caribou_exec::router::InvocationRouter;
+use caribou_model::manifest::DeploymentManifest;
+use caribou_model::plan::HourlyPlans;
+use caribou_model::region::RegionId;
+use caribou_simcloud::cloud::SimCloud;
+use caribou_simcloud::pubsub::TopicKey;
+
+use crate::error::CoreError;
+
+/// Default packaged image size: a Python Lambda image with scientific
+/// dependencies is a few hundred MB.
+pub const DEFAULT_IMAGE_BYTES: f64 = 280e6;
+
+/// A deployed workflow's control-plane state.
+#[derive(Debug)]
+pub struct DeployedWorkflow {
+    /// The application (DAG, profile, home region).
+    pub app: WorkflowApp,
+    /// Container image reference.
+    pub image: String,
+    /// Regions with a complete deployment (roles + image + topics).
+    pub active_regions: HashSet<RegionId>,
+    /// Traffic router (active plan set + benchmarking traffic).
+    pub router: InvocationRouter,
+    /// A solved plan set awaiting (re-)rollout: the Migrator "periodically
+    /// retries the rollout of any non-activated DP until it is replaced by
+    /// a new one" (§6.1).
+    pub pending: Option<HourlyPlans>,
+}
+
+/// The Deployment Utility.
+#[derive(Debug, Default)]
+pub struct DeploymentUtility;
+
+impl DeploymentUtility {
+    /// Deploys a workflow for the first time to its home region.
+    pub fn deploy_initial(
+        cloud: &mut SimCloud,
+        app: WorkflowApp,
+        manifest: &DeploymentManifest,
+    ) -> Result<DeployedWorkflow, CoreError> {
+        manifest.validate(&cloud.regions)?;
+        let home = manifest.resolve_home(&cloud.regions)?;
+        assert_eq!(
+            home, app.home,
+            "manifest home region must match the application's"
+        );
+        let image = format!("{}:{}", app.name, app.dag.version());
+
+        // Step 2: IAM role, image push, one topic per function, and the
+        // framework tables.
+        cloud
+            .iam
+            .put_role(app.name.clone(), home, manifest.iam_policy.clone());
+        let push = cloud
+            .registry
+            .push(image.clone(), DEFAULT_IMAGE_BYTES, home);
+        cloud.clock.advance_by(push.duration_s);
+        for node in app.dag.all_nodes() {
+            cloud.pubsub.create_topic(TopicKey {
+                workflow: app.name.clone(),
+                stage: app.dag.node(node).name.clone(),
+                region: home,
+            });
+        }
+        cloud
+            .kv
+            .create_table(format!("caribou-data@{}", home.0), home);
+        cloud
+            .kv
+            .create_table(format!("caribou-sync@{}", home.0), home);
+        cloud.kv.create_table("caribou-meta", home);
+
+        // Step 3: upload metadata — the initial (home) plan.
+        let router = InvocationRouter::new(home, app.dag.node_count());
+        let plan_json =
+            serde_json::to_vec(&router.home_plan()).expect("plan serialization is infallible");
+        cloud.kv.put_if_absent(
+            "caribou-meta",
+            &format!("plan:{}", app.name),
+            bytes::Bytes::from(plan_json),
+            home,
+        );
+
+        let mut active_regions = HashSet::new();
+        active_regions.insert(home);
+        Ok(DeployedWorkflow {
+            app,
+            image,
+            active_regions,
+            router,
+            pending: None,
+        })
+    }
+
+    /// Tears a workflow down completely: topics, IAM roles, and image
+    /// replicas in every active region, the KV metadata, and any warm
+    /// containers. Consumes the control-plane state so the workflow can
+    /// no longer be routed to.
+    pub fn undeploy(cloud: &mut SimCloud, workflow: DeployedWorkflow) {
+        for region in &workflow.active_regions {
+            for node in workflow.app.dag.all_nodes() {
+                cloud.pubsub.delete_topic(&TopicKey {
+                    workflow: workflow.app.name.clone(),
+                    stage: workflow.app.dag.node(node).name.clone(),
+                    region: *region,
+                });
+            }
+            cloud.iam.delete_role(&workflow.app.name, *region);
+            cloud.registry.remove_replica(&workflow.image, *region);
+        }
+        cloud.kv.delete(
+            "caribou-meta",
+            &format!("plan:{}", workflow.app.name),
+            workflow.app.home,
+        );
+        cloud.warm.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caribou_model::builder::Workflow;
+
+    fn app(cloud: &SimCloud) -> WorkflowApp {
+        let mut wf = Workflow::new("wf", "0.1");
+        let a = wf.serverless_function("A").register();
+        let b = wf.serverless_function("B").register();
+        wf.invoke(a, b, None);
+        let (dag, profile, _) = wf.extract().unwrap();
+        WorkflowApp {
+            name: "wf".into(),
+            dag,
+            profile,
+            home: cloud.region("us-east-1"),
+        }
+    }
+
+    #[test]
+    fn initial_deploy_creates_all_resources() {
+        let mut cloud = SimCloud::aws(1);
+        let app = app(&cloud);
+        let home = app.home;
+        let manifest = DeploymentManifest::new("wf", "0.1", "us-east-1");
+        let dep = DeploymentUtility::deploy_initial(&mut cloud, app, &manifest).unwrap();
+
+        assert!(cloud.iam.role_exists("wf", home));
+        assert!(cloud.registry.has_replica("wf:0.1", home));
+        for stage in ["A", "B"] {
+            assert!(cloud.pubsub.topic_exists(&TopicKey {
+                workflow: "wf".into(),
+                stage: stage.into(),
+                region: home,
+            }));
+        }
+        assert!(cloud.kv.peek("caribou-meta", "plan:wf").is_some());
+        assert!(dep.active_regions.contains(&home));
+        assert!(dep.pending.is_none());
+        assert!(cloud.clock.now() > 0.0, "image push takes time");
+    }
+
+    #[test]
+    fn bad_manifest_rejected() {
+        let mut cloud = SimCloud::aws(2);
+        let app = app(&cloud);
+        let manifest = DeploymentManifest::new("wf", "0.1", "narnia-1");
+        assert!(DeploymentUtility::deploy_initial(&mut cloud, app, &manifest).is_err());
+    }
+
+    #[test]
+    fn undeploy_removes_all_resources() {
+        let mut cloud = SimCloud::aws(4);
+        let app = app(&cloud);
+        let home = app.home;
+        let manifest = DeploymentManifest::new("wf", "0.1", "us-east-1");
+        let dep = DeploymentUtility::deploy_initial(&mut cloud, app, &manifest).unwrap();
+        DeploymentUtility::undeploy(&mut cloud, dep);
+        assert!(!cloud.iam.role_exists("wf", home));
+        assert!(!cloud.registry.has_replica("wf:0.1", home));
+        for stage in ["A", "B"] {
+            assert!(!cloud.pubsub.topic_exists(&TopicKey {
+                workflow: "wf".into(),
+                stage: stage.into(),
+                region: home,
+            }));
+        }
+        assert!(cloud.kv.peek("caribou-meta", "plan:wf").is_none());
+    }
+
+    #[test]
+    fn router_starts_with_home_plan() {
+        let mut cloud = SimCloud::aws(3);
+        let app = app(&cloud);
+        let home = app.home;
+        let manifest = DeploymentManifest::new("wf", "0.1", "us-east-1");
+        let mut dep = DeploymentUtility::deploy_initial(&mut cloud, app, &manifest).unwrap();
+        let d = dep.router.route(0.0);
+        assert!(d.plan.is_single_region());
+        assert_eq!(d.plan.region_of(caribou_model::dag::NodeId(0)), home);
+    }
+}

@@ -1,0 +1,1015 @@
+//! The per-invocation execution engine.
+//!
+//! Executes one workflow invocation end-to-end against the simulated
+//! cloud: pub/sub hops between stages, KV-store intermediate data,
+//! synchronization-node annotations with condition (4.1), conditional-edge
+//! skip propagation, external-data anchoring at the home region, and full
+//! usage metering. The engine is also used for the orchestration baselines
+//! of §9.6 (Step Functions and raw SNS), which differ only in transition
+//! mechanics.
+
+use caribou_carbon::route::endpoint_average;
+use caribou_carbon::source::CarbonDataSource;
+use caribou_metrics::carbonmodel::CarbonModel;
+use caribou_metrics::logs::{EdgeRecord, InvocationLog, NodeRecord};
+use caribou_model::dag::{EdgeId, NodeId, WorkflowDag};
+use caribou_model::plan::DeploymentPlan;
+use caribou_model::profile::WorkflowProfile;
+use caribou_model::region::RegionId;
+use caribou_model::rng::Pcg32;
+use caribou_simcloud::clock::EventQueue;
+use caribou_simcloud::cloud::SimCloud;
+use caribou_simcloud::meter::UsageMeter;
+use caribou_simcloud::orchestration::Orchestrator;
+use caribou_simcloud::pubsub::TopicKey;
+
+use crate::outcome::ExecutionOutcome;
+
+/// A deployable workflow application: DAG, profile, and home region.
+#[derive(Debug, Clone)]
+pub struct WorkflowApp {
+    /// Workflow name (topic and table namespace).
+    pub name: String,
+    /// The workflow DAG.
+    pub dag: WorkflowDag,
+    /// The workload resource profile.
+    pub profile: WorkflowProfile,
+    /// Home region.
+    pub home: RegionId,
+}
+
+/// The execution engine, parameterized by the carbon data source used for
+/// emission accounting.
+#[derive(Debug, Clone)]
+pub struct ExecutionEngine<'a, S: CarbonDataSource> {
+    /// Carbon data used to account (not to decide) emissions.
+    pub carbon_source: &'a S,
+    /// Carbon model with the transmission scenario.
+    pub carbon_model: CarbonModel,
+    /// Orchestration mechanism.
+    pub orchestrator: Orchestrator,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EdgeState {
+    Undecided,
+    /// The edge's condition is decided: whether it fired, the simulation
+    /// time the decision (annotation) completed, and the writer's region.
+    Decided {
+        taken: bool,
+        at: f64,
+        writer: RegionId,
+    },
+}
+
+impl EdgeState {
+    fn is_decided(&self) -> bool {
+        !matches!(self, EdgeState::Undecided)
+    }
+
+    fn is_taken(&self) -> bool {
+        matches!(self, EdgeState::Decided { taken: true, .. })
+    }
+}
+
+struct InvocationCtx<'c, 'a, S: CarbonDataSource> {
+    engine: &'c ExecutionEngine<'a, S>,
+    cloud: &'c mut SimCloud,
+    app: &'c WorkflowApp,
+    plan: &'c DeploymentPlan,
+    inv_id: u64,
+    hour: f64,
+    at_s: f64,
+    rng: &'c mut Pcg32,
+    meter: UsageMeter,
+    exec_carbon: f64,
+    trans_carbon: f64,
+    completed: bool,
+    edge_state: Vec<EdgeState>,
+    node_started: Vec<bool>,
+    node_dead: Vec<bool>,
+    finish: Vec<f64>,
+    queue: EventQueue<NodeId>,
+    node_records: Vec<NodeRecord>,
+    edge_records: Vec<EdgeRecord>,
+}
+
+impl<S: CarbonDataSource> ExecutionEngine<'_, S> {
+    /// Ensures topics and tables exist for the regions a plan uses. The
+    /// Deployment Utility/Migrator normally guarantees this (§6.1); tests
+    /// and single-shot runs call it directly.
+    pub fn provision(&self, cloud: &mut SimCloud, app: &WorkflowApp, plan: &DeploymentPlan) {
+        for node in app.dag.all_nodes() {
+            let region = plan.region_of(node);
+            cloud.pubsub.create_topic(TopicKey {
+                workflow: app.name.clone(),
+                stage: app.dag.node(node).name.clone(),
+                region,
+            });
+            cloud
+                .kv
+                .create_table(format!("caribou-data@{}", region.0), region);
+            cloud
+                .kv
+                .create_table(format!("caribou-sync@{}", region.0), region);
+        }
+        cloud.kv.create_table("caribou-meta", app.home);
+    }
+
+    /// Executes one invocation under `plan` starting at simulation time
+    /// `at_s`, returning the outcome and its log.
+    pub fn invoke(
+        &self,
+        cloud: &mut SimCloud,
+        app: &WorkflowApp,
+        plan: &DeploymentPlan,
+        inv_id: u64,
+        at_s: f64,
+        rng: &mut Pcg32,
+    ) -> ExecutionOutcome {
+        assert_eq!(
+            plan.len(),
+            app.dag.node_count(),
+            "plan does not cover the workflow"
+        );
+        let hour = at_s / 3600.0;
+        let n = app.dag.node_count();
+        let mut ctx = InvocationCtx {
+            engine: self,
+            cloud,
+            app,
+            plan,
+            inv_id,
+            hour,
+            at_s,
+            rng,
+            meter: UsageMeter::new(),
+            exec_carbon: 0.0,
+            trans_carbon: 0.0,
+            completed: true,
+            edge_state: vec![EdgeState::Undecided; app.dag.edge_count()],
+            node_started: vec![false; n],
+            node_dead: vec![false; n],
+            finish: vec![0.0; n],
+            queue: EventQueue::new(),
+            node_records: Vec::with_capacity(n),
+            edge_records: Vec::with_capacity(app.dag.edge_count()),
+        };
+        ctx.run();
+        let e2e = ctx
+            .node_records
+            .iter()
+            .map(|r| r.start_s + r.duration_s)
+            .fold(0.0f64, f64::max);
+        let cost = ctx.meter.cost(&ctx.cloud.pricing);
+        ctx.cloud.meter.merge(&ctx.meter);
+        ExecutionOutcome {
+            log: InvocationLog {
+                workflow: app.name.clone(),
+                at_s,
+                benchmark_traffic: false,
+                nodes: ctx.node_records,
+                edges: ctx.edge_records,
+                e2e_latency_s: e2e,
+                cost_usd: cost,
+            },
+            e2e_latency_s: e2e,
+            cost_usd: cost,
+            exec_carbon_g: ctx.exec_carbon,
+            trans_carbon_g: ctx.trans_carbon,
+            meter: ctx.meter,
+            completed: ctx.completed,
+        }
+    }
+}
+
+impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
+    fn topic(&self, node: NodeId) -> TopicKey {
+        TopicKey {
+            workflow: self.app.name.clone(),
+            stage: self.app.dag.node(node).name.clone(),
+            region: self.plan.region_of(node),
+        }
+    }
+
+    fn route_intensity(&self, a: RegionId, b: RegionId) -> f64 {
+        endpoint_average(self.engine.carbon_source, a, b, self.hour)
+    }
+
+    fn account_transfer(&mut self, from: RegionId, to: RegionId, bytes: f64) {
+        self.meter.record_transfer(from, to, bytes);
+        let intensity = self.route_intensity(from, to);
+        self.trans_carbon +=
+            self.engine
+                .carbon_model
+                .transmission_carbon(bytes, intensity, from == to);
+    }
+
+    fn run(&mut self) {
+        // Client → entry function: wrapper setup, deployment-plan fetch
+        // (Caribou only), and the input payload's journey from the client
+        // (anchored at the home region, §9.1).
+        let start = self.app.dag.start();
+        let start_region = self.plan.region_of(start);
+        let input_bytes = self.app.profile.input_bytes.sample(self.rng);
+        let mut t0 = self.engine.orchestrator.sample_setup_s(self.rng);
+
+        let delivery = {
+            let topic = self.topic(start);
+            self.cloud.pubsub.publish(
+                &topic,
+                self.app.home,
+                input_bytes,
+                // Reborrow dance: pubsub needs the latency model.
+                &latency_clone(self.cloud),
+                self.rng,
+            )
+        };
+        self.meter.record_sns(self.app.home);
+        self.account_transfer(self.app.home, start_region, input_bytes);
+        if !delivery.delivered {
+            self.completed = false;
+            return;
+        }
+        t0 += delivery.latency_s;
+
+        if self.engine.orchestrator == Orchestrator::Caribou {
+            // Entry wrapper fetches the active deployment plan from the
+            // home-region metadata table (§6.2: "the initial node ...
+            // fetches the current DP from the distributed key-value
+            // store"); downstream nodes receive it piggybacked.
+            let lm = latency_clone(self.cloud);
+            let access = self.cloud.kv.get(
+                "caribou-meta",
+                &format!("plan:{}", self.app.name),
+                start_region,
+                &lm,
+                self.rng,
+            );
+            self.meter.record_kv(start_region, 1, 0);
+            t0 += access.latency_s;
+        }
+
+        self.queue.push(t0, start);
+        while let Some((t, node)) = self.queue.pop() {
+            self.execute_node(node, t);
+        }
+    }
+
+    fn execute_node(&mut self, node: NodeId, t: f64) {
+        if std::mem::replace(&mut self.node_started[node.index()], true) {
+            return;
+        }
+        let region = self.plan.region_of(node);
+        if self.cloud.faults.region_down(region, self.at_s + t) {
+            // Region outage: the delivery retries would eventually
+            // dead-letter; the invocation cannot complete.
+            self.completed = false;
+            self.mark_node_dead_downstream(node, t);
+            return;
+        }
+        let p = &self.app.profile.nodes[node.index()];
+        // Cold starts: stateful when the warm pool is enabled (a freshly
+        // offloaded region starts cold until traffic warms it), otherwise
+        // the compute model's probabilistic rate applies.
+        let cold = if self.cloud.warm.enabled {
+            self.cloud
+                .warm
+                .check_and_touch(&self.app.name, node.0, region, self.at_s + t)
+        } else {
+            self.rng.chance(self.cloud.compute.cold_start_prob)
+        };
+        let record = self.cloud.compute.execute_forced(
+            region,
+            &p.exec_time,
+            p.memory_mb,
+            p.cpu_utilization,
+            cold,
+            self.rng,
+        );
+        let mut duration = record.duration_s;
+
+        // External data stays at (or close to) the home region; offloaded
+        // stages pay the round trip in latency, egress, and carbon (§9.1).
+        if region != self.app.home && p.external_data_bytes > 0.0 {
+            let lm = latency_clone(self.cloud);
+            let half = p.external_data_bytes / 2.0;
+            duration += lm.sample_transfer_seconds(region, self.app.home, half, self.rng)
+                + lm.sample_transfer_seconds(self.app.home, region, half, self.rng);
+            self.account_transfer(region, self.app.home, half);
+            self.account_transfer(self.app.home, region, half);
+        }
+
+        self.meter.record_lambda(region, duration, p.memory_mb);
+        let intensity = self.engine.carbon_source.intensity(region, self.hour);
+        self.exec_carbon += self.engine.carbon_model.execution_carbon_params(
+            p.memory_mb,
+            duration,
+            p.cpu_utilization,
+            intensity,
+        );
+        self.finish[node.index()] = t + duration;
+        self.node_records.push(NodeRecord {
+            node: node.0,
+            region,
+            duration_s: duration,
+            cpu_total_time_s: record.cpu_total_time_s,
+            memory_mb: p.memory_mb,
+            start_s: t,
+        });
+
+        // Decide and dispatch every outgoing edge.
+        let finish = self.finish[node.index()];
+        let out: Vec<EdgeId> = self.app.dag.out_edges(node).to_vec();
+        for eid in out {
+            let conditional = self.app.dag.edge(eid).conditional;
+            let prob = self.app.profile.edges[eid.index()].probability;
+            let taken = if conditional {
+                self.rng.chance(prob)
+            } else {
+                true
+            };
+            self.decide_edge(eid, taken, finish, region);
+        }
+    }
+
+    /// Records an edge decision, dispatching the successor invocation or
+    /// the skip propagation of §4.
+    fn decide_edge(&mut self, eid: EdgeId, taken: bool, t: f64, decider_region: RegionId) {
+        if self.edge_state[eid.index()].is_decided() {
+            return;
+        }
+        let edge = *self.app.dag.edge(eid);
+        let succ = edge.to;
+        let succ_region = self.plan.region_of(succ);
+        let is_sync = self.app.dag.is_sync_node(succ);
+
+        if taken {
+            let payload = self.app.profile.edges[eid.index()]
+                .payload_bytes
+                .sample(self.rng);
+            let from_region = self.plan.region_of(edge.from);
+            let lm = latency_clone(self.cloud);
+
+            // Intermediate data goes to the successor region's storage:
+            // the KV table for small payloads, the blob store (with a KV
+            // reference) above the DynamoDB item limit (§4, Fig. 5).
+            let write_latency = self.store_intermediate(eid, payload, from_region, succ_region);
+            self.account_transfer(from_region, succ_region, payload);
+            let transition = self.engine.orchestrator.sample_transition_s(self.rng);
+            let after_write = t + transition + write_latency;
+
+            if is_sync {
+                // The annotation is the atomic read-modify-write of §4;
+                // the invocation message is sent by whichever writer's
+                // annotation lands last (handled in `check_sync`).
+                let decision_t = self.sync_annotate(succ, true, after_write, from_region);
+                self.edge_state[eid.index()] = EdgeState::Decided {
+                    taken: true,
+                    at: decision_t,
+                    writer: from_region,
+                };
+                self.edge_records.push(EdgeRecord {
+                    edge: eid.0,
+                    taken: true,
+                    from_region,
+                    to_region: succ_region,
+                    bytes: payload,
+                    latency_s: decision_t - t,
+                });
+                self.check_sync(succ);
+                return;
+            }
+
+            let arrival = if self.engine.orchestrator == Orchestrator::StepFunctions {
+                // First-party orchestration: direct state transition, no
+                // SNS hop.
+                after_write
+                    + lm.sample_transfer_seconds(from_region, succ_region, payload, self.rng)
+            } else {
+                let topic = self.topic(succ);
+                // The invocation message itself is small: the data went
+                // through the KV store; the message carries the DP and
+                // location header (§6.2 Traffic Routing).
+                let delivery =
+                    self.cloud
+                        .pubsub
+                        .publish(&topic, from_region, 2048.0, &lm, self.rng);
+                self.meter.record_sns(from_region);
+                if !delivery.delivered {
+                    // Dead-lettered: the successor never starts.
+                    self.completed = false;
+                    self.edge_state[eid.index()] = EdgeState::Decided {
+                        taken: false,
+                        at: t,
+                        writer: from_region,
+                    };
+                    self.edge_records.push(EdgeRecord {
+                        edge: eid.0,
+                        taken: false,
+                        from_region,
+                        to_region: succ_region,
+                        bytes: payload,
+                        latency_s: 0.0,
+                    });
+                    self.mark_node_dead_downstream(succ, t);
+                    return;
+                }
+                after_write + delivery.latency_s
+            };
+
+            self.edge_state[eid.index()] = EdgeState::Decided {
+                taken: true,
+                at: arrival,
+                writer: from_region,
+            };
+            self.edge_records.push(EdgeRecord {
+                edge: eid.0,
+                taken: true,
+                from_region,
+                to_region: succ_region,
+                bytes: payload,
+                latency_s: arrival - t,
+            });
+            // The successor's wrapper reads the intermediate data.
+            let read_latency = self.load_intermediate(eid, succ_region);
+            self.queue.push(arrival + read_latency, succ);
+        } else {
+            let from_region = self.plan.region_of(edge.from);
+            let decision_t = if is_sync {
+                self.sync_annotate(succ, false, t, decider_region)
+            } else {
+                t
+            };
+            self.edge_state[eid.index()] = EdgeState::Decided {
+                taken: false,
+                at: decision_t,
+                writer: decider_region,
+            };
+            self.edge_records.push(EdgeRecord {
+                edge: eid.0,
+                taken: false,
+                from_region,
+                to_region: succ_region,
+                bytes: 0.0,
+                latency_s: 0.0,
+            });
+            if is_sync {
+                self.check_sync(succ);
+            } else {
+                // The successor has a single predecessor; it is dead.
+                self.mark_node_dead_downstream(succ, t);
+            }
+        }
+    }
+
+    /// Stores one edge's intermediate payload in the successor region:
+    /// small payloads as a KV item, large ones in the blob store with a
+    /// KV reference (DynamoDB's item cap). Returns the write latency.
+    fn store_intermediate(
+        &mut self,
+        eid: EdgeId,
+        payload: f64,
+        from: RegionId,
+        succ_region: RegionId,
+    ) -> f64 {
+        let key = format!("inv{}:e{}", self.inv_id, eid.0);
+        let table = format!("caribou-data@{}", succ_region.0);
+        let lm = latency_clone(self.cloud);
+        if payload > caribou_simcloud::blob::BLOB_THRESHOLD_BYTES {
+            let blob = self
+                .cloud
+                .blob
+                .put(succ_region, key.clone(), payload, from, &lm, self.rng);
+            self.meter.record_blob(succ_region, 0, 1);
+            let reference = self.cloud.kv.put(
+                &table,
+                &key,
+                bytes::Bytes::from_static(b"blobref"),
+                from,
+                &lm,
+                self.rng,
+            );
+            self.meter.record_kv(succ_region, 0, 1);
+            blob.latency_s.max(reference.latency_s)
+        } else {
+            let write = self.cloud.kv.put(
+                &table,
+                &key,
+                bytes::Bytes::from(vec![0u8; payload.min(4096.0) as usize]),
+                from,
+                &lm,
+                self.rng,
+            );
+            self.meter.record_kv(succ_region, 0, 1);
+            write.latency_s
+        }
+    }
+
+    /// Loads one edge's intermediate payload at the successor, following
+    /// the blob reference when present. Returns the read latency.
+    fn load_intermediate(&mut self, eid: EdgeId, succ_region: RegionId) -> f64 {
+        let key = format!("inv{}:e{}", self.inv_id, eid.0);
+        let lm = latency_clone(self.cloud);
+        if let Some(blob) = self
+            .cloud
+            .blob
+            .get(succ_region, &key, succ_region, &lm, self.rng)
+        {
+            self.meter.record_blob(succ_region, 1, 0);
+            // The wrapper first read the KV reference.
+            self.meter.record_kv(succ_region, 1, 0);
+            return blob.latency_s;
+        }
+        let read = self.cloud.kv.get(
+            &format!("caribou-data@{}", succ_region.0),
+            &key,
+            succ_region,
+            &lm,
+            self.rng,
+        );
+        self.meter.record_kv(succ_region, 1, 0);
+        read.latency_s
+    }
+
+    /// Performs the atomic annotation update of §4 against the sync
+    /// node's regional table, returning the simulation time the update
+    /// completed.
+    fn sync_annotate(&mut self, succ: NodeId, taken: bool, t: f64, writer_region: RegionId) -> f64 {
+        let succ_region = self.plan.region_of(succ);
+        let sync_table = format!("caribou-sync@{}", succ_region.0);
+        let key = format!("inv{}:n{}", self.inv_id, succ.0);
+        let lm = latency_clone(self.cloud);
+        let update =
+            self.cloud
+                .kv
+                .atomic_update(&sync_table, &key, writer_region, &lm, self.rng, |prev| {
+                    let mut s = prev
+                        .map(|b| String::from_utf8_lossy(b).into_owned())
+                        .unwrap_or_default();
+                    s.push(if taken { '1' } else { '0' });
+                    bytes::Bytes::from(s)
+                });
+        self.meter.record_kv(succ_region, 1, 1);
+        t + update.latency_s
+    }
+
+    /// Evaluates condition (4.1) for a synchronization node: once every
+    /// incoming edge is annotated, the node fires if at least one
+    /// annotation is `taken`. The writer whose annotation landed last (in
+    /// simulation time) performs the invocation — regardless of the order
+    /// the engine processed the branches in.
+    fn check_sync(&mut self, succ: NodeId) {
+        let in_edges = self.app.dag.in_edges(succ);
+        if !in_edges
+            .iter()
+            .all(|e| self.edge_state[e.index()].is_decided())
+        {
+            return;
+        }
+        let mut any_taken = false;
+        let mut last_at = 0.0f64;
+        let mut last_writer = self.plan.region_of(succ);
+        for e in in_edges {
+            if let EdgeState::Decided { taken, at, writer } = self.edge_state[e.index()] {
+                any_taken |= taken;
+                if at >= last_at {
+                    last_at = at;
+                    last_writer = writer;
+                }
+            }
+        }
+        if !any_taken {
+            self.mark_node_dead_downstream(succ, last_at);
+            return;
+        }
+        let succ_region = self.plan.region_of(succ);
+        let lm = latency_clone(self.cloud);
+        // The completing writer invokes the synchronization node with a
+        // small message; the node then loads the intermediate data of
+        // every taken predecessor from the KV store (§4, Fig. 5).
+        let start_t = if self.engine.orchestrator == Orchestrator::StepFunctions {
+            last_at + self.engine.orchestrator.sample_transition_s(self.rng)
+        } else {
+            let topic = self.topic(succ);
+            let delivery = self
+                .cloud
+                .pubsub
+                .publish(&topic, last_writer, 1024.0, &lm, self.rng);
+            self.meter.record_sns(last_writer);
+            if !delivery.delivered {
+                self.completed = false;
+                return;
+            }
+            last_at + delivery.latency_s
+        };
+        // Parallel reads of predecessors' intermediate data: latency is
+        // the max of the sampled reads.
+        let mut read_latency: f64 = 0.0;
+        let taken_edges: Vec<EdgeId> = in_edges
+            .iter()
+            .copied()
+            .filter(|e| self.edge_state[e.index()].is_taken())
+            .collect();
+        for e in taken_edges {
+            read_latency = read_latency.max(self.load_intermediate(e, succ_region));
+        }
+        self.queue.push(start_t + read_latency, succ);
+    }
+
+    /// Cascades death: a node none of whose incoming edges fired marks all
+    /// of its outgoing edges as not taken (the §4 skip-propagation rule),
+    /// which may complete downstream synchronization conditions.
+    fn mark_node_dead_downstream(&mut self, node: NodeId, t: f64) {
+        if std::mem::replace(&mut self.node_dead[node.index()], true) {
+            return;
+        }
+        let region = self.plan.region_of(node);
+        let out: Vec<EdgeId> = self.app.dag.out_edges(node).to_vec();
+        for eid in out {
+            self.decide_edge(eid, false, t, region);
+        }
+    }
+}
+
+/// The latency model is read-only but lives inside the mutable cloud;
+/// clone it out to sidestep simultaneous borrows (it is a small value).
+fn latency_clone(cloud: &SimCloud) -> caribou_simcloud::latency::LatencyModel {
+    cloud.latency.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caribou_carbon::series::CarbonSeries;
+    use caribou_carbon::source::TableSource;
+    use caribou_metrics::carbonmodel::TransmissionScenario;
+    use caribou_model::builder::Workflow;
+    use caribou_model::dist::DistSpec;
+
+    fn carbon_table(cloud: &SimCloud) -> TableSource {
+        let mut t = TableSource::new();
+        for (id, spec) in cloud.regions.iter() {
+            let v = match spec.name.as_str() {
+                "us-east-1" | "us-east-2" => 380.0,
+                "ca-central-1" => 32.0,
+                _ => 350.0,
+            };
+            t.insert(id, CarbonSeries::new(0, vec![v; 24 * 8]));
+        }
+        t
+    }
+
+    fn chain_app(cloud: &SimCloud) -> WorkflowApp {
+        let mut wf = Workflow::new("chain", "0.1");
+        let a = wf
+            .serverless_function("A")
+            .exec_time(DistSpec::Constant { value: 1.0 })
+            .register();
+        let b = wf
+            .serverless_function("B")
+            .exec_time(DistSpec::Constant { value: 2.0 })
+            .register();
+        wf.invoke(a, b, None)
+            .payload(DistSpec::Constant { value: 10_000.0 });
+        wf.set_input(DistSpec::Constant { value: 1000.0 });
+        let (dag, profile, _) = wf.extract().unwrap();
+        WorkflowApp {
+            name: "chain".into(),
+            dag,
+            profile,
+            home: cloud.region("us-east-1"),
+        }
+    }
+
+    fn sync_app(cloud: &SimCloud, cond_prob: Option<f64>) -> WorkflowApp {
+        let mut wf = Workflow::new("join", "0.1");
+        let a = wf
+            .serverless_function("A")
+            .exec_time(DistSpec::Constant { value: 0.5 })
+            .register();
+        let b = wf
+            .serverless_function("B")
+            .exec_time(DistSpec::Constant { value: 0.5 })
+            .register();
+        let c = wf
+            .serverless_function("C")
+            .exec_time(DistSpec::Constant { value: 3.0 })
+            .register();
+        let d = wf
+            .serverless_function("D")
+            .exec_time(DistSpec::Constant { value: 0.5 })
+            .register();
+        wf.invoke(a, b, cond_prob);
+        wf.invoke(a, c, None);
+        wf.invoke(b, d, None);
+        wf.invoke(c, d, None);
+        wf.get_predecessor_data(d);
+        let (dag, profile, _) = wf.extract().unwrap();
+        WorkflowApp {
+            name: "join".into(),
+            dag,
+            profile,
+            home: cloud.region("us-east-1"),
+        }
+    }
+
+    fn run(
+        cloud: &mut SimCloud,
+        app: &WorkflowApp,
+        plan: &DeploymentPlan,
+        seed: u64,
+    ) -> ExecutionOutcome {
+        let carbon = carbon_table(cloud);
+        let engine = ExecutionEngine {
+            carbon_source: &carbon,
+            carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+            orchestrator: Orchestrator::Caribou,
+        };
+        engine.provision(cloud, app, plan);
+        engine.invoke(cloud, app, plan, seed, 100.0, &mut Pcg32::seed(seed))
+    }
+
+    #[test]
+    fn chain_executes_both_stages() {
+        let mut cloud = SimCloud::aws(1);
+        cloud.compute.cold_start_prob = 0.0;
+        cloud.compute.exec_sigma = 0.0;
+        let app = chain_app(&cloud);
+        let plan = DeploymentPlan::uniform(2, app.home);
+        let out = run(&mut cloud, &app, &plan, 1);
+        assert!(out.completed);
+        assert_eq!(out.log.nodes.len(), 2);
+        // ~3 s of compute plus hops.
+        assert!(
+            (3.0..3.8).contains(&out.e2e_latency_s),
+            "{}",
+            out.e2e_latency_s
+        );
+        assert!(out.cost_usd > 0.0);
+        assert!(out.exec_carbon_g > 0.0);
+    }
+
+    #[test]
+    fn offloaded_stage_runs_in_its_plan_region() {
+        let mut cloud = SimCloud::aws(2);
+        let app = chain_app(&cloud);
+        let ca = cloud.region("ca-central-1");
+        let mut plan = DeploymentPlan::uniform(2, app.home);
+        plan.set(NodeId(1), ca);
+        let out = run(&mut cloud, &app, &plan, 2);
+        assert!(out.completed);
+        let rec = out.log.nodes.iter().find(|r| r.node == 1).unwrap();
+        assert_eq!(rec.region, ca);
+        // Cross-region hop: latency exceeds the single-region case.
+        assert!(out.e2e_latency_s > 3.0);
+        assert!(out.meter.total_egress_bytes() > 0.0);
+    }
+
+    #[test]
+    fn sync_node_fires_once_after_both_branches() {
+        let mut cloud = SimCloud::aws(3);
+        cloud.compute.cold_start_prob = 0.0;
+        cloud.compute.exec_sigma = 0.0;
+        let app = sync_app(&cloud, None);
+        let plan = DeploymentPlan::uniform(4, app.home);
+        let out = run(&mut cloud, &app, &plan, 3);
+        assert!(out.completed);
+        assert_eq!(out.log.nodes.len(), 4);
+        let d = out.log.nodes.iter().find(|r| r.node == 3).unwrap();
+        let c = out.log.nodes.iter().find(|r| r.node == 2).unwrap();
+        // D starts only after the slow branch C finishes.
+        assert!(d.start_s >= c.start_s + c.duration_s);
+    }
+
+    #[test]
+    fn conditional_branch_skip_still_fires_sync() {
+        let mut cloud = SimCloud::aws(4);
+        cloud.compute.cold_start_prob = 0.0;
+        // Probability 0: branch B never runs; D must still fire via C
+        // thanks to the skip-propagation annotation.
+        let app = sync_app(&cloud, Some(0.0));
+        let plan = DeploymentPlan::uniform(4, app.home);
+        let out = run(&mut cloud, &app, &plan, 4);
+        assert!(out.completed);
+        let executed: Vec<u32> = out.log.nodes.iter().map(|r| r.node).collect();
+        assert!(!executed.contains(&1), "skipped branch must not run");
+        assert!(executed.contains(&3), "sync node must still fire");
+    }
+
+    #[test]
+    fn dead_cascade_kills_whole_subtree() {
+        let mut cloud = SimCloud::aws(5);
+        // A -> (cond 0) B -> C; B and C must both be skipped.
+        let mut wf = Workflow::new("cascade", "0.1");
+        let a = wf.serverless_function("A").register();
+        let b = wf.serverless_function("B").register();
+        let c = wf.serverless_function("C").register();
+        wf.invoke(a, b, Some(0.0));
+        wf.invoke(b, c, None);
+        let (dag, profile, _) = wf.extract().unwrap();
+        let app = WorkflowApp {
+            name: "cascade".into(),
+            dag,
+            profile,
+            home: cloud.region("us-east-1"),
+        };
+        let plan = DeploymentPlan::uniform(3, app.home);
+        let out = run(&mut cloud, &app, &plan, 5);
+        assert!(out.completed);
+        let executed: Vec<u32> = out.log.nodes.iter().map(|r| r.node).collect();
+        assert_eq!(executed, vec![0]);
+    }
+
+    #[test]
+    fn region_outage_marks_invocation_incomplete() {
+        let mut cloud = SimCloud::aws(6);
+        let app = chain_app(&cloud);
+        let ca = cloud.region("ca-central-1");
+        cloud.set_faults(caribou_simcloud::faults::FaultPlan::none().with_outage(ca, 0.0, 1e9));
+        let mut plan = DeploymentPlan::uniform(2, app.home);
+        plan.set(NodeId(1), ca);
+        let out = run(&mut cloud, &app, &plan, 6);
+        assert!(!out.completed);
+        assert_eq!(out.log.nodes.len(), 1, "only the first stage ran");
+    }
+
+    #[test]
+    fn caribou_slightly_slower_than_sns_much_less_than_step_functions_gap() {
+        let mut cloud = SimCloud::aws(7);
+        cloud.compute.cold_start_prob = 0.0;
+        cloud.compute.exec_sigma = 0.0;
+        let app = chain_app(&cloud);
+        let plan = DeploymentPlan::uniform(2, app.home);
+        let carbon = carbon_table(&cloud);
+        let mut mean_latency = |orch: Orchestrator, seed: u64| -> f64 {
+            let engine = ExecutionEngine {
+                carbon_source: &carbon,
+                carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+                orchestrator: orch,
+            };
+            engine.provision(&mut cloud, &app, &plan);
+            let mut rng = Pcg32::seed(seed);
+            let n = 200;
+            (0..n)
+                .map(|i| {
+                    engine
+                        .invoke(&mut cloud, &app, &plan, i, 100.0, &mut rng)
+                        .e2e_latency_s
+                })
+                .sum::<f64>()
+                / n as f64
+        };
+        let sf = mean_latency(Orchestrator::StepFunctions, 1);
+        let sns = mean_latency(Orchestrator::Sns, 1);
+        let cb = mean_latency(Orchestrator::Caribou, 1);
+        assert!(sf < sns, "sf {sf} sns {sns}");
+        assert!(cb > sns, "cb {cb} sns {sns}");
+        // Caribou's overhead over SNS is small relative to SNS's overhead
+        // over Step Functions (§9.6).
+        assert!((cb - sns) < (sns - sf), "cb {cb} sns {sns} sf {sf}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut c1 = SimCloud::aws(8);
+        let mut c2 = SimCloud::aws(8);
+        let app1 = sync_app(&c1, Some(0.5));
+        let app2 = sync_app(&c2, Some(0.5));
+        let plan = DeploymentPlan::uniform(4, app1.home);
+        let a = run(&mut c1, &app1, &plan, 11);
+        let b = run(&mut c2, &app2, &plan, 11);
+        assert_eq!(a.e2e_latency_s, b.e2e_latency_s);
+        assert_eq!(a.cost_usd, b.cost_usd);
+        assert_eq!(a.carbon_g(), b.carbon_g());
+    }
+
+    #[test]
+    fn sns_orchestrator_supports_sync_via_the_kv_protocol() {
+        // The "similar implementations in SNS" of §9.6 use the same
+        // annotation trick; the engine must complete sync workflows under
+        // the raw-SNS orchestrator too.
+        let mut cloud = SimCloud::aws(19);
+        let app = sync_app(&cloud, Some(0.5));
+        let plan = DeploymentPlan::uniform(4, app.home);
+        let carbon = carbon_table(&cloud);
+        let engine = ExecutionEngine {
+            carbon_source: &carbon,
+            carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+            orchestrator: Orchestrator::Sns,
+        };
+        engine.provision(&mut cloud, &app, &plan);
+        let mut rng = Pcg32::seed(19);
+        for i in 0..50 {
+            let out = engine.invoke(&mut cloud, &app, &plan, i, 100.0, &mut rng);
+            assert!(out.completed, "invocation {i}");
+            assert!(out.log.nodes.iter().any(|n| n.node == 3), "sync node ran");
+        }
+    }
+
+    #[test]
+    fn step_functions_orchestrator_runs_sync_without_sns() {
+        let mut cloud = SimCloud::aws(23);
+        let app = sync_app(&cloud, None);
+        let plan = DeploymentPlan::uniform(4, app.home);
+        let carbon = carbon_table(&cloud);
+        let engine = ExecutionEngine {
+            carbon_source: &carbon,
+            carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+            orchestrator: Orchestrator::StepFunctions,
+        };
+        engine.provision(&mut cloud, &app, &plan);
+        let before = cloud.pubsub.total_published();
+        let out = engine.invoke(&mut cloud, &app, &plan, 1, 100.0, &mut Pcg32::seed(23));
+        assert!(out.completed);
+        assert_eq!(out.log.nodes.len(), 4);
+        // Step Functions performs direct transitions after the client's
+        // entry publish: no further SNS messages.
+        assert_eq!(cloud.pubsub.total_published() - before, 1);
+    }
+
+    #[test]
+    fn large_payloads_go_through_the_blob_store() {
+        let mut cloud = SimCloud::aws(20);
+        let mut wf = Workflow::new("big", "0.1");
+        let a = wf.serverless_function("A").register();
+        let b = wf.serverless_function("B").register();
+        // 5 MB payload: far above the DynamoDB item limit.
+        wf.invoke(a, b, None)
+            .payload(DistSpec::Constant { value: 5e6 });
+        let (dag, profile, _) = wf.extract().unwrap();
+        let app = WorkflowApp {
+            name: "big".into(),
+            dag,
+            profile,
+            home: cloud.region("us-east-1"),
+        };
+        let plan = DeploymentPlan::uniform(2, app.home);
+        let out = run(&mut cloud, &app, &plan, 20);
+        assert!(out.completed);
+        let home = app.home;
+        assert_eq!(cloud.blob.ops(home).puts, 1, "payload stored as a blob");
+        assert_eq!(cloud.blob.ops(home).gets, 1, "successor fetched it");
+        assert_eq!(out.meter.blob_puts.get(&home), Some(&1));
+    }
+
+    #[test]
+    fn small_payloads_stay_on_the_kv_path() {
+        let mut cloud = SimCloud::aws(21);
+        let app = chain_app(&cloud); // 10 KB payload
+        let plan = DeploymentPlan::uniform(2, app.home);
+        let out = run(&mut cloud, &app, &plan, 21);
+        assert!(out.completed);
+        assert_eq!(cloud.blob.ops(app.home).puts, 0);
+        assert!(out.meter.blob_puts.is_empty());
+    }
+
+    #[test]
+    fn warm_pool_makes_first_invocation_cold_then_warm() {
+        let mut cloud = SimCloud::aws(22);
+        cloud.compute.exec_sigma = 0.0;
+        cloud.warm = caribou_simcloud::warm::WarmPool::enabled(600.0);
+        let app = chain_app(&cloud);
+        let plan = DeploymentPlan::uniform(2, app.home);
+        let carbon = carbon_table(&cloud);
+        let engine = ExecutionEngine {
+            carbon_source: &carbon,
+            carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+            orchestrator: Orchestrator::Caribou,
+        };
+        engine.provision(&mut cloud, &app, &plan);
+        let mut rng = Pcg32::seed(22);
+        let first = engine.invoke(&mut cloud, &app, &plan, 1, 100.0, &mut rng);
+        let second = engine.invoke(&mut cloud, &app, &plan, 2, 160.0, &mut rng);
+        // The cold-start penalty shows in the first run only.
+        assert!(
+            first.e2e_latency_s > second.e2e_latency_s + 0.3,
+            "first {} second {}",
+            first.e2e_latency_s,
+            second.e2e_latency_s
+        );
+        // After idling past the keep-alive, cold again.
+        let third = engine.invoke(&mut cloud, &app, &plan, 3, 160.0 + 3600.0, &mut rng);
+        assert!(
+            third.e2e_latency_s > second.e2e_latency_s + 0.3,
+            "second {} third {}",
+            second.e2e_latency_s,
+            third.e2e_latency_s
+        );
+    }
+
+    #[test]
+    fn kv_annotations_written_for_sync_node() {
+        let mut cloud = SimCloud::aws(9);
+        let app = sync_app(&cloud, None);
+        let plan = DeploymentPlan::uniform(4, app.home);
+        let before = cloud.kv.total_ops();
+        let out = run(&mut cloud, &app, &plan, 12);
+        assert!(out.completed);
+        let after = cloud.kv.total_ops();
+        // Two predecessors each perform an atomic annotation update (a
+        // read+write), plus data writes/reads and the plan fetch.
+        assert!(after.writes - before.writes >= 2 + 3);
+        assert!(after.reads - before.reads > 2);
+    }
+}

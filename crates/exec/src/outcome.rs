@@ -1,0 +1,32 @@
+//! Execution outcome records.
+
+use caribou_metrics::logs::InvocationLog;
+use caribou_simcloud::meter::UsageMeter;
+
+/// The result of one end-to-end workflow invocation.
+#[derive(Debug, Clone)]
+pub struct ExecutionOutcome {
+    /// The invocation log the Metrics Manager learns from.
+    pub log: InvocationLog,
+    /// End-to-end service time, seconds (first function received → last
+    /// function finished, §9.1).
+    pub e2e_latency_s: f64,
+    /// Cost of the invocation, USD.
+    pub cost_usd: f64,
+    /// Execution carbon, gCO₂eq.
+    pub exec_carbon_g: f64,
+    /// Transmission carbon, gCO₂eq.
+    pub trans_carbon_g: f64,
+    /// Billable usage of this invocation.
+    pub meter: UsageMeter,
+    /// Whether every required message was delivered (false when a pub/sub
+    /// message was dead-lettered or a region was down).
+    pub completed: bool,
+}
+
+impl ExecutionOutcome {
+    /// Total operational carbon, gCO₂eq.
+    pub fn carbon_g(&self) -> f64 {
+        self.exec_carbon_g + self.trans_carbon_g
+    }
+}

@@ -1,0 +1,196 @@
+//! Invocation routing: active plans, expiry fallback, and the 10%
+//! home-region benchmarking traffic (§6.2).
+//!
+//! "The wrapper routes 10% of the workflow invocations to be fully
+//! executed at the home region for performance benchmarking and metric
+//! collection." The router also applies plan expiry (§5.2): when the
+//! active plan set has expired, all traffic is routed home until a new
+//! plan is activated.
+
+use caribou_model::plan::{DeploymentPlan, HourlyPlans};
+use caribou_model::region::RegionId;
+
+/// Routing decision for one invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteDecision {
+    /// Plan the invocation executes under.
+    pub plan: DeploymentPlan,
+    /// Whether this is benchmarking traffic pinned to the home region.
+    pub benchmark_traffic: bool,
+    /// Whether the active plan set had expired (home fallback).
+    pub plan_expired: bool,
+}
+
+/// Routes invocations of one workflow.
+#[derive(Debug, Clone)]
+pub struct InvocationRouter {
+    home: RegionId,
+    node_count: usize,
+    active: Option<HourlyPlans>,
+    counter: u64,
+    /// Every `benchmark_every`-th invocation is pinned home (10 in the
+    /// paper).
+    pub benchmark_every: u64,
+}
+
+impl InvocationRouter {
+    /// Creates a router with no active plan (all traffic goes home).
+    pub fn new(home: RegionId, node_count: usize) -> Self {
+        InvocationRouter {
+            home,
+            node_count,
+            active: None,
+            counter: 0,
+            benchmark_every: 10,
+        }
+    }
+
+    /// Activates a new plan set (called by the Migrator once every
+    /// function re-deployment succeeded, §6.1).
+    pub fn activate(&mut self, plans: HourlyPlans) {
+        self.active = Some(plans);
+    }
+
+    /// Clears the active plan set (rollback to home, §6.1).
+    pub fn deactivate(&mut self) {
+        self.active = None;
+    }
+
+    /// Whether a plan set is currently active (and unexpired) at `now`.
+    pub fn has_active_plan(&self, now_s: f64) -> bool {
+        self.active.as_ref().is_some_and(|p| !p.expired(now_s))
+    }
+
+    /// The currently installed plan set, if any (possibly expired).
+    pub fn active_plans(&self) -> Option<&HourlyPlans> {
+        self.active.as_ref()
+    }
+
+    /// The home-region uniform plan.
+    pub fn home_plan(&self) -> DeploymentPlan {
+        DeploymentPlan::uniform(self.node_count, self.home)
+    }
+
+    /// Routes the next invocation at simulation time `now_s`.
+    pub fn route(&mut self, now_s: f64) -> RouteDecision {
+        self.counter += 1;
+        let benchmark =
+            self.benchmark_every > 0 && self.counter.is_multiple_of(self.benchmark_every);
+        if benchmark {
+            return RouteDecision {
+                plan: self.home_plan(),
+                benchmark_traffic: true,
+                plan_expired: false,
+            };
+        }
+        match &self.active {
+            Some(plans) if !plans.expired(now_s) => {
+                let hour = ((now_s / 3600.0) as usize) % 24;
+                RouteDecision {
+                    plan: plans.plan_for_hour(hour).clone(),
+                    benchmark_traffic: false,
+                    plan_expired: false,
+                }
+            }
+            Some(_) => RouteDecision {
+                plan: self.home_plan(),
+                benchmark_traffic: false,
+                plan_expired: true,
+            },
+            None => RouteDecision {
+                plan: self.home_plan(),
+                benchmark_traffic: false,
+                plan_expired: false,
+            },
+        }
+    }
+
+    /// Invocations routed so far.
+    pub fn invocations(&self) -> u64 {
+        self.counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hourly(region: RegionId, expires: f64) -> HourlyPlans {
+        HourlyPlans::hourly(
+            (0..24)
+                .map(|_| DeploymentPlan::uniform(2, region))
+                .collect(),
+            0.0,
+            expires,
+        )
+    }
+
+    #[test]
+    fn no_plan_routes_home() {
+        let mut r = InvocationRouter::new(RegionId(0), 2);
+        let d = r.route(0.0);
+        assert_eq!(d.plan, r.home_plan());
+        assert!(!d.benchmark_traffic);
+        assert!(!d.plan_expired);
+    }
+
+    #[test]
+    fn every_tenth_invocation_is_benchmark_traffic() {
+        let mut r = InvocationRouter::new(RegionId(0), 2);
+        r.activate(hourly(RegionId(3), 1e9));
+        let mut bench = 0;
+        for _ in 0..100 {
+            if r.route(10.0).benchmark_traffic {
+                bench += 1;
+            }
+        }
+        assert_eq!(bench, 10);
+    }
+
+    #[test]
+    fn benchmark_traffic_pinned_home_despite_plan() {
+        let mut r = InvocationRouter::new(RegionId(0), 2);
+        r.activate(hourly(RegionId(3), 1e9));
+        let decisions: Vec<RouteDecision> = (0..10).map(|_| r.route(10.0)).collect();
+        let last = &decisions[9];
+        assert!(last.benchmark_traffic);
+        assert_eq!(last.plan, r.home_plan());
+        assert_eq!(decisions[0].plan, DeploymentPlan::uniform(2, RegionId(3)));
+    }
+
+    #[test]
+    fn expired_plan_falls_back_home() {
+        let mut r = InvocationRouter::new(RegionId(0), 2);
+        r.activate(hourly(RegionId(3), 100.0));
+        assert!(r.has_active_plan(50.0));
+        assert!(!r.has_active_plan(100.0));
+        let d = r.route(200.0);
+        assert!(d.plan_expired);
+        assert_eq!(d.plan, r.home_plan());
+    }
+
+    #[test]
+    fn hour_of_day_selects_plan() {
+        let mut r = InvocationRouter::new(RegionId(0), 1);
+        let mut plans: Vec<DeploymentPlan> = (0..24)
+            .map(|_| DeploymentPlan::uniform(1, RegionId(0)))
+            .collect();
+        plans[5] = DeploymentPlan::uniform(1, RegionId(7));
+        r.activate(HourlyPlans::hourly(plans, 0.0, 1e9));
+        let at_5am = 5.5 * 3600.0;
+        let d = r.route(at_5am);
+        assert_eq!(d.plan, DeploymentPlan::uniform(1, RegionId(7)));
+        let at_6am = 6.5 * 3600.0;
+        let d = r.route(at_6am);
+        assert_eq!(d.plan, DeploymentPlan::uniform(1, RegionId(0)));
+    }
+
+    #[test]
+    fn deactivate_reverts_to_home() {
+        let mut r = InvocationRouter::new(RegionId(0), 2);
+        r.activate(hourly(RegionId(3), 1e9));
+        r.deactivate();
+        assert!(!r.has_active_plan(0.0));
+        assert_eq!(r.route(0.0).plan, r.home_plan());
+    }
+}

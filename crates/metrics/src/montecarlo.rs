@@ -1,0 +1,578 @@
+//! End-to-end Monte Carlo metric estimation (§7.1).
+//!
+//! Estimating latency, cost, and carbon of conditional DAGs analytically is
+//! intractable; following the paper (and the prior work it cites), the
+//! estimator samples complete workflow executions: each sample draws the
+//! conditional-edge outcomes, per-stage execution times, and transmission
+//! latencies, then computes the critical path ("the moment the request is
+//! first received by the first function to the end time of the last
+//! function", §9.1), the invocation cost, and the operational carbon.
+//!
+//! Samples are drawn in batches of 200 until the relative standard error
+//! of every metric's mean drops below 0.05 or 2,000 samples are reached.
+
+use caribou_model::dag::WorkflowDag;
+use caribou_model::plan::DeploymentPlan;
+use caribou_model::profile::WorkflowProfile;
+use caribou_model::region::RegionId;
+use caribou_model::rng::Pcg32;
+use caribou_simcloud::compute::LambdaRuntime;
+use caribou_simcloud::latency::LatencyModel;
+use caribou_simcloud::orchestration::Orchestrator;
+use serde::{Deserialize, Serialize};
+
+use caribou_carbon::route::endpoint_average;
+use caribou_carbon::source::CarbonDataSource;
+
+use crate::carbonmodel::CarbonModel;
+use crate::costmodel::CostModel;
+use crate::summary::DistSummary;
+
+/// Sampling interfaces the estimator draws stage behaviour from.
+///
+/// The default implementation combines the workload profile with the
+/// simulator's runtime and latency models; the Metrics Manager substitutes
+/// learned empirical distributions where history exists (§7.1).
+pub trait StageModels {
+    /// Samples the execution duration (seconds) of `node` in `region`.
+    fn sample_exec(&self, node: usize, region: RegionId, rng: &mut Pcg32) -> f64;
+    /// Samples a one-way transfer latency (seconds) for `bytes` between
+    /// regions.
+    fn sample_transfer(&self, from: RegionId, to: RegionId, bytes: f64, rng: &mut Pcg32) -> f64;
+    /// Samples the per-transition orchestration overhead (seconds).
+    fn sample_transition(&self, rng: &mut Pcg32) -> f64;
+    /// Samples the per-invocation setup overhead (seconds).
+    fn sample_setup(&self, rng: &mut Pcg32) -> f64;
+}
+
+/// Model-based sampling from the workload profile plus simulator models.
+#[derive(Debug, Clone)]
+pub struct DefaultModels<'a> {
+    /// Workload profile providing reference execution distributions.
+    pub profile: &'a WorkflowProfile,
+    /// Region performance factors and execution noise.
+    pub runtime: &'a LambdaRuntime,
+    /// Transmission latency model (the CloudPing fallback of §7.1).
+    pub latency: &'a LatencyModel,
+    /// Orchestration mechanism in use.
+    pub orchestrator: Orchestrator,
+}
+
+impl StageModels for DefaultModels<'_> {
+    fn sample_exec(&self, node: usize, region: RegionId, rng: &mut Pcg32) -> f64 {
+        let p = &self.profile.nodes[node];
+        self.runtime
+            .execute(region, &p.exec_time, p.memory_mb, p.cpu_utilization, rng)
+            .duration_s
+    }
+
+    fn sample_transfer(&self, from: RegionId, to: RegionId, bytes: f64, rng: &mut Pcg32) -> f64 {
+        self.latency.sample_transfer_seconds(from, to, bytes, rng)
+    }
+
+    fn sample_transition(&self, rng: &mut Pcg32) -> f64 {
+        self.orchestrator.sample_transition_s(rng)
+    }
+
+    fn sample_setup(&self, rng: &mut Pcg32) -> f64 {
+        self.orchestrator.sample_setup_s(rng)
+    }
+}
+
+/// Stopping-rule configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloConfig {
+    /// Samples per batch (paper: 200).
+    pub batch: usize,
+    /// Maximum total samples (paper: 2,000).
+    pub max_samples: usize,
+    /// Relative-standard-error threshold (paper: 0.05).
+    pub cv_threshold: f64,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig {
+            batch: 200,
+            max_samples: 2000,
+            cv_threshold: 0.05,
+        }
+    }
+}
+
+/// Estimation result: one summary per metric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimateSummary {
+    /// End-to-end service time, seconds.
+    pub latency: DistSummary,
+    /// Cost per invocation, USD.
+    pub cost: DistSummary,
+    /// Operational carbon per invocation, gCO₂eq.
+    pub carbon: DistSummary,
+    /// Execution-only carbon component (mean), gCO₂eq; with the
+    /// transmission component this gives the Fig. 8 ratio.
+    pub exec_carbon_mean: f64,
+    /// Transmission-only carbon component (mean), gCO₂eq.
+    pub trans_carbon_mean: f64,
+    /// Samples drawn.
+    pub samples: usize,
+}
+
+impl EstimateSummary {
+    /// Metric mean by objective, for deployment ordering.
+    pub fn mean_of(&self, objective: caribou_model::constraints::Objective) -> f64 {
+        use caribou_model::constraints::Objective;
+        match objective {
+            Objective::Carbon => self.carbon.mean,
+            Objective::Cost => self.cost.mean,
+            Objective::Latency => self.latency.mean,
+        }
+    }
+}
+
+/// The Monte Carlo end-to-end estimator.
+pub struct MonteCarloEstimator<'a, S: CarbonDataSource, M: StageModels> {
+    /// Workflow DAG.
+    pub dag: &'a WorkflowDag,
+    /// Workload profile.
+    pub profile: &'a WorkflowProfile,
+    /// Carbon data (actual or forecast).
+    pub carbon_source: &'a S,
+    /// Carbon model with the transmission scenario.
+    pub carbon_model: CarbonModel,
+    /// Cost model.
+    pub cost_model: CostModel<'a>,
+    /// Stage behaviour models.
+    pub models: &'a M,
+    /// Home region (client location and external-data anchor).
+    pub home: RegionId,
+    /// Stopping rule.
+    pub config: MonteCarloConfig,
+}
+
+/// One sampled end-to-end execution.
+#[derive(Debug, Clone, Copy)]
+struct SamplePoint {
+    latency: f64,
+    cost: f64,
+    carbon: f64,
+    exec_carbon: f64,
+    trans_carbon: f64,
+}
+
+impl<S: CarbonDataSource, M: StageModels> MonteCarloEstimator<'_, S, M> {
+    /// Runs the estimator for a deployment plan at a given hour.
+    pub fn estimate(&self, plan: &DeploymentPlan, hour: f64, rng: &mut Pcg32) -> EstimateSummary {
+        let mut latencies = Vec::with_capacity(self.config.batch);
+        let mut costs = Vec::with_capacity(self.config.batch);
+        let mut carbons = Vec::with_capacity(self.config.batch);
+        let mut exec_sum = 0.0;
+        let mut trans_sum = 0.0;
+
+        loop {
+            for _ in 0..self.config.batch {
+                let s = self.sample_once(plan, hour, rng);
+                latencies.push(s.latency);
+                costs.push(s.cost);
+                carbons.push(s.carbon);
+                exec_sum += s.exec_carbon;
+                trans_sum += s.trans_carbon;
+            }
+            let latency = DistSummary::from_samples(&latencies);
+            let cost = DistSummary::from_samples(&costs);
+            let carbon = DistSummary::from_samples(&carbons);
+            let converged = latency.rel_std_error() < self.config.cv_threshold
+                && cost.rel_std_error() < self.config.cv_threshold
+                && carbon.rel_std_error() < self.config.cv_threshold;
+            if converged || latencies.len() >= self.config.max_samples {
+                let n = latencies.len();
+                return EstimateSummary {
+                    latency,
+                    cost,
+                    carbon,
+                    exec_carbon_mean: exec_sum / n as f64,
+                    trans_carbon_mean: trans_sum / n as f64,
+                    samples: n,
+                };
+            }
+        }
+    }
+
+    /// Simulates one complete workflow execution.
+    fn sample_once(&self, plan: &DeploymentPlan, hour: f64, rng: &mut Pcg32) -> SamplePoint {
+        let dag = self.dag;
+        let n = dag.node_count();
+        let mut executed = vec![false; n];
+        let mut finish = vec![0.0f64; n];
+        let mut cost = 0.0;
+        let mut exec_carbon = 0.0;
+        let mut trans_carbon = 0.0;
+
+        // Client delivers the input to the start node from the home region.
+        let start_node = dag.start();
+        let start_region = plan.region_of(start_node);
+        let input_bytes = self.profile.input_bytes.sample(rng);
+        let mut t0 = self.models.sample_setup(rng);
+        t0 += self
+            .models
+            .sample_transfer(self.home, start_region, input_bytes, rng);
+        trans_carbon += self.carbon_model.transmission_carbon(
+            input_bytes,
+            endpoint_average(self.carbon_source, self.home, start_region, hour),
+            self.home == start_region,
+        );
+        cost += self
+            .cost_model
+            .pricing()
+            .egress_cost(self.home, start_region, input_bytes);
+        // Entry wrapper fetches the deployment plan once.
+        cost += self.cost_model.kv_cost(start_region, 1, 0);
+
+        let mut start_time = vec![f64::NEG_INFINITY; n];
+        start_time[start_node.index()] = t0;
+        executed[start_node.index()] = true;
+
+        for &node in dag.topo_order() {
+            let ni = node.index();
+            if node != start_node {
+                // Determine whether and when this node starts.
+                let mut any_taken = false;
+                let mut ready_at: f64 = 0.0;
+                for &eid in dag.in_edges(node) {
+                    let e = dag.edge(eid);
+                    if !executed[e.from.index()] {
+                        continue;
+                    }
+                    let taken = rng.chance(self.profile.edges[eid.index()].probability);
+                    if !taken {
+                        // Skip propagation: the predecessor writes the
+                        // C=0 annotation; for sync nodes this is one
+                        // atomic KV update.
+                        if dag.is_sync_node(node) {
+                            cost += self.cost_model.kv_cost(plan.region_of(e.from), 1, 1);
+                        }
+                        continue;
+                    }
+                    any_taken = true;
+                    let payload = self.profile.edges[eid.index()].payload_bytes.sample(rng);
+                    let from_r = plan.region_of(e.from);
+                    let to_r = plan.region_of(node);
+                    let arrive = finish[e.from.index()]
+                        + self.models.sample_transition(rng)
+                        + self.models.sample_transfer(from_r, to_r, payload, rng);
+                    ready_at = ready_at.max(arrive);
+                    // Invocation cost: SNS publish + payload egress.
+                    cost += self.cost_model.invocation_cost(from_r, to_r, payload);
+                    // Intermediate data passes through the KV store: one
+                    // write by the predecessor, one read by the successor;
+                    // sync nodes add the atomic annotation update.
+                    cost += self.cost_model.kv_cost(from_r, 0, 1);
+                    cost += self.cost_model.kv_cost(to_r, 1, 0);
+                    if dag.is_sync_node(node) {
+                        cost += self.cost_model.kv_cost(from_r, 1, 1);
+                    }
+                    trans_carbon += self.carbon_model.transmission_carbon(
+                        payload,
+                        endpoint_average(self.carbon_source, from_r, to_r, hour),
+                        from_r == to_r,
+                    );
+                }
+                if !any_taken {
+                    continue;
+                }
+                start_time[ni] = ready_at;
+                executed[ni] = true;
+            }
+
+            // Execute the node.
+            let region = plan.region_of(node);
+            let p = &self.profile.nodes[ni];
+            let mut duration = self.models.sample_exec(ni, region, rng);
+            // External data stays at the home region; offloaded stages pay
+            // the round trip (§9.1).
+            if region != self.home && p.external_data_bytes > 0.0 {
+                let half = p.external_data_bytes / 2.0;
+                duration += self.models.sample_transfer(region, self.home, half, rng)
+                    + self.models.sample_transfer(self.home, region, half, rng);
+                trans_carbon += self.carbon_model.transmission_carbon(
+                    p.external_data_bytes,
+                    endpoint_average(self.carbon_source, region, self.home, hour),
+                    false,
+                );
+                cost +=
+                    self.cost_model
+                        .external_data_cost(region, self.home, p.external_data_bytes);
+            }
+            finish[ni] = start_time[ni] + duration;
+            cost += self
+                .cost_model
+                .execution_cost(region, duration, p.memory_mb);
+            exec_carbon += self.carbon_model.execution_carbon_params(
+                p.memory_mb,
+                duration,
+                p.cpu_utilization,
+                self.carbon_source.intensity(region, hour),
+            );
+        }
+
+        let latency = dag
+            .all_nodes()
+            .filter(|nd| executed[nd.index()])
+            .map(|nd| finish[nd.index()])
+            .fold(0.0f64, f64::max);
+        SamplePoint {
+            latency,
+            cost,
+            carbon: exec_carbon + trans_carbon,
+            exec_carbon,
+            trans_carbon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carbonmodel::TransmissionScenario;
+    use caribou_carbon::series::CarbonSeries;
+    use caribou_carbon::source::TableSource;
+    use caribou_model::builder::Workflow;
+    use caribou_model::dist::DistSpec;
+    use caribou_model::region::RegionCatalog;
+    use caribou_simcloud::pricing::PricingCatalog;
+
+    struct Fixture {
+        cat: RegionCatalog,
+        pricing: PricingCatalog,
+        runtime: LambdaRuntime,
+        latency: LatencyModel,
+        carbon: TableSource,
+    }
+
+    fn fixture() -> Fixture {
+        let cat = RegionCatalog::aws_default();
+        let pricing = PricingCatalog::aws_default(&cat);
+        let mut runtime = LambdaRuntime::aws_default(&cat);
+        runtime.cold_start_prob = 0.0;
+        runtime.exec_sigma = 0.0;
+        let latency = LatencyModel::from_catalog(&cat);
+        let mut carbon = TableSource::new();
+        for (id, spec) in cat.iter() {
+            let v = match spec.name.as_str() {
+                "us-east-1" | "us-east-2" => 380.0,
+                "ca-central-1" => 32.0,
+                _ => 300.0,
+            };
+            carbon.insert(id, CarbonSeries::new(0, vec![v; 24]));
+        }
+        Fixture {
+            cat,
+            pricing,
+            runtime,
+            latency,
+            carbon,
+        }
+    }
+
+    fn chain_workflow(exec_s: f64) -> (caribou_model::WorkflowDag, WorkflowProfile) {
+        let mut wf = Workflow::new("chain", "0.1");
+        let a = wf
+            .serverless_function("A")
+            .exec_time(DistSpec::Constant { value: exec_s })
+            .register();
+        let b = wf
+            .serverless_function("B")
+            .exec_time(DistSpec::Constant { value: exec_s })
+            .register();
+        wf.invoke(a, b, None)
+            .payload(DistSpec::Constant { value: 10_000.0 });
+        wf.set_input(DistSpec::Constant { value: 1000.0 });
+        let (dag, profile, _) = wf.extract().unwrap();
+        (dag, profile)
+    }
+
+    fn estimate(
+        fx: &Fixture,
+        dag: &caribou_model::WorkflowDag,
+        profile: &WorkflowProfile,
+        plan: &DeploymentPlan,
+        seed: u64,
+    ) -> EstimateSummary {
+        let models = DefaultModels {
+            profile,
+            runtime: &fx.runtime,
+            latency: &fx.latency,
+            orchestrator: Orchestrator::Caribou,
+        };
+        let est = MonteCarloEstimator {
+            dag,
+            profile,
+            carbon_source: &fx.carbon,
+            carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+            cost_model: CostModel::new(&fx.pricing),
+            models: &models,
+            home: fx.cat.id_of("us-east-1").unwrap(),
+            config: MonteCarloConfig::default(),
+        };
+        est.estimate(plan, 0.5, &mut Pcg32::seed(seed))
+    }
+
+    #[test]
+    fn chain_latency_close_to_sum_of_stages() {
+        let fx = fixture();
+        let (dag, profile) = chain_workflow(2.0);
+        let home = fx.cat.id_of("us-east-1").unwrap();
+        let plan = DeploymentPlan::uniform(2, home);
+        let s = estimate(&fx, &dag, &profile, &plan, 1);
+        // Two 2 s stages plus small overheads.
+        assert!(
+            (4.0..4.6).contains(&s.latency.mean),
+            "latency {}",
+            s.latency.mean
+        );
+        assert!(s.samples >= 200);
+    }
+
+    #[test]
+    fn offloading_to_clean_region_cuts_carbon() {
+        let fx = fixture();
+        let (dag, profile) = chain_workflow(5.0);
+        let home = fx.cat.id_of("us-east-1").unwrap();
+        let ca = fx.cat.id_of("ca-central-1").unwrap();
+        let home_plan = DeploymentPlan::uniform(2, home);
+        let ca_plan = DeploymentPlan::uniform(2, ca);
+        let s_home = estimate(&fx, &dag, &profile, &home_plan, 2);
+        let s_ca = estimate(&fx, &dag, &profile, &ca_plan, 3);
+        assert!(
+            s_ca.carbon.mean < s_home.carbon.mean * 0.3,
+            "home {} ca {}",
+            s_home.carbon.mean,
+            s_ca.carbon.mean
+        );
+        // But latency grows (cross-region hops).
+        assert!(s_ca.latency.mean > s_home.latency.mean);
+    }
+
+    #[test]
+    fn conditional_edge_reduces_mean_latency() {
+        let fx = fixture();
+        let build = |prob: Option<f64>| {
+            let mut wf = Workflow::new("cond", "0.1");
+            let a = wf
+                .serverless_function("A")
+                .exec_time(DistSpec::Constant { value: 1.0 })
+                .register();
+            let b = wf
+                .serverless_function("B")
+                .exec_time(DistSpec::Constant { value: 4.0 })
+                .register();
+            wf.invoke(a, b, prob);
+            let (dag, profile, _) = wf.extract().unwrap();
+            (dag, profile)
+        };
+        let home = fx.cat.id_of("us-east-1").unwrap();
+        let plan = DeploymentPlan::uniform(2, home);
+        let (dag_always, prof_always) = build(None);
+        let (dag_rare, prof_rare) = build(Some(0.1));
+        let s_always = estimate(&fx, &dag_always, &prof_always, &plan, 4);
+        let s_rare = estimate(&fx, &dag_rare, &prof_rare, &plan, 5);
+        assert!(
+            s_rare.latency.mean < s_always.latency.mean - 2.0,
+            "rare {} always {}",
+            s_rare.latency.mean,
+            s_always.latency.mean
+        );
+        assert!(s_rare.cost.mean < s_always.cost.mean);
+    }
+
+    #[test]
+    fn sync_node_waits_for_slowest_branch() {
+        let fx = fixture();
+        let mut wf = Workflow::new("join", "0.1");
+        let a = wf
+            .serverless_function("A")
+            .exec_time(DistSpec::Constant { value: 0.5 })
+            .register();
+        let fast = wf
+            .serverless_function("Fast")
+            .exec_time(DistSpec::Constant { value: 0.5 })
+            .register();
+        let slow = wf
+            .serverless_function("Slow")
+            .exec_time(DistSpec::Constant { value: 5.0 })
+            .register();
+        let join = wf
+            .serverless_function("Join")
+            .exec_time(DistSpec::Constant { value: 0.5 })
+            .register();
+        wf.invoke(a, fast, None);
+        wf.invoke(a, slow, None);
+        wf.invoke(fast, join, None);
+        wf.invoke(slow, join, None);
+        wf.get_predecessor_data(join);
+        let (dag, profile, _) = wf.extract().unwrap();
+        let home = fx.cat.id_of("us-east-1").unwrap();
+        let plan = DeploymentPlan::uniform(4, home);
+        let s = estimate(&fx, &dag, &profile, &plan, 6);
+        // Critical path = 0.5 + 5.0 + 0.5 plus overheads; the fast branch
+        // must not shorten it.
+        assert!(s.latency.mean > 5.9, "latency {}", s.latency.mean);
+        assert!(s.latency.mean < 6.8, "latency {}", s.latency.mean);
+    }
+
+    #[test]
+    fn transmission_carbon_separated_from_execution() {
+        let fx = fixture();
+        let (dag, profile) = chain_workflow(1.0);
+        let home = fx.cat.id_of("us-east-1").unwrap();
+        let west = fx.cat.id_of("us-west-2").unwrap();
+        let mut plan = DeploymentPlan::uniform(2, home);
+        plan.set(caribou_model::dag::NodeId(1), west);
+        let s = estimate(&fx, &dag, &profile, &plan, 7);
+        assert!(s.exec_carbon_mean > 0.0);
+        assert!(s.trans_carbon_mean > 0.0);
+        assert!(
+            (s.exec_carbon_mean + s.trans_carbon_mean - s.carbon.mean).abs() / s.carbon.mean < 0.05
+        );
+    }
+
+    #[test]
+    fn estimator_is_deterministic_per_seed() {
+        let fx = fixture();
+        let (dag, profile) = chain_workflow(1.0);
+        let plan = DeploymentPlan::uniform(2, fx.cat.id_of("us-east-1").unwrap());
+        let a = estimate(&fx, &dag, &profile, &plan, 42);
+        let b = estimate(&fx, &dag, &profile, &plan, 42);
+        assert_eq!(a.latency.mean, b.latency.mean);
+        assert_eq!(a.carbon.mean, b.carbon.mean);
+    }
+
+    #[test]
+    fn stopping_rule_caps_at_max_samples() {
+        let fx = fixture();
+        let (dag, profile) = chain_workflow(1.0);
+        let plan = DeploymentPlan::uniform(2, fx.cat.id_of("us-east-1").unwrap());
+        let models = DefaultModels {
+            profile: &profile,
+            runtime: &fx.runtime,
+            latency: &fx.latency,
+            orchestrator: Orchestrator::Caribou,
+        };
+        let est = MonteCarloEstimator {
+            dag: &dag,
+            profile: &profile,
+            carbon_source: &fx.carbon,
+            carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+            cost_model: CostModel::new(&fx.pricing),
+            models: &models,
+            home: fx.cat.id_of("us-east-1").unwrap(),
+            config: MonteCarloConfig {
+                batch: 100,
+                max_samples: 300,
+                cv_threshold: 0.0, // never converges
+            },
+        };
+        let s = est.estimate(&plan, 0.5, &mut Pcg32::seed(1));
+        assert_eq!(s.samples, 300);
+    }
+}

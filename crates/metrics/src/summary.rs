@@ -1,0 +1,121 @@
+//! Distribution summaries for end-to-end metric estimation.
+//!
+//! The Monte Carlo estimator reports each metric as a distribution whose
+//! mean is the "average case" used for ordering deployment plans and whose
+//! 95th percentile is the "tail case" used for tolerance checks (§7.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sampled metric distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistSummary {
+    /// Sample mean ("average case").
+    pub mean: f64,
+    /// 95th percentile ("tail case").
+    pub p95: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl DistSummary {
+    /// Builds the summary from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample set.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "no samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        DistSummary {
+            mean,
+            p95: percentile_sorted(&sorted, 0.95),
+            std_dev: var.sqrt(),
+            n,
+        }
+    }
+
+    /// Relative standard error of the sample mean; the Monte Carlo loop
+    /// stops when this drops below its threshold for every metric.
+    pub fn rel_std_error(&self) -> f64 {
+        if self.mean.abs() < 1e-30 {
+            return 0.0;
+        }
+        self.std_dev / (self.mean.abs() * (self.n as f64).sqrt())
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "no samples");
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_samples() {
+        let s = DistSummary::from_samples(&[3.0; 100]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.p95, 3.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.rel_std_error(), 0.0);
+    }
+
+    #[test]
+    fn percentile_of_uniform_grid() {
+        let v: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile_sorted(&v, 0.95), 95.0);
+        assert_eq!(percentile_sorted(&v, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&v, 1.0), 100.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = vec![0.0, 10.0];
+        assert!((percentile_sorted(&v, 0.5) - 5.0).abs() < 1e-12);
+        assert!((percentile_sorted(&v, 0.95) - 9.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rel_std_error_shrinks_with_n() {
+        use caribou_model::rng::Pcg32;
+        let mut rng = Pcg32::seed(1);
+        let small: Vec<f64> = (0..100).map(|_| rng.normal(10.0, 2.0)).collect();
+        let big: Vec<f64> = (0..10_000).map(|_| rng.normal(10.0, 2.0)).collect();
+        let s = DistSummary::from_samples(&small);
+        let b = DistSummary::from_samples(&big);
+        assert!(b.rel_std_error() < s.rel_std_error());
+    }
+
+    #[test]
+    fn p95_above_mean_for_skewed_samples() {
+        use caribou_model::rng::Pcg32;
+        let mut rng = Pcg32::seed(2);
+        let v: Vec<f64> = (0..5000).map(|_| rng.lognormal(0.0, 0.8)).collect();
+        let s = DistSummary::from_samples(&v);
+        assert!(s.p95 > s.mean);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_samples_panic() {
+        DistSummary::from_samples(&[]);
+    }
+}

@@ -1,0 +1,308 @@
+//! Cloud regions, providers, and the region catalog.
+//!
+//! Regions are referred to by compact [`RegionId`] indices everywhere in the
+//! workspace; the [`RegionCatalog`] maps indices to rich [`RegionSpec`]
+//! metadata (provider, location, grid zone). The default catalog contains
+//! the public AWS North American regions studied in the paper plus a few
+//! global regions used by examples and tests.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::ModelError;
+
+/// A cloud service provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Provider {
+    /// Amazon Web Services (the provider the paper evaluates on).
+    Aws,
+    /// Google Cloud Platform.
+    Gcp,
+    /// Microsoft Azure.
+    Azure,
+}
+
+impl fmt::Display for Provider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Provider::Aws => write!(f, "aws"),
+            Provider::Gcp => write!(f, "gcp"),
+            Provider::Azure => write!(f, "azure"),
+        }
+    }
+}
+
+/// A compact index identifying a region within a [`RegionCatalog`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct RegionId(pub u16);
+
+impl RegionId {
+    /// Returns the catalog index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Full metadata for one cloud region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionSpec {
+    /// Provider-scoped region name, e.g. `us-east-1`.
+    pub name: String,
+    /// The provider operating this region.
+    pub provider: Provider,
+    /// ISO country code the datacenter resides in; used for data-residency
+    /// compliance constraints (GDPR/HIPAA/PIPEDA in §2.3).
+    pub country: String,
+    /// Electrical-grid zone identifier (Electricity-Maps-style), e.g.
+    /// `US-MIDA-PJM` or `CA-QC`.
+    pub grid_zone: String,
+    /// Latitude in degrees, used for great-circle latency estimates.
+    pub latitude: f64,
+    /// Longitude in degrees.
+    pub longitude: f64,
+}
+
+/// An ordered collection of regions addressable by [`RegionId`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RegionCatalog {
+    regions: Vec<RegionSpec>,
+}
+
+impl RegionCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the default catalog of AWS public regions used in the paper's
+    /// evaluation plus additional global regions for examples.
+    ///
+    /// The first six entries are the North American regions of Fig. 2; the
+    /// four regions used throughout §9 (`us-east-1`, `us-west-1`,
+    /// `us-west-2`, `ca-central-1`) can be selected via
+    /// [`RegionCatalog::evaluation_regions`].
+    pub fn aws_default() -> Self {
+        let mut cat = Self::new();
+        let rows: [(&str, &str, &str, f64, f64); 10] = [
+            ("us-east-1", "US", "US-MIDA-PJM", 38.95, -77.45),
+            ("us-east-2", "US", "US-MIDA-PJM", 40.0, -83.0),
+            ("us-west-1", "US", "US-CAL-CISO", 37.35, -121.95),
+            ("us-west-2", "US", "US-NW-PACW", 45.85, -119.7),
+            ("ca-central-1", "CA", "CA-QC", 45.5, -73.6),
+            ("ca-west-1", "CA", "CA-AB", 51.05, -114.05),
+            ("eu-west-1", "IE", "IE", 53.35, -6.25),
+            ("eu-central-1", "DE", "DE", 50.1, 8.7),
+            ("ap-southeast-2", "AU", "AU-NSW", -33.85, 151.2),
+            ("sa-east-1", "BR", "BR-CS", -23.55, -46.65),
+        ];
+        for (name, country, grid, lat, lon) in rows {
+            cat.push(RegionSpec {
+                name: name.to_string(),
+                provider: Provider::Aws,
+                country: country.to_string(),
+                grid_zone: grid.to_string(),
+                latitude: lat,
+                longitude: lon,
+            });
+        }
+        cat
+    }
+
+    /// Builds a multi-cloud catalog: the AWS regions of
+    /// [`RegionCatalog::aws_default`] plus a set of GCP regions. Regions of
+    /// different providers on the same electrical grid (e.g. AWS
+    /// `us-west-2` and GCP `us-west1`, both on the Pacific Northwest grid)
+    /// automatically share carbon intensity — the multi-cloud flavour of
+    /// §2.1's observation.
+    pub fn multi_cloud() -> Self {
+        let mut cat = Self::aws_default();
+        let rows: [(&str, &str, &str, f64, f64); 5] = [
+            ("us-central1", "US", "US-MIDW-MISO", 41.3, -95.9),
+            ("us-west1", "US", "US-NW-PACW", 45.6, -121.2),
+            ("northamerica-northeast1", "CA", "CA-QC", 45.5, -73.6),
+            ("europe-west1", "BE", "BE", 50.5, 3.8),
+            ("europe-north1", "FI", "FI", 60.6, 27.1),
+        ];
+        for (name, country, grid, lat, lon) in rows {
+            cat.push(RegionSpec {
+                name: name.to_string(),
+                provider: Provider::Gcp,
+                country: country.to_string(),
+                grid_zone: grid.to_string(),
+                latitude: lat,
+                longitude: lon,
+            });
+        }
+        cat
+    }
+
+    /// Returns the ids of the four regions used in the paper's evaluation
+    /// (§9.1): `us-east-1`, `us-west-1`, `us-west-2`, `ca-central-1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog does not contain all four regions; use on
+    /// [`RegionCatalog::aws_default`].
+    pub fn evaluation_regions(&self) -> Vec<RegionId> {
+        ["us-east-1", "us-west-1", "us-west-2", "ca-central-1"]
+            .iter()
+            .map(|n| self.id_of(n).expect("evaluation region present"))
+            .collect()
+    }
+
+    /// Appends a region and returns its id.
+    pub fn push(&mut self, spec: RegionSpec) -> RegionId {
+        let id = RegionId(self.regions.len() as u16);
+        self.regions.push(spec);
+        id
+    }
+
+    /// Number of regions in the catalog.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Returns the spec for a region id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for this catalog.
+    pub fn spec(&self, id: RegionId) -> &RegionSpec {
+        &self.regions[id.index()]
+    }
+
+    /// Returns the spec for a region id, or `None` when out of range.
+    pub fn get(&self, id: RegionId) -> Option<&RegionSpec> {
+        self.regions.get(id.index())
+    }
+
+    /// Returns the human-readable name of a region id.
+    pub fn name(&self, id: RegionId) -> &str {
+        &self.spec(id).name
+    }
+
+    /// Resolves a region name to its id.
+    pub fn id_of(&self, name: &str) -> Option<RegionId> {
+        self.regions
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| RegionId(i as u16))
+    }
+
+    /// Resolves a region name, returning a [`ModelError`] when unknown.
+    pub fn resolve(&self, name: &str) -> Result<RegionId, ModelError> {
+        self.id_of(name).ok_or_else(|| ModelError::UnknownRegion {
+            name: name.to_string(),
+        })
+    }
+
+    /// Iterates over `(RegionId, &RegionSpec)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RegionId, &RegionSpec)> {
+        self.regions
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (RegionId(i as u16), s))
+    }
+
+    /// Returns every region id in the catalog.
+    pub fn all_ids(&self) -> Vec<RegionId> {
+        (0..self.regions.len())
+            .map(|i| RegionId(i as u16))
+            .collect()
+    }
+
+    /// Great-circle distance in kilometres between two regions.
+    pub fn distance_km(&self, a: RegionId, b: RegionId) -> f64 {
+        let sa = self.spec(a);
+        let sb = self.spec(b);
+        haversine_km(sa.latitude, sa.longitude, sb.latitude, sb.longitude)
+    }
+}
+
+/// Haversine great-circle distance in kilometres.
+pub fn haversine_km(lat1: f64, lon1: f64, lat2: f64, lon2: f64) -> f64 {
+    const R_EARTH_KM: f64 = 6371.0;
+    let (p1, p2) = (lat1.to_radians(), lat2.to_radians());
+    let dp = (lat2 - lat1).to_radians();
+    let dl = (lon2 - lon1).to_radians();
+    let a = (dp / 2.0).sin().powi(2) + p1.cos() * p2.cos() * (dl / 2.0).sin().powi(2);
+    2.0 * R_EARTH_KM * a.sqrt().asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_catalog_contains_paper_regions() {
+        let cat = RegionCatalog::aws_default();
+        for name in [
+            "us-east-1",
+            "us-east-2",
+            "us-west-1",
+            "us-west-2",
+            "ca-central-1",
+        ] {
+            assert!(cat.id_of(name).is_some(), "missing {name}");
+        }
+        assert_eq!(cat.evaluation_regions().len(), 4);
+    }
+
+    #[test]
+    fn resolve_unknown_region_errors() {
+        let cat = RegionCatalog::aws_default();
+        assert!(matches!(
+            cat.resolve("mars-north-1"),
+            Err(ModelError::UnknownRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        let cat = RegionCatalog::aws_default();
+        for (id, spec) in cat.iter() {
+            assert_eq!(cat.id_of(&spec.name), Some(id));
+            assert_eq!(cat.name(id), spec.name);
+        }
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Virginia (us-east-1) to California (us-west-1) is roughly 3,900 km.
+        let cat = RegionCatalog::aws_default();
+        let d = cat.distance_km(
+            cat.id_of("us-east-1").unwrap(),
+            cat.id_of("us-west-1").unwrap(),
+        );
+        assert!((3500.0..4300.0).contains(&d), "distance {d}");
+    }
+
+    #[test]
+    fn haversine_zero_distance() {
+        let cat = RegionCatalog::aws_default();
+        let id = cat.id_of("us-east-1").unwrap();
+        assert!(cat.distance_km(id, id) < 1e-9);
+    }
+
+    #[test]
+    fn compliance_countries_present() {
+        let cat = RegionCatalog::aws_default();
+        let ca = cat.id_of("ca-central-1").unwrap();
+        assert_eq!(cat.spec(ca).country, "CA");
+        let us = cat.id_of("us-east-1").unwrap();
+        assert_eq!(cat.spec(us).country, "US");
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests for the workflow model.
+
+use caribou_model::constraints::{Constraints, RegionFilter};
+use caribou_model::dag::{Edge, NodeId, NodeMeta, WorkflowDag};
+use caribou_model::dist::DistSpec;
+use caribou_model::plan::{DeploymentPlan, HourlyPlans};
+use caribou_model::region::{RegionCatalog, RegionId};
+use caribou_model::rng::Pcg32;
+use proptest::prelude::*;
+
+fn meta(i: usize) -> NodeMeta {
+    NodeMeta {
+        name: format!("n{i}"),
+        source_function: format!("f{i}"),
+    }
+}
+
+/// Random connected DAG with node 0 as the unique start.
+fn random_edges(n: usize, seed: u64) -> Vec<Edge> {
+    let mut rng = Pcg32::seed(seed);
+    let mut edges = Vec::new();
+    for i in 1..n {
+        let parent = rng.next_index(i);
+        edges.push(Edge {
+            from: NodeId(parent as u32),
+            to: NodeId(i as u32),
+            conditional: rng.chance(0.25),
+        });
+        if i >= 2 && rng.chance(0.4) {
+            let extra = rng.next_index(i);
+            if extra != parent {
+                edges.push(Edge {
+                    from: NodeId(extra as u32),
+                    to: NodeId(i as u32),
+                    conditional: false,
+                });
+            }
+        }
+    }
+    edges
+}
+
+proptest! {
+    /// Every randomly generated forward-edge graph validates, has node 0
+    /// as its start, a topological order covering all nodes, and
+    /// consistent in/out edge sets.
+    #[test]
+    fn random_forward_graphs_validate(n in 1usize..20, seed in any::<u64>()) {
+        let edges = random_edges(n, seed);
+        let dag = WorkflowDag::new("p", "0.1", (0..n).map(meta).collect(), edges).unwrap();
+        prop_assert_eq!(dag.start(), NodeId(0));
+        prop_assert_eq!(dag.topo_order().len(), n);
+        // Topological order respects every edge.
+        let pos = |x: NodeId| dag.topo_order().iter().position(|t| *t == x).unwrap();
+        for e in dag.all_edges() {
+            let e = dag.edge(e);
+            prop_assert!(pos(e.from) < pos(e.to));
+        }
+        // in/out edge sets partition the edge list.
+        let total_out: usize = dag.all_nodes().map(|v| dag.out_edges(v).len()).sum();
+        let total_in: usize = dag.all_nodes().map(|v| dag.in_edges(v).len()).sum();
+        prop_assert_eq!(total_out, dag.edge_count());
+        prop_assert_eq!(total_in, dag.edge_count());
+        // Sync nodes are exactly the in-degree > 1 nodes.
+        for v in dag.all_nodes() {
+            prop_assert_eq!(dag.is_sync_node(v), dag.in_edges(v).len() > 1);
+        }
+    }
+
+    /// Adding a back edge to any valid DAG makes it invalid.
+    #[test]
+    fn back_edge_always_rejected(n in 2usize..12, seed in any::<u64>()) {
+        let mut edges = random_edges(n, seed);
+        let mut rng = Pcg32::seed(seed ^ 0xbac);
+        let hi = 1 + rng.next_index(n - 1);
+        let lo = rng.next_index(hi);
+        // hi -> lo reverses a topological relation; combined with the
+        // lo..hi chain this can only produce a cycle or a duplicate.
+        edges.push(Edge {
+            from: NodeId(hi as u32),
+            to: NodeId(lo as u32),
+            conditional: false,
+        });
+        // Ensure there is a path lo -> hi by adding the direct edge if
+        // absent (may duplicate, which is also an error).
+        edges.push(Edge {
+            from: NodeId(lo as u32),
+            to: NodeId(hi as u32),
+            conditional: false,
+        });
+        prop_assert!(WorkflowDag::new("c", "0.1", (0..n).map(meta).collect(), edges).is_err());
+    }
+
+    /// Distribution samples are finite and non-negative for all the
+    /// duration/size distributions used by profiles.
+    #[test]
+    fn dist_samples_non_negative(seed in any::<u64>(), median in 0.001f64..1e6, sigma in 0.0f64..1.0) {
+        let mut rng = Pcg32::seed(seed);
+        for spec in [
+            DistSpec::Constant { value: median },
+            DistSpec::Uniform { lo: 0.0, hi: median },
+            DistSpec::Normal { mean: median, std_dev: median * sigma },
+            DistSpec::LogNormal { median, sigma },
+        ] {
+            spec.validate().unwrap();
+            for _ in 0..32 {
+                let x = spec.sample(&mut rng);
+                prop_assert!(x.is_finite() && x >= 0.0, "{spec:?} -> {x}");
+            }
+        }
+    }
+
+    /// `scaled` multiplies means exactly.
+    #[test]
+    fn dist_scaling_is_linear(median in 0.01f64..1e4, factor in 0.01f64..100.0) {
+        let spec = DistSpec::LogNormal { median, sigma: 0.3 };
+        let scaled = spec.scaled(factor);
+        prop_assert!((scaled.mean() - spec.mean() * factor).abs() / (spec.mean() * factor) < 1e-12);
+    }
+
+    /// Region filters: the permitted set is always a subset of the
+    /// universe plus the home region, and home is always present.
+    #[test]
+    fn permitted_regions_invariants(n in 1usize..6, seed in any::<u64>()) {
+        let cat = RegionCatalog::aws_default();
+        let edges = random_edges(n, seed);
+        let dag = WorkflowDag::new("p", "0.1", (0..n).map(meta).collect(), edges).unwrap();
+        let mut rng = Pcg32::seed(seed ^ 0xf117);
+        let universe: Vec<RegionId> = cat
+            .all_ids()
+            .into_iter()
+            .filter(|_| rng.chance(0.6))
+            .collect();
+        let home = RegionId(rng.next_bounded(cat.len() as u32) as u16);
+        let mut constraints = Constraints::unconstrained(n);
+        if rng.chance(0.5) {
+            constraints.workflow = RegionFilter::countries(["US"]);
+        }
+        for slot in constraints.per_node.iter_mut() {
+            if rng.chance(0.3) {
+                *slot = Some(RegionFilter::countries(["CA"]));
+            }
+        }
+        let permitted = constraints.permitted_regions(&dag, &universe, &cat, home).unwrap();
+        for set in &permitted {
+            prop_assert!(set.contains(&home));
+            for r in set {
+                prop_assert!(universe.contains(r) || *r == home);
+            }
+            // Sorted and deduplicated.
+            for w in set.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    /// Hourly plan sets: `regions_used` covers exactly the union of the
+    /// per-hour plans' regions.
+    #[test]
+    fn hourly_plans_regions_used_is_union(seed in any::<u64>()) {
+        let mut rng = Pcg32::seed(seed);
+        let plans: Vec<DeploymentPlan> = (0..24)
+            .map(|_| {
+                DeploymentPlan::new(
+                    (0..3).map(|_| RegionId(rng.next_bounded(5) as u16)).collect(),
+                )
+            })
+            .collect();
+        let hp = HourlyPlans::hourly(plans.clone(), 0.0, 1.0);
+        let mut expected: Vec<RegionId> =
+            plans.iter().flat_map(|p| p.regions_used()).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(hp.regions_used(), expected);
+    }
+}

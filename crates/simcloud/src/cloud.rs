@@ -1,0 +1,135 @@
+//! The [`SimCloud`] façade bundling every simulated service.
+
+use caribou_model::region::{RegionCatalog, RegionId};
+use caribou_model::rng::Pcg32;
+
+use crate::blob::BlobStore;
+use crate::clock::SimClock;
+use crate::compute::LambdaRuntime;
+use crate::faults::FaultPlan;
+use crate::iam::Iam;
+use crate::kv::KvStore;
+use crate::latency::LatencyModel;
+use crate::meter::UsageMeter;
+use crate::pricing::PricingCatalog;
+use crate::pubsub::PubSub;
+use crate::registry::ContainerRegistry;
+use crate::warm::WarmPool;
+
+/// The simulated multi-region cloud: one value owning every service, the
+/// virtual clock, and a master RNG from which subsystems fork their own
+/// deterministic streams.
+#[derive(Debug)]
+pub struct SimCloud {
+    /// Region catalog.
+    pub regions: RegionCatalog,
+    /// Inter-region latency/bandwidth model.
+    pub latency: LatencyModel,
+    /// Pricing catalog.
+    pub pricing: PricingCatalog,
+    /// Lambda-like compute model.
+    pub compute: LambdaRuntime,
+    /// SNS-like pub/sub.
+    pub pubsub: PubSub,
+    /// DynamoDB-like key-value store.
+    pub kv: KvStore,
+    /// ECR-like container registry.
+    pub registry: ContainerRegistry,
+    /// S3-like object storage for large intermediate payloads.
+    pub blob: BlobStore,
+    /// Warm-container pool (disabled by default: probabilistic cold
+    /// starts apply).
+    pub warm: WarmPool,
+    /// IAM role store.
+    pub iam: Iam,
+    /// Fault-injection plan.
+    pub faults: FaultPlan,
+    /// Framework-level usage meter (workflow executions meter separately).
+    pub meter: UsageMeter,
+    /// Virtual clock.
+    pub clock: SimClock,
+    /// Master RNG; fork sub-streams rather than drawing directly where a
+    /// stable stream per subsystem matters.
+    pub rng: Pcg32,
+}
+
+impl SimCloud {
+    /// Creates a cloud over the default AWS catalog with the given master
+    /// seed.
+    pub fn aws(seed: u64) -> Self {
+        let regions = RegionCatalog::aws_default();
+        Self::with_catalog(regions, seed)
+    }
+
+    /// Creates a cloud over a custom catalog.
+    pub fn with_catalog(regions: RegionCatalog, seed: u64) -> Self {
+        let latency = LatencyModel::from_catalog(&regions);
+        let pricing = PricingCatalog::aws_default(&regions);
+        let compute = LambdaRuntime::aws_default(&regions);
+        SimCloud {
+            latency,
+            pricing,
+            compute,
+            pubsub: PubSub::new(),
+            kv: KvStore::new(),
+            registry: ContainerRegistry::new(),
+            blob: BlobStore::new(),
+            warm: WarmPool::new(),
+            iam: Iam::new(),
+            faults: FaultPlan::none(),
+            meter: UsageMeter::new(),
+            clock: SimClock::new(),
+            rng: Pcg32::seed_stream(seed, 0x5eed),
+            regions,
+        }
+    }
+
+    /// Installs a fault plan, propagating the message-drop probability to
+    /// the pub/sub service.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.pubsub.drop_probability = plan.message_drop_prob;
+        self.faults = plan;
+    }
+
+    /// Resolves a region name.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the name is unknown; experiment setup code uses this
+    /// for fixed, known-good names.
+    pub fn region(&self, name: &str) -> RegionId {
+        self.regions.resolve(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aws_cloud_constructs_consistently() {
+        let cloud = SimCloud::aws(42);
+        assert!(cloud.regions.len() >= 6);
+        let east = cloud.region("us-east-1");
+        let west = cloud.region("us-west-1");
+        assert!(cloud.latency.rtt(east, west) > 0.02);
+        assert!(cloud.pricing.region(east).lambda_gb_second > 0.0);
+    }
+
+    #[test]
+    fn fault_plan_propagates_drop_probability() {
+        let mut cloud = SimCloud::aws(1);
+        cloud.set_faults(FaultPlan {
+            message_drop_prob: 0.25,
+            ..FaultPlan::none()
+        });
+        assert_eq!(cloud.pubsub.drop_probability, 0.25);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_region_panics() {
+        let cloud = SimCloud::aws(1);
+        cloud.region("atlantis-1");
+    }
+}

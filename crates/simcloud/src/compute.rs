@@ -1,0 +1,243 @@
+//! Lambda-like function execution.
+//!
+//! Models the pieces of AWS Lambda that the paper's metrics pipeline
+//! observes: the memory→vCPU allocation rule (`n_vcpu = mem / 1769`, §7.1),
+//! billed duration, `cpu_total_time` (the Lambda-Insights counter feeding
+//! the utilization-based power model, Eq. 7.3), per-region performance
+//! factors (§7.1: execution time distributions differ per region), and
+//! cold starts.
+
+use caribou_model::dist::DistSpec;
+use caribou_model::region::{RegionCatalog, RegionId};
+use caribou_model::rng::Pcg32;
+
+/// Memory (MB) granting one full vCPU on AWS Lambda.
+pub const MB_PER_VCPU: f64 = 1769.0;
+
+/// Outcome of one simulated function execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionRecord {
+    /// Wall-clock duration in seconds (billed duration).
+    pub duration_s: f64,
+    /// Total CPU time across all vCPUs, seconds (Lambda Insights
+    /// `cpu_total_time`).
+    pub cpu_total_time_s: f64,
+    /// Configured memory in MB.
+    pub memory_mb: u32,
+    /// Whether this execution paid a cold start.
+    pub cold_start: bool,
+    /// Cold-start penalty included in `duration_s`, seconds.
+    pub cold_start_s: f64,
+}
+
+impl ExecutionRecord {
+    /// The vCPU allocation for this execution.
+    pub fn vcpus(&self) -> f64 {
+        vcpus(self.memory_mb)
+    }
+
+    /// Average CPU utilization over the execution (Eq. 7.3 numerator over
+    /// `t × n_vcpu`).
+    pub fn avg_utilization(&self) -> f64 {
+        if self.duration_s <= 0.0 {
+            return 0.0;
+        }
+        (self.cpu_total_time_s / (self.duration_s * self.vcpus())).clamp(0.0, 1.0)
+    }
+}
+
+/// vCPU allocation for a memory size (`mem / 1769`, fractional below
+/// 1769 MB, as on AWS Lambda).
+pub fn vcpus(memory_mb: u32) -> f64 {
+    memory_mb as f64 / MB_PER_VCPU
+}
+
+/// Per-region execution performance model.
+#[derive(Debug, Clone)]
+pub struct LambdaRuntime {
+    /// Multiplier on reference execution time per region; >1 is slower.
+    perf_factor: Vec<f64>,
+    /// Run-to-run multiplicative execution noise (log-space sigma).
+    pub exec_sigma: f64,
+    /// Cold-start duration distribution, seconds.
+    pub cold_start: DistSpec,
+    /// Probability an invocation is a cold start (the simulator does not
+    /// track per-container warm pools; the paper's workloads are frequent
+    /// enough that cold starts are rare).
+    pub cold_start_prob: f64,
+}
+
+impl LambdaRuntime {
+    /// Builds the runtime with the default per-region performance factors.
+    ///
+    /// Factors reflect the observation (§7.1, and the "Night Shift" study
+    /// the paper cites) that the same function runs a few percent faster or
+    /// slower in different regions.
+    pub fn aws_default(catalog: &RegionCatalog) -> Self {
+        let perf_factor = catalog
+            .iter()
+            .map(|(_, spec)| match spec.name.as_str() {
+                "us-east-1" => 1.00,
+                "us-east-2" => 0.99,
+                "us-west-1" => 1.03,
+                "us-west-2" => 1.01,
+                "ca-central-1" => 1.02,
+                "ca-west-1" => 1.04,
+                _ => 1.05,
+            })
+            .collect();
+        LambdaRuntime {
+            perf_factor,
+            exec_sigma: 0.06,
+            cold_start: DistSpec::LogNormal {
+                median: 0.35,
+                sigma: 0.35,
+            },
+            cold_start_prob: 0.02,
+        }
+    }
+
+    /// The performance factor of a region.
+    pub fn perf_factor(&self, region: RegionId) -> f64 {
+        self.perf_factor[region.index()]
+    }
+
+    /// Overrides a region's performance factor.
+    pub fn set_perf_factor(&mut self, region: RegionId, factor: f64) {
+        self.perf_factor[region.index()] = factor;
+    }
+
+    /// Simulates one execution of a function stage.
+    ///
+    /// `ref_exec` is the execution-time distribution on reference
+    /// (us-east-1) hardware; `cpu_utilization` the stage's average CPU
+    /// utilization. Cold starts are sampled probabilistically; use
+    /// [`LambdaRuntime::execute_forced`] when a warm-pool model decides
+    /// coldness. Determinism: all randomness comes from `rng`.
+    pub fn execute(
+        &self,
+        region: RegionId,
+        ref_exec: &DistSpec,
+        memory_mb: u32,
+        cpu_utilization: f64,
+        rng: &mut Pcg32,
+    ) -> ExecutionRecord {
+        let cold = rng.chance(self.cold_start_prob);
+        self.execute_forced(region, ref_exec, memory_mb, cpu_utilization, cold, rng)
+    }
+
+    /// Simulates one execution with an externally decided cold-start flag
+    /// (driven by the stateful [`crate::warm::WarmPool`]).
+    pub fn execute_forced(
+        &self,
+        region: RegionId,
+        ref_exec: &DistSpec,
+        memory_mb: u32,
+        cpu_utilization: f64,
+        cold: bool,
+        rng: &mut Pcg32,
+    ) -> ExecutionRecord {
+        let base = ref_exec.sample(rng).max(0.0);
+        let noise = rng.lognormal(0.0, self.exec_sigma);
+        let compute_s = base * self.perf_factor(region) * noise;
+        let cold_s = if cold {
+            self.cold_start.sample(rng).max(0.0)
+        } else {
+            0.0
+        };
+        let duration = compute_s + cold_s;
+        let cpu_total = compute_s * vcpus(memory_mb) * cpu_utilization.clamp(0.0, 1.0);
+        ExecutionRecord {
+            duration_s: duration,
+            cpu_total_time_s: cpu_total,
+            memory_mb,
+            cold_start: cold,
+            cold_start_s: cold_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runtime() -> (RegionCatalog, LambdaRuntime) {
+        let cat = RegionCatalog::aws_default();
+        let rt = LambdaRuntime::aws_default(&cat);
+        (cat, rt)
+    }
+
+    #[test]
+    fn vcpu_rule_matches_paper() {
+        assert!((vcpus(1769) - 1.0).abs() < 1e-12);
+        assert!((vcpus(3538) - 2.0).abs() < 1e-12);
+        assert!(vcpus(512) < 0.3);
+    }
+
+    #[test]
+    fn execution_duration_tracks_reference() {
+        let (cat, rt) = runtime();
+        let r = cat.id_of("us-east-1").unwrap();
+        let spec = DistSpec::Constant { value: 2.0 };
+        let mut rng = Pcg32::seed(1);
+        let n = 5000;
+        let mean: f64 = (0..n)
+            .map(|_| rt.execute(r, &spec, 1769, 0.7, &mut rng).duration_s)
+            .sum::<f64>()
+            / n as f64;
+        // Mean should sit near 2 s; cold starts and jitter add a little.
+        assert!((1.95..2.15).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn utilization_recovered_from_cpu_total_time() {
+        let (cat, mut rt) = runtime();
+        rt.cold_start_prob = 0.0;
+        rt.exec_sigma = 0.0;
+        let r = cat.id_of("us-east-1").unwrap();
+        let spec = DistSpec::Constant { value: 3.0 };
+        let mut rng = Pcg32::seed(2);
+        let rec = rt.execute(r, &spec, 1769, 0.6, &mut rng);
+        assert!((rec.avg_utilization() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slower_region_runs_longer() {
+        let (cat, mut rt) = runtime();
+        rt.cold_start_prob = 0.0;
+        rt.exec_sigma = 0.0;
+        let east = cat.id_of("us-east-1").unwrap();
+        let west1 = cat.id_of("us-west-1").unwrap();
+        let spec = DistSpec::Constant { value: 1.0 };
+        let mut rng = Pcg32::seed(3);
+        let a = rt.execute(east, &spec, 1024, 0.7, &mut rng).duration_s;
+        let b = rt.execute(west1, &spec, 1024, 0.7, &mut rng).duration_s;
+        assert!(b > a);
+    }
+
+    #[test]
+    fn cold_start_adds_latency() {
+        let (cat, mut rt) = runtime();
+        rt.cold_start_prob = 1.0;
+        let r = cat.id_of("us-east-1").unwrap();
+        let spec = DistSpec::Constant { value: 1.0 };
+        let mut rng = Pcg32::seed(4);
+        let rec = rt.execute(r, &spec, 1024, 0.7, &mut rng);
+        assert!(rec.cold_start);
+        assert!(rec.cold_start_s > 0.0);
+        assert!(rec.duration_s > 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (cat, rt) = runtime();
+        let r = cat.id_of("us-west-2").unwrap();
+        let spec = DistSpec::LogNormal {
+            median: 1.5,
+            sigma: 0.2,
+        };
+        let a = rt.execute(r, &spec, 1024, 0.7, &mut Pcg32::seed(9));
+        let b = rt.execute(r, &spec, 1024, 0.7, &mut Pcg32::seed(9));
+        assert_eq!(a, b);
+    }
+}

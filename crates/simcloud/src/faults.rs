@@ -1,0 +1,101 @@
+//! Fault injection for resilience testing.
+//!
+//! The paper's Migrator "catches potential issues with deployment,
+//! including region unavailability due to increased traffic" and falls
+//! back to the home region (§6.1). The fault plan lets tests and
+//! experiments inject exactly those conditions deterministically.
+
+use caribou_model::region::RegionId;
+use caribou_model::rng::Pcg32;
+
+use crate::clock::SimTime;
+
+/// A scheduled region outage window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionOutage {
+    /// Affected region.
+    pub region: RegionId,
+    /// Outage start (inclusive), simulation seconds.
+    pub start: SimTime,
+    /// Outage end (exclusive), simulation seconds.
+    pub end: SimTime,
+}
+
+/// The fault-injection plan for a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Scheduled full-region outages.
+    pub outages: Vec<RegionOutage>,
+    /// Probability any single function re-deployment attempt fails.
+    pub deploy_failure_prob: f64,
+    /// Probability any single pub/sub delivery attempt is lost.
+    pub message_drop_prob: f64,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds an outage window.
+    pub fn with_outage(mut self, region: RegionId, start: SimTime, end: SimTime) -> Self {
+        assert!(end > start, "outage window must be non-empty");
+        self.outages.push(RegionOutage { region, start, end });
+        self
+    }
+
+    /// Whether `region` is down at time `t`.
+    pub fn region_down(&self, region: RegionId, t: SimTime) -> bool {
+        self.outages
+            .iter()
+            .any(|o| o.region == region && t >= o.start && t < o.end)
+    }
+
+    /// Samples whether a deployment attempt fails.
+    pub fn deploy_fails(&self, region: RegionId, t: SimTime, rng: &mut Pcg32) -> bool {
+        self.region_down(region, t) || rng.chance(self.deploy_failure_prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outage_window_is_half_open() {
+        let plan = FaultPlan::none().with_outage(RegionId(1), 10.0, 20.0);
+        assert!(!plan.region_down(RegionId(1), 9.9));
+        assert!(plan.region_down(RegionId(1), 10.0));
+        assert!(plan.region_down(RegionId(1), 19.9));
+        assert!(!plan.region_down(RegionId(1), 20.0));
+        assert!(!plan.region_down(RegionId(0), 15.0));
+    }
+
+    #[test]
+    fn deploy_fails_during_outage() {
+        let plan = FaultPlan::none().with_outage(RegionId(2), 0.0, 100.0);
+        let mut rng = Pcg32::seed(1);
+        assert!(plan.deploy_fails(RegionId(2), 50.0, &mut rng));
+        assert!(!plan.deploy_fails(RegionId(2), 150.0, &mut rng));
+    }
+
+    #[test]
+    fn probabilistic_deploy_failure() {
+        let plan = FaultPlan {
+            deploy_failure_prob: 0.5,
+            ..FaultPlan::none()
+        };
+        let mut rng = Pcg32::seed(2);
+        let fails = (0..1000)
+            .filter(|_| plan.deploy_fails(RegionId(0), 0.0, &mut rng))
+            .count();
+        assert!((400..600).contains(&fails), "fails {fails}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_outage_window_rejected() {
+        FaultPlan::none().with_outage(RegionId(0), 5.0, 5.0);
+    }
+}

@@ -1,0 +1,323 @@
+//! A DynamoDB-like distributed key-value store.
+//!
+//! Caribou's components interact asynchronously through a distributed KV
+//! store (§3): deployment plans, workflow metadata, intermediate data, and
+//! the synchronization-node annotations all live here. The store supports
+//! the atomic read-modify-write the synchronization protocol of §4
+//! requires ("the predecessor invocation is required to atomically update
+//! an annotation").
+//!
+//! Each table is homed in a region; accesses from other regions pay the
+//! inter-region round trip. Operation counts are tracked per region for
+//! billing (the paper explicitly accounts for "additional DynamoDB
+//! accesses introduced by Caribou", §7.1).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use caribou_model::region::RegionId;
+use caribou_model::rng::Pcg32;
+
+use crate::latency::LatencyModel;
+
+/// Base service-side latency of one KV operation, seconds.
+const KV_OP_BASE_S: f64 = 0.004;
+
+/// Result of a KV access: the value (for reads) and the latency paid.
+#[derive(Debug, Clone)]
+pub struct KvAccess {
+    /// Value returned by a read; `None` for writes or missing keys.
+    pub value: Option<Bytes>,
+    /// End-to-end latency of the operation in seconds.
+    pub latency_s: f64,
+}
+
+/// Operation counters per region, for billing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvOpCounts {
+    /// Number of read operations served.
+    pub reads: u64,
+    /// Number of write operations served (atomic updates count as one
+    /// write and one read).
+    pub writes: u64,
+}
+
+/// The distributed key-value store.
+#[derive(Debug, Default)]
+pub struct KvStore {
+    /// `(table, key) → value`; tables are homed per [`KvStore::create_table`].
+    data: HashMap<(String, String), Bytes>,
+    /// Table → home region.
+    table_home: HashMap<String, RegionId>,
+    /// Per-region operation counts.
+    ops: HashMap<RegionId, KvOpCounts>,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates (or re-homes) a table in `home` region.
+    pub fn create_table(&mut self, table: impl Into<String>, home: RegionId) {
+        self.table_home.insert(table.into(), home);
+    }
+
+    /// Home region of a table; defaults to the accessing region when the
+    /// table was never explicitly created (DynamoDB global-table style
+    /// local replica).
+    pub fn table_home(&self, table: &str, fallback: RegionId) -> RegionId {
+        self.table_home.get(table).copied().unwrap_or(fallback)
+    }
+
+    fn op_latency(
+        &self,
+        table: &str,
+        from: RegionId,
+        latency: &LatencyModel,
+        bytes: f64,
+        rng: &mut Pcg32,
+    ) -> f64 {
+        let home = self.table_home(table, from);
+        let net = if home == from {
+            latency.sample_transfer_seconds(from, home, bytes, rng)
+        } else {
+            // Request + response cross the inter-region link.
+            latency.sample_transfer_seconds(from, home, bytes, rng)
+                + latency.sample_transfer_seconds(home, from, 256.0, rng)
+        };
+        KV_OP_BASE_S + net
+    }
+
+    fn count(&mut self, table: &str, from: RegionId, reads: u64, writes: u64) {
+        let home = self.table_home(table, from);
+        let c = self.ops.entry(home).or_default();
+        c.reads += reads;
+        c.writes += writes;
+    }
+
+    /// Reads a key.
+    pub fn get(
+        &mut self,
+        table: &str,
+        key: &str,
+        from: RegionId,
+        latency: &LatencyModel,
+        rng: &mut Pcg32,
+    ) -> KvAccess {
+        let value = self
+            .data
+            .get(&(table.to_string(), key.to_string()))
+            .cloned();
+        let size = value.as_ref().map(|v| v.len() as f64).unwrap_or(128.0);
+        let latency_s = self.op_latency(table, from, latency, size, rng);
+        self.count(table, from, 1, 0);
+        KvAccess { value, latency_s }
+    }
+
+    /// Writes a key.
+    pub fn put(
+        &mut self,
+        table: &str,
+        key: &str,
+        value: Bytes,
+        from: RegionId,
+        latency: &LatencyModel,
+        rng: &mut Pcg32,
+    ) -> KvAccess {
+        let latency_s = self.op_latency(table, from, latency, value.len() as f64, rng);
+        self.data
+            .insert((table.to_string(), key.to_string()), value);
+        self.count(table, from, 0, 1);
+        KvAccess {
+            value: None,
+            latency_s,
+        }
+    }
+
+    /// Deletes a key, returning whether it existed.
+    pub fn delete(&mut self, table: &str, key: &str, from: RegionId) -> bool {
+        self.count(table, from, 0, 1);
+        self.data
+            .remove(&(table.to_string(), key.to_string()))
+            .is_some()
+    }
+
+    /// Atomically transforms the value under a key, returning the
+    /// transformed value. This is the primitive behind the
+    /// synchronization-node annotation update of §4: the transform is
+    /// applied under the store's (simulated) single-writer serialization,
+    /// so concurrent predecessors observe a linearizable history.
+    pub fn atomic_update(
+        &mut self,
+        table: &str,
+        key: &str,
+        from: RegionId,
+        latency: &LatencyModel,
+        rng: &mut Pcg32,
+        f: impl FnOnce(Option<&Bytes>) -> Bytes,
+    ) -> KvAccess {
+        let entry_key = (table.to_string(), key.to_string());
+        let new = f(self.data.get(&entry_key));
+        let size = new.len() as f64;
+        self.data.insert(entry_key, new.clone());
+        let latency_s = self.op_latency(table, from, latency, size, rng);
+        self.count(table, from, 1, 1);
+        KvAccess {
+            value: Some(new),
+            latency_s,
+        }
+    }
+
+    /// Conditional put: writes only when the key is absent, returning
+    /// whether the write happened (DynamoDB `attribute_not_exists`).
+    pub fn put_if_absent(&mut self, table: &str, key: &str, value: Bytes, from: RegionId) -> bool {
+        self.count(table, from, 1, 1);
+        let entry_key = (table.to_string(), key.to_string());
+        if let std::collections::hash_map::Entry::Vacant(e) = self.data.entry(entry_key) {
+            e.insert(value);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Read without latency/billing simulation (framework-internal
+    /// bookkeeping reads that the paper does not charge to workflows).
+    pub fn peek(&self, table: &str, key: &str) -> Option<&Bytes> {
+        self.data.get(&(table.to_string(), key.to_string()))
+    }
+
+    /// Operation counters for a region's tables.
+    pub fn ops(&self, region: RegionId) -> KvOpCounts {
+        self.ops.get(&region).copied().unwrap_or_default()
+    }
+
+    /// Total operation counters across regions.
+    pub fn total_ops(&self) -> KvOpCounts {
+        self.ops.values().fold(KvOpCounts::default(), |mut acc, c| {
+            acc.reads += c.reads;
+            acc.writes += c.writes;
+            acc
+        })
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caribou_model::region::RegionCatalog;
+
+    fn setup() -> (RegionCatalog, LatencyModel, KvStore, Pcg32) {
+        let cat = RegionCatalog::aws_default();
+        let lm = LatencyModel::from_catalog(&cat);
+        (cat, lm, KvStore::new(), Pcg32::seed(1))
+    }
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let (cat, lm, mut kv, mut rng) = setup();
+        let r = cat.id_of("us-east-1").unwrap();
+        kv.create_table("meta", r);
+        kv.put("meta", "k", Bytes::from_static(b"v"), r, &lm, &mut rng);
+        let got = kv.get("meta", "k", r, &lm, &mut rng);
+        assert_eq!(got.value.as_deref(), Some(b"v".as_slice()));
+        assert!(got.latency_s > 0.0);
+    }
+
+    #[test]
+    fn remote_access_slower_than_local() {
+        let (cat, lm, mut kv, mut rng) = setup();
+        let east = cat.id_of("us-east-1").unwrap();
+        let west = cat.id_of("us-west-1").unwrap();
+        kv.create_table("meta", east);
+        kv.put("meta", "k", Bytes::from_static(b"v"), east, &lm, &mut rng);
+        let mut local = 0.0;
+        let mut remote = 0.0;
+        for _ in 0..200 {
+            local += kv.get("meta", "k", east, &lm, &mut rng).latency_s;
+            remote += kv.get("meta", "k", west, &lm, &mut rng).latency_s;
+        }
+        assert!(remote > local * 2.0, "local {local} remote {remote}");
+    }
+
+    #[test]
+    fn atomic_update_applies_serially() {
+        let (cat, lm, mut kv, mut rng) = setup();
+        let r = cat.id_of("us-east-1").unwrap();
+        kv.create_table("ann", r);
+        for _ in 0..10 {
+            kv.atomic_update("ann", "counter", r, &lm, &mut rng, |prev| {
+                let n = prev
+                    .map(|b| String::from_utf8_lossy(b).parse::<u64>().unwrap())
+                    .unwrap_or(0);
+                Bytes::from((n + 1).to_string())
+            });
+        }
+        let v = kv.peek("ann", "counter").unwrap();
+        assert_eq!(String::from_utf8_lossy(v), "10");
+    }
+
+    #[test]
+    fn put_if_absent_only_first_wins() {
+        let (cat, _lm, mut kv, _rng) = setup();
+        let r = cat.id_of("us-east-1").unwrap();
+        assert!(kv.put_if_absent("t", "k", Bytes::from_static(b"a"), r));
+        assert!(!kv.put_if_absent("t", "k", Bytes::from_static(b"b"), r));
+        assert_eq!(kv.peek("t", "k").unwrap().as_ref(), b"a");
+    }
+
+    #[test]
+    fn op_counts_accumulate_at_table_home() {
+        let (cat, lm, mut kv, mut rng) = setup();
+        let east = cat.id_of("us-east-1").unwrap();
+        let west = cat.id_of("us-west-1").unwrap();
+        kv.create_table("meta", east);
+        kv.put("meta", "k", Bytes::from_static(b"v"), west, &lm, &mut rng);
+        kv.get("meta", "k", west, &lm, &mut rng);
+        let ops = kv.ops(east);
+        assert_eq!(ops.reads, 1);
+        assert_eq!(ops.writes, 1);
+        assert_eq!(kv.ops(west), KvOpCounts::default());
+    }
+
+    #[test]
+    fn delete_removes_key() {
+        let (cat, lm, mut kv, mut rng) = setup();
+        let r = cat.id_of("us-east-1").unwrap();
+        kv.put("t", "k", Bytes::from_static(b"v"), r, &lm, &mut rng);
+        assert!(kv.delete("t", "k", r));
+        assert!(!kv.delete("t", "k", r));
+        assert!(kv.get("t", "k", r, &lm, &mut rng).value.is_none());
+    }
+
+    #[test]
+    fn uncreated_table_homes_at_accessor() {
+        let (cat, lm, mut kv, mut rng) = setup();
+        let west = cat.id_of("us-west-1").unwrap();
+        assert_eq!(kv.table_home("ghost", west), west);
+        // Accesses bill at the accessor's region when no home was set.
+        kv.put("ghost", "k", Bytes::from_static(b"v"), west, &lm, &mut rng);
+        assert_eq!(kv.ops(west).writes, 1);
+    }
+
+    #[test]
+    fn missing_key_read_returns_none_with_latency() {
+        let (cat, lm, mut kv, mut rng) = setup();
+        let r = cat.id_of("us-east-1").unwrap();
+        let got = kv.get("t", "nope", r, &lm, &mut rng);
+        assert!(got.value.is_none());
+        assert!(got.latency_s > 0.0);
+    }
+}

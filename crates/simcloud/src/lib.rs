@@ -1,0 +1,55 @@
+//! A deterministic, discrete-event simulated multi-region serverless cloud.
+//!
+//! This crate is the stand-in for the AWS substrate the paper runs on. It
+//! models exactly the services Caribou touches, with the same interfaces
+//! and cost structure:
+//!
+//! * [`clock`] — virtual time and a generic discrete-event queue;
+//! * [`latency`] — a CloudPing-calibrated inter-region latency and
+//!   bandwidth model;
+//! * [`pricing`] — an AWS-price-list-calibrated catalog (Lambda GB-s,
+//!   per-request fees, SNS, DynamoDB, tiered inter-region egress);
+//! * [`compute`] — Lambda-like function execution (memory→vCPU allocation,
+//!   region performance factors, cold starts, `cpu_total_time` accounting
+//!   for the utilization-based power model);
+//! * [`pubsub`] — SNS-like topics with publish latency, at-least-once
+//!   delivery, and ack-based retries;
+//! * [`kv`] — a DynamoDB-like distributed key-value store with atomic
+//!   read-modify-write, as required by the synchronization-node protocol;
+//! * [`blob`] — S3-like regional object storage for intermediate payloads
+//!   above the KV item limit;
+//! * [`warm`] — a stateful warm-container pool making cold starts a
+//!   function of traffic (fresh offload regions start cold);
+//! * [`registry`] — an ECR-like container registry with crane-style
+//!   cross-region image copies;
+//! * [`iam`] — per-region role management;
+//! * [`faults`] — fault injection (region outages, deployment failures,
+//!   message drops);
+//! * [`meter`] — usage metering and billing;
+//! * [`orchestration`] — transition-overhead models for Step-Functions-,
+//!   SNS-, and Caribou-style orchestration (§9.6);
+//! * [`cloud`] — the [`cloud::SimCloud`] façade bundling everything.
+//!
+//! All randomness flows through explicitly seeded [`caribou_model::Pcg32`]
+//! generators, making every simulation bit-reproducible.
+
+pub mod blob;
+pub mod clock;
+pub mod cloud;
+pub mod compute;
+pub mod faults;
+pub mod iam;
+pub mod kv;
+pub mod latency;
+pub mod meter;
+pub mod orchestration;
+pub mod pricing;
+pub mod pubsub;
+pub mod registry;
+pub mod warm;
+
+pub use cloud::SimCloud;
+pub use compute::{ExecutionRecord, LambdaRuntime};
+pub use latency::LatencyModel;
+pub use meter::UsageMeter;
+pub use pricing::PricingCatalog;

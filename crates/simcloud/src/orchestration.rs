@@ -1,0 +1,121 @@
+//! Orchestration-overhead models (§9.6).
+//!
+//! The paper compares three ways to chain serverless functions: AWS Step
+//! Functions (first-party, proprietary fast transitions), raw SNS
+//! messaging (the channel Caribou builds on), and Caribou's wrapper (SNS
+//! plus deployment-plan bookkeeping). Each variant charges a per-transition
+//! overhead on top of message delivery, plus a per-invocation setup
+//! overhead; Caribou's extra work is the DP fetch at workflow entry and
+//! the location/plan piggybacking at each hop.
+
+use caribou_model::rng::Pcg32;
+use serde::{Deserialize, Serialize};
+
+/// The orchestration mechanism chaining workflow stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Orchestrator {
+    /// AWS Step Functions: fastest transitions, single-region only.
+    StepFunctions,
+    /// Raw SNS chaining: the baseline channel, no synchronization support
+    /// by itself.
+    Sns,
+    /// Caribou's wrapper over SNS: cross-region routing, synchronization,
+    /// and plan piggybacking.
+    Caribou,
+}
+
+impl Orchestrator {
+    /// Median per-transition service overhead in seconds, excluding
+    /// payload transfer (which the pub/sub and latency models charge).
+    ///
+    /// Calibrated so the relative gaps of Fig. 12 reproduce: Step Functions
+    /// beats SNS by ~12.8% on small inputs, and Caribou adds <1% (geomean)
+    /// over SNS.
+    pub fn transition_overhead_median_s(self) -> f64 {
+        match self {
+            Orchestrator::StepFunctions => 0.010,
+            Orchestrator::Sns => 0.045,
+            Orchestrator::Caribou => 0.047,
+        }
+    }
+
+    /// Per-invocation setup overhead in seconds: Caribou's entry wrapper
+    /// fetches the active deployment plan from the KV store once.
+    pub fn invocation_setup_median_s(self) -> f64 {
+        match self {
+            Orchestrator::StepFunctions => 0.0,
+            Orchestrator::Sns => 0.0,
+            Orchestrator::Caribou => 0.008,
+        }
+    }
+
+    /// Samples one transition overhead.
+    pub fn sample_transition_s(self, rng: &mut Pcg32) -> f64 {
+        let median = self.transition_overhead_median_s();
+        rng.lognormal(median.ln(), 0.25)
+    }
+
+    /// Samples the invocation setup overhead.
+    pub fn sample_setup_s(self, rng: &mut Pcg32) -> f64 {
+        let median = self.invocation_setup_median_s();
+        if median == 0.0 {
+            0.0
+        } else {
+            rng.lognormal(median.ln(), 0.25)
+        }
+    }
+
+    /// Whether this orchestrator supports routing stages across regions.
+    pub fn supports_cross_region(self) -> bool {
+        matches!(self, Orchestrator::Caribou)
+    }
+
+    /// Whether this orchestrator supports synchronization nodes natively.
+    pub fn supports_sync_nodes(self) -> bool {
+        matches!(self, Orchestrator::StepFunctions | Orchestrator::Caribou)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_functions_fastest() {
+        let sf = Orchestrator::StepFunctions.transition_overhead_median_s();
+        let sns = Orchestrator::Sns.transition_overhead_median_s();
+        let cb = Orchestrator::Caribou.transition_overhead_median_s();
+        assert!(sf < sns);
+        assert!(sns < cb);
+        // Caribou stays within a few percent of SNS per transition.
+        assert!((cb - sns) / sns < 0.10);
+    }
+
+    #[test]
+    fn setup_overhead_only_for_caribou() {
+        let mut rng = Pcg32::seed(1);
+        assert_eq!(Orchestrator::Sns.sample_setup_s(&mut rng), 0.0);
+        assert_eq!(Orchestrator::StepFunctions.sample_setup_s(&mut rng), 0.0);
+        assert!(Orchestrator::Caribou.sample_setup_s(&mut rng) > 0.0);
+    }
+
+    #[test]
+    fn sampled_transition_near_median() {
+        let mut rng = Pcg32::seed(2);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| Orchestrator::Sns.sample_transition_s(&mut rng))
+            .sum::<f64>()
+            / n as f64;
+        let median = Orchestrator::Sns.transition_overhead_median_s();
+        assert!((mean / median - 1.0).abs() < 0.10, "mean {mean}");
+    }
+
+    #[test]
+    fn capability_matrix() {
+        assert!(Orchestrator::Caribou.supports_cross_region());
+        assert!(!Orchestrator::Sns.supports_cross_region());
+        assert!(!Orchestrator::Sns.supports_sync_nodes());
+        assert!(Orchestrator::StepFunctions.supports_sync_nodes());
+    }
+}

@@ -1,0 +1,228 @@
+//! AWS-price-list-calibrated pricing catalog (§7.1 Cost).
+//!
+//! Prices are the published on-demand numbers for AWS Lambda, SNS,
+//! DynamoDB, and inter-region data transfer as of the paper's evaluation
+//! window; per-region multipliers capture the small premium of some
+//! regions. The free tier is deliberately not modeled, matching §7.1.
+
+use caribou_model::region::{RegionCatalog, RegionId};
+use serde::{Deserialize, Serialize};
+
+/// Prices for one region, in USD.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionPricing {
+    /// Lambda compute price per GB-second.
+    pub lambda_gb_second: f64,
+    /// Lambda fixed fee per invocation.
+    pub lambda_per_request: f64,
+    /// SNS price per published message.
+    pub sns_per_publish: f64,
+    /// DynamoDB price per write request unit.
+    pub dynamodb_per_write: f64,
+    /// DynamoDB price per read request unit.
+    pub dynamodb_per_read: f64,
+    /// Egress price per GB to another region of the same provider.
+    pub egress_inter_region_per_gb: f64,
+    /// Egress price per GB to the public internet.
+    pub egress_internet_per_gb: f64,
+    /// Object-storage price per PUT request.
+    pub blob_per_put: f64,
+    /// Object-storage price per GET request.
+    pub blob_per_get: f64,
+}
+
+impl RegionPricing {
+    /// Published us-east-1 baseline prices.
+    pub fn us_east_1_baseline() -> Self {
+        RegionPricing {
+            lambda_gb_second: 0.0000166667,
+            lambda_per_request: 0.20 / 1.0e6,
+            sns_per_publish: 0.50 / 1.0e6,
+            dynamodb_per_write: 1.25 / 1.0e6,
+            dynamodb_per_read: 0.25 / 1.0e6,
+            egress_inter_region_per_gb: 0.02,
+            egress_internet_per_gb: 0.09,
+            blob_per_put: 5.0e-6,
+            blob_per_get: 4.0e-7,
+        }
+    }
+
+    /// Scales all prices by a region premium factor.
+    fn scaled(&self, f: f64) -> Self {
+        RegionPricing {
+            lambda_gb_second: self.lambda_gb_second * f,
+            lambda_per_request: self.lambda_per_request * f,
+            sns_per_publish: self.sns_per_publish * f,
+            dynamodb_per_write: self.dynamodb_per_write * f,
+            dynamodb_per_read: self.dynamodb_per_read * f,
+            egress_inter_region_per_gb: self.egress_inter_region_per_gb * f,
+            egress_internet_per_gb: self.egress_internet_per_gb * f,
+            blob_per_put: self.blob_per_put * f,
+            blob_per_get: self.blob_per_get * f,
+        }
+    }
+}
+
+/// Pricing catalog covering every region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PricingCatalog {
+    per_region: Vec<RegionPricing>,
+}
+
+impl PricingCatalog {
+    /// Builds the default catalog from region names, applying the published
+    /// per-region premiums (us-west-1 and ca-* carry a small premium over
+    /// us-east-1; this is the cost-differential dimension of §2.3).
+    pub fn aws_default(catalog: &RegionCatalog) -> Self {
+        let base = RegionPricing::us_east_1_baseline();
+        let per_region = catalog
+            .iter()
+            .map(|(_, spec)| {
+                let premium = match spec.name.as_str() {
+                    "us-east-1" | "us-east-2" => 1.0,
+                    "us-west-1" => 1.08,
+                    "us-west-2" => 1.0,
+                    "ca-central-1" => 1.03,
+                    "ca-west-1" => 1.07,
+                    "eu-west-1" => 1.02,
+                    "eu-central-1" => 1.10,
+                    "ap-southeast-2" => 1.15,
+                    "sa-east-1" => 1.35,
+                    // GCP regions (Cloud Functions pricing is broadly
+                    // comparable; small deltas).
+                    "us-central1" => 0.98,
+                    "us-west1" => 0.98,
+                    "northamerica-northeast1" => 1.02,
+                    "europe-west1" => 1.04,
+                    "europe-north1" => 1.04,
+                    _ => 1.05,
+                };
+                base.scaled(premium)
+            })
+            .collect();
+        PricingCatalog { per_region }
+    }
+
+    /// Prices for one region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region id is outside the catalog used to build this
+    /// pricing table.
+    pub fn region(&self, id: RegionId) -> &RegionPricing {
+        &self.per_region[id.index()]
+    }
+
+    /// Overrides the prices of one region (e.g. to track a price-list
+    /// update, §7.2's "AWS Price List for latest prices").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region id is outside the catalog.
+    pub fn set_region(&mut self, id: RegionId, pricing: RegionPricing) {
+        self.per_region[id.index()] = pricing;
+    }
+
+    /// Lambda execution cost: billed duration × memory × GB-s rate plus the
+    /// per-request fee (§7.1 Cost).
+    pub fn lambda_cost(&self, region: RegionId, duration_s: f64, memory_mb: u32) -> f64 {
+        let p = self.region(region);
+        // Lambda bills in 1 ms increments.
+        let billed = (duration_s * 1000.0).ceil() / 1000.0;
+        billed * (memory_mb as f64 / 1024.0) * p.lambda_gb_second + p.lambda_per_request
+    }
+
+    /// Egress cost for moving `bytes` from `from` toward `to`.
+    pub fn egress_cost(&self, from: RegionId, to: RegionId, bytes: f64) -> f64 {
+        if from == to {
+            0.0
+        } else {
+            let gb = bytes.max(0.0) / 1.0e9;
+            gb * self.region(from).egress_inter_region_per_gb
+        }
+    }
+
+    /// SNS publish cost in the publishing region.
+    pub fn sns_cost(&self, region: RegionId, messages: u64) -> f64 {
+        messages as f64 * self.region(region).sns_per_publish
+    }
+
+    /// DynamoDB cost for a mix of reads and writes in a region.
+    pub fn dynamodb_cost(&self, region: RegionId, reads: u64, writes: u64) -> f64 {
+        let p = self.region(region);
+        reads as f64 * p.dynamodb_per_read + writes as f64 * p.dynamodb_per_write
+    }
+
+    /// Object-storage request cost for a mix of GETs and PUTs in a region.
+    pub fn blob_cost(&self, region: RegionId, gets: u64, puts: u64) -> f64 {
+        let p = self.region(region);
+        gets as f64 * p.blob_per_get + puts as f64 * p.blob_per_put
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalogs() -> (RegionCatalog, PricingCatalog) {
+        let cat = RegionCatalog::aws_default();
+        let pc = PricingCatalog::aws_default(&cat);
+        (cat, pc)
+    }
+
+    #[test]
+    fn lambda_cost_matches_hand_calculation() {
+        let (cat, pc) = catalogs();
+        let r = cat.id_of("us-east-1").unwrap();
+        // 1 second at 1024 MB = 1 GB-s.
+        let c = pc.lambda_cost(r, 1.0, 1024);
+        let expected = 0.0000166667 + 0.20 / 1.0e6;
+        assert!((c - expected).abs() < 1e-12, "cost {c}");
+    }
+
+    #[test]
+    fn lambda_bills_in_millisecond_increments() {
+        let (cat, pc) = catalogs();
+        let r = cat.id_of("us-east-1").unwrap();
+        let a = pc.lambda_cost(r, 0.0101, 1024); // bills 11 ms
+        let b = pc.lambda_cost(r, 0.0111, 1024); // bills 12 ms
+        assert!(b > a, "rounding up to next ms");
+        let c = pc.lambda_cost(r, 0.0119, 1024); // also bills 12 ms
+        assert!((b - c).abs() < 1e-15, "same billed ms");
+    }
+
+    #[test]
+    fn egress_free_intra_region() {
+        let (cat, pc) = catalogs();
+        let r = cat.id_of("us-east-1").unwrap();
+        assert_eq!(pc.egress_cost(r, r, 1e9), 0.0);
+    }
+
+    #[test]
+    fn egress_charged_inter_region() {
+        let (cat, pc) = catalogs();
+        let a = cat.id_of("us-east-1").unwrap();
+        let b = cat.id_of("us-west-2").unwrap();
+        let c = pc.egress_cost(a, b, 5e9);
+        assert!((c - 0.10).abs() < 1e-9, "cost {c}");
+    }
+
+    #[test]
+    fn regional_premium_applies() {
+        let (cat, pc) = catalogs();
+        let east = cat.id_of("us-east-1").unwrap();
+        let west1 = cat.id_of("us-west-1").unwrap();
+        assert!(
+            pc.region(west1).lambda_gb_second > pc.region(east).lambda_gb_second,
+            "us-west-1 carries a premium"
+        );
+    }
+
+    #[test]
+    fn dynamodb_and_sns_costs() {
+        let (cat, pc) = catalogs();
+        let r = cat.id_of("us-east-1").unwrap();
+        assert!((pc.sns_cost(r, 1_000_000) - 0.50).abs() < 1e-9);
+        assert!((pc.dynamodb_cost(r, 1_000_000, 1_000_000) - 1.50).abs() < 1e-9);
+    }
+}

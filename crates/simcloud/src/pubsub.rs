@@ -1,0 +1,250 @@
+//! SNS-like publish/subscribe messaging.
+//!
+//! Caribou uses pub/sub as its "geospatial offloading glue" (§6.2): every
+//! function deployment subscribes to one topic in its region, and a
+//! predecessor invokes a successor by publishing to that topic. The model
+//! captures publish overhead, cross-region transfer of the message payload,
+//! and the at-least-once delivery with subscriber acknowledgment and
+//! automatic retry the paper relies on for reliability.
+
+use std::collections::HashMap;
+
+use caribou_model::region::RegionId;
+use caribou_model::rng::Pcg32;
+
+use crate::latency::LatencyModel;
+
+/// Median service-side publish overhead, seconds (SNS publish + fan-out to
+/// the Lambda trigger).
+const PUBLISH_OVERHEAD_MEDIAN_S: f64 = 0.030;
+/// Log-space sigma of the publish overhead.
+const PUBLISH_OVERHEAD_SIGMA: f64 = 0.35;
+/// Delay before an unacknowledged delivery is retried, seconds.
+const RETRY_BACKOFF_S: f64 = 0.5;
+/// Maximum delivery attempts before the message is dead-lettered.
+pub const MAX_ATTEMPTS: u32 = 5;
+
+/// A pub/sub topic identifier: one topic per (workflow, stage, region), as
+/// in §6.1 step 2.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TopicKey {
+    /// Workflow name.
+    pub workflow: String,
+    /// Stage (node) name.
+    pub stage: String,
+    /// Region the subscribed function deployment lives in.
+    pub region: RegionId,
+}
+
+/// Outcome of delivering one message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// End-to-end latency from publish to (acknowledged) delivery, seconds.
+    pub latency_s: f64,
+    /// Number of delivery attempts (1 = no retries needed).
+    pub attempts: u32,
+    /// Whether delivery ultimately succeeded within [`MAX_ATTEMPTS`].
+    pub delivered: bool,
+}
+
+/// The pub/sub service.
+#[derive(Debug, Default)]
+pub struct PubSub {
+    topics: HashMap<TopicKey, ()>,
+    /// Published message counts per publishing region, for billing.
+    publishes: HashMap<RegionId, u64>,
+    /// Probability any single delivery attempt is lost (fault injection).
+    pub drop_probability: f64,
+}
+
+impl PubSub {
+    /// Creates the service with no topics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a topic; idempotent.
+    pub fn create_topic(&mut self, key: TopicKey) {
+        self.topics.insert(key, ());
+    }
+
+    /// Deletes a topic, returning whether it existed.
+    pub fn delete_topic(&mut self, key: &TopicKey) -> bool {
+        self.topics.remove(key).is_some()
+    }
+
+    /// Whether a topic exists.
+    pub fn topic_exists(&self, key: &TopicKey) -> bool {
+        self.topics.contains_key(key)
+    }
+
+    /// Number of topics.
+    pub fn topic_count(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// Publishes a message of `payload_bytes` from `from` to the topic,
+    /// simulating delivery to the topic's regional subscriber.
+    ///
+    /// Returns the delivery outcome; latency includes publish overhead,
+    /// cross-region payload transfer, and any retry backoffs.
+    pub fn publish(
+        &mut self,
+        key: &TopicKey,
+        from: RegionId,
+        payload_bytes: f64,
+        latency: &LatencyModel,
+        rng: &mut Pcg32,
+    ) -> Delivery {
+        assert!(
+            self.topic_exists(key),
+            "publish to missing topic {}/{}/{}",
+            key.workflow,
+            key.stage,
+            key.region
+        );
+        *self.publishes.entry(from).or_insert(0) += 1;
+        let mut total = rng.lognormal(PUBLISH_OVERHEAD_MEDIAN_S.ln(), PUBLISH_OVERHEAD_SIGMA);
+        let mut attempts = 0;
+        while attempts < MAX_ATTEMPTS {
+            attempts += 1;
+            total += latency.sample_transfer_seconds(from, key.region, payload_bytes, rng);
+            if !rng.chance(self.drop_probability) {
+                return Delivery {
+                    latency_s: total,
+                    attempts,
+                    delivered: true,
+                };
+            }
+            total += RETRY_BACKOFF_S;
+        }
+        Delivery {
+            latency_s: total,
+            attempts,
+            delivered: false,
+        }
+    }
+
+    /// Messages published from a region so far.
+    pub fn published_from(&self, region: RegionId) -> u64 {
+        self.publishes.get(&region).copied().unwrap_or(0)
+    }
+
+    /// Total messages published.
+    pub fn total_published(&self) -> u64 {
+        self.publishes.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caribou_model::region::RegionCatalog;
+
+    fn setup() -> (RegionCatalog, LatencyModel, PubSub, Pcg32) {
+        let cat = RegionCatalog::aws_default();
+        let lm = LatencyModel::from_catalog(&cat);
+        (cat, lm, PubSub::new(), Pcg32::seed(1))
+    }
+
+    fn key(region: RegionId) -> TopicKey {
+        TopicKey {
+            workflow: "wf".into(),
+            stage: "a".into(),
+            region,
+        }
+    }
+
+    #[test]
+    fn publish_delivers_with_latency() {
+        let (cat, lm, mut ps, mut rng) = setup();
+        let r = cat.id_of("us-east-1").unwrap();
+        ps.create_topic(key(r));
+        let d = ps.publish(&key(r), r, 1024.0, &lm, &mut rng);
+        assert!(d.delivered);
+        assert_eq!(d.attempts, 1);
+        assert!(d.latency_s > 0.0);
+    }
+
+    #[test]
+    fn cross_region_publish_slower() {
+        let (cat, lm, mut ps, mut rng) = setup();
+        let east = cat.id_of("us-east-1").unwrap();
+        let west = cat.id_of("us-west-1").unwrap();
+        ps.create_topic(key(east));
+        ps.create_topic(key(west));
+        let n = 300;
+        let mut local = 0.0;
+        let mut remote = 0.0;
+        for _ in 0..n {
+            local += ps
+                .publish(&key(east), east, 1024.0, &lm, &mut rng)
+                .latency_s;
+            remote += ps
+                .publish(&key(west), east, 1024.0, &lm, &mut rng)
+                .latency_s;
+        }
+        assert!(remote > local, "local {local} remote {remote}");
+    }
+
+    #[test]
+    fn drops_trigger_retries() {
+        let (cat, lm, mut ps, mut rng) = setup();
+        let r = cat.id_of("us-east-1").unwrap();
+        ps.create_topic(key(r));
+        ps.drop_probability = 0.5;
+        let mut retried = 0;
+        for _ in 0..200 {
+            let d = ps.publish(&key(r), r, 128.0, &lm, &mut rng);
+            if d.attempts > 1 && d.delivered {
+                retried += 1;
+            }
+        }
+        assert!(retried > 30, "retried {retried}");
+    }
+
+    #[test]
+    fn total_drop_dead_letters() {
+        let (cat, lm, mut ps, mut rng) = setup();
+        let r = cat.id_of("us-east-1").unwrap();
+        ps.create_topic(key(r));
+        ps.drop_probability = 1.0;
+        let d = ps.publish(&key(r), r, 128.0, &lm, &mut rng);
+        assert!(!d.delivered);
+        assert_eq!(d.attempts, 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn publish_to_missing_topic_panics() {
+        let (cat, lm, mut ps, mut rng) = setup();
+        let r = cat.id_of("us-east-1").unwrap();
+        ps.publish(&key(r), r, 128.0, &lm, &mut rng);
+    }
+
+    #[test]
+    fn publish_counts_per_region() {
+        let (cat, lm, mut ps, mut rng) = setup();
+        let east = cat.id_of("us-east-1").unwrap();
+        let west = cat.id_of("us-west-2").unwrap();
+        ps.create_topic(key(east));
+        ps.publish(&key(east), east, 1.0, &lm, &mut rng);
+        ps.publish(&key(east), west, 1.0, &lm, &mut rng);
+        ps.publish(&key(east), west, 1.0, &lm, &mut rng);
+        assert_eq!(ps.published_from(east), 1);
+        assert_eq!(ps.published_from(west), 2);
+        assert_eq!(ps.total_published(), 3);
+    }
+
+    #[test]
+    fn topic_lifecycle() {
+        let (cat, _lm, mut ps, _rng) = setup();
+        let r = cat.id_of("us-east-1").unwrap();
+        assert!(!ps.topic_exists(&key(r)));
+        ps.create_topic(key(r));
+        assert!(ps.topic_exists(&key(r)));
+        assert_eq!(ps.topic_count(), 1);
+        assert!(ps.delete_topic(&key(r)));
+        assert!(!ps.delete_topic(&key(r)));
+    }
+}

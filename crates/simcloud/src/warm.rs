@@ -1,0 +1,139 @@
+//! Warm-container pool for state-dependent cold starts.
+//!
+//! The default compute model charges cold starts probabilistically; this
+//! pool makes them *stateful*: a function deployment is warm while
+//! invocations arrive within its keep-alive window and cold after idling
+//! past it — so freshly offloaded regions pay cold starts until traffic
+//! warms them up, exactly the transient a migration causes in production.
+
+use std::collections::HashMap;
+
+use caribou_model::region::RegionId;
+
+use crate::clock::SimTime;
+
+/// Default provider keep-alive for idle containers, seconds (~10 minutes,
+/// the commonly observed AWS Lambda window).
+pub const DEFAULT_KEEP_ALIVE_S: f64 = 600.0;
+
+/// Tracks the last invocation time per function deployment.
+///
+/// # Examples
+///
+/// ```
+/// use caribou_simcloud::warm::WarmPool;
+/// use caribou_model::region::RegionId;
+///
+/// let mut pool = WarmPool::enabled(600.0);
+/// assert!(pool.check_and_touch("wf", 0, RegionId(0), 100.0)); // cold
+/// assert!(!pool.check_and_touch("wf", 0, RegionId(0), 200.0)); // warm
+/// assert!(pool.check_and_touch("wf", 0, RegionId(0), 2000.0)); // idle → cold
+/// ```
+#[derive(Debug, Clone)]
+pub struct WarmPool {
+    /// Whether the pool drives cold starts (when `false`, the compute
+    /// model's probabilistic cold starts apply instead).
+    pub enabled: bool,
+    /// Idle window after which a container is reclaimed, seconds.
+    pub keep_alive_s: f64,
+    last_seen: HashMap<(String, u32, RegionId), SimTime>,
+}
+
+impl Default for WarmPool {
+    fn default() -> Self {
+        WarmPool {
+            enabled: false,
+            keep_alive_s: DEFAULT_KEEP_ALIVE_S,
+            last_seen: HashMap::new(),
+        }
+    }
+}
+
+impl WarmPool {
+    /// Creates a disabled pool (probabilistic cold starts apply).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an enabled pool with the given keep-alive.
+    pub fn enabled(keep_alive_s: f64) -> Self {
+        WarmPool {
+            enabled: true,
+            keep_alive_s,
+            last_seen: HashMap::new(),
+        }
+    }
+
+    /// Whether an invocation of `(workflow, node, region)` at `now` is a
+    /// cold start, and records the invocation.
+    pub fn check_and_touch(
+        &mut self,
+        workflow: &str,
+        node: u32,
+        region: RegionId,
+        now: SimTime,
+    ) -> bool {
+        let key = (workflow.to_string(), node, region);
+        let cold = match self.last_seen.get(&key) {
+            Some(last) => now - last > self.keep_alive_s,
+            None => true,
+        };
+        self.last_seen.insert(key, now);
+        cold
+    }
+
+    /// Peeks without recording.
+    pub fn is_cold(&self, workflow: &str, node: u32, region: RegionId, now: SimTime) -> bool {
+        match self.last_seen.get(&(workflow.to_string(), node, region)) {
+            Some(last) => now - last > self.keep_alive_s,
+            None => true,
+        }
+    }
+
+    /// Forgets all container state (e.g. after an undeploy).
+    pub fn clear(&mut self) {
+        self.last_seen.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_invocation_is_cold_then_warm() {
+        let mut p = WarmPool::enabled(600.0);
+        assert!(p.check_and_touch("wf", 0, RegionId(0), 100.0));
+        assert!(!p.check_and_touch("wf", 0, RegionId(0), 150.0));
+        assert!(!p.check_and_touch("wf", 0, RegionId(0), 700.0));
+    }
+
+    #[test]
+    fn idle_past_keep_alive_goes_cold() {
+        let mut p = WarmPool::enabled(600.0);
+        p.check_and_touch("wf", 0, RegionId(0), 0.0);
+        assert!(p.is_cold("wf", 0, RegionId(0), 601.0));
+        assert!(!p.is_cold("wf", 0, RegionId(0), 599.0));
+        assert!(p.check_and_touch("wf", 0, RegionId(0), 1000.0));
+    }
+
+    #[test]
+    fn deployments_are_independent() {
+        let mut p = WarmPool::enabled(600.0);
+        p.check_and_touch("wf", 0, RegionId(0), 0.0);
+        assert!(p.is_cold("wf", 1, RegionId(0), 1.0), "other node cold");
+        assert!(p.is_cold("wf", 0, RegionId(1), 1.0), "other region cold");
+        assert!(
+            p.is_cold("other", 0, RegionId(0), 1.0),
+            "other workflow cold"
+        );
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut p = WarmPool::enabled(600.0);
+        p.check_and_touch("wf", 0, RegionId(0), 0.0);
+        p.clear();
+        assert!(p.is_cold("wf", 0, RegionId(0), 1.0));
+    }
+}

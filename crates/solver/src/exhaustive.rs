@@ -1,0 +1,221 @@
+//! Exhaustive deployment search — the intractable-in-general ground truth.
+//!
+//! The paper found BFS-style exhaustive solving "intractable and
+//! resource-inefficient" at production scale (§5.1); it remains invaluable
+//! for small instances: correctness tests compare HBSS against the true
+//! optimum, and the solver ablation bench quantifies HBSS's optimality
+//! gap.
+
+use caribou_carbon::source::CarbonDataSource;
+use caribou_metrics::montecarlo::StageModels;
+use caribou_model::plan::DeploymentPlan;
+use caribou_model::region::RegionId;
+use caribou_model::rng::Pcg32;
+
+use crate::context::{SolveOutcome, SolverContext};
+
+/// Upper bound on the search-space size exhaustive solving accepts.
+pub const MAX_SPACE: usize = 100_000;
+
+/// Exhaustively enumerates `|R|^|N|` deployments.
+///
+/// Returns `None` when the space exceeds [`MAX_SPACE`].
+pub fn solve<S: CarbonDataSource, M: StageModels>(
+    ctx: &SolverContext<'_, S, M>,
+    hour: f64,
+    rng: &mut Pcg32,
+) -> Option<SolveOutcome> {
+    let space = ctx.search_space_size();
+    if space > MAX_SPACE {
+        return None;
+    }
+    let home_plan = ctx.home_plan();
+    let home_estimate = ctx.evaluate(&home_plan, hour, rng);
+    let home_metric = ctx.metric_of(&home_estimate);
+
+    let mut best_plan = home_plan.clone();
+    let mut best_metric = home_metric;
+    let mut best_estimate = home_estimate;
+    let mut feasible: Vec<(DeploymentPlan, f64)> = Vec::new();
+    let mut evaluated = 0usize;
+
+    let n = ctx.dag.node_count();
+    let mut idx = vec![0usize; n];
+    loop {
+        let assignment: Vec<RegionId> = (0..n).map(|i| ctx.permitted[i][idx[i]]).collect();
+        let plan = DeploymentPlan::new(assignment);
+        let estimate = if plan == home_plan {
+            home_estimate
+        } else {
+            ctx.evaluate(&plan, hour, rng)
+        };
+        evaluated += 1;
+        if !ctx.violates_tolerance(&estimate, &home_estimate) {
+            let metric = ctx.metric_of(&estimate);
+            feasible.push((plan.clone(), metric));
+            if metric < best_metric {
+                best_metric = metric;
+                best_plan = plan;
+                best_estimate = estimate;
+            }
+        }
+        // Odometer increment over the permitted sets.
+        let mut carry = true;
+        for (i, slot) in idx.iter_mut().enumerate() {
+            if !carry {
+                break;
+            }
+            *slot += 1;
+            if *slot < ctx.permitted[i].len() {
+                carry = false;
+            } else {
+                *slot = 0;
+            }
+        }
+        if carry {
+            break;
+        }
+    }
+    feasible.sort_by(|a, b| a.1.total_cmp(&b.1));
+    Some(SolveOutcome {
+        best: best_plan,
+        best_estimate,
+        home_estimate,
+        evaluated,
+        feasible,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caribou_carbon::series::CarbonSeries;
+    use caribou_carbon::source::TableSource;
+    use caribou_metrics::carbonmodel::{CarbonModel, TransmissionScenario};
+    use caribou_metrics::costmodel::CostModel;
+    use caribou_metrics::montecarlo::{DefaultModels, MonteCarloConfig};
+    use caribou_model::builder::Workflow;
+    use caribou_model::constraints::{Objective, Tolerances};
+    use caribou_model::dist::DistSpec;
+    use caribou_model::region::RegionCatalog;
+    use caribou_simcloud::compute::LambdaRuntime;
+    use caribou_simcloud::latency::LatencyModel;
+    use caribou_simcloud::orchestration::Orchestrator;
+    use caribou_simcloud::pricing::PricingCatalog;
+
+    use crate::hbss::HbssSolver;
+
+    #[test]
+    fn exhaustive_covers_space_and_hbss_matches_it() {
+        let cat = RegionCatalog::aws_default();
+        let pricing = PricingCatalog::aws_default(&cat);
+        let mut runtime = LambdaRuntime::aws_default(&cat);
+        runtime.cold_start_prob = 0.0;
+        runtime.exec_sigma = 0.0;
+        let latency = LatencyModel::from_catalog(&cat);
+        let mut carbon = TableSource::new();
+        for (id, spec) in cat.iter() {
+            let v = match spec.name.as_str() {
+                "us-east-1" | "us-east-2" => 380.0,
+                "ca-central-1" => 32.0,
+                _ => 360.0,
+            };
+            carbon.insert(id, CarbonSeries::new(0, vec![v; 24]));
+        }
+
+        let mut wf = Workflow::new("w", "0.1");
+        let a = wf
+            .serverless_function("A")
+            .exec_time(DistSpec::Constant { value: 4.0 })
+            .register();
+        let b = wf
+            .serverless_function("B")
+            .exec_time(DistSpec::Constant { value: 8.0 })
+            .register();
+        wf.invoke(a, b, None)
+            .payload(DistSpec::Constant { value: 10_000.0 });
+        let (dag, profile, _) = wf.extract().unwrap();
+
+        let home = cat.id_of("us-east-1").unwrap();
+        let universe = cat.evaluation_regions();
+        let permitted: Vec<Vec<_>> = vec![universe; 2];
+        let models = DefaultModels {
+            profile: &profile,
+            runtime: &runtime,
+            latency: &latency,
+            orchestrator: Orchestrator::Caribou,
+        };
+        let ctx = SolverContext {
+            dag: &dag,
+            profile: &profile,
+            permitted: &permitted,
+            home,
+            objective: Objective::Carbon,
+            tolerances: Tolerances {
+                latency: 0.5,
+                cost: 0.5,
+                carbon: f64::INFINITY,
+            },
+            carbon_source: &carbon,
+            carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+            cost_model: CostModel::new(&pricing),
+            models: &models,
+            mc_config: MonteCarloConfig {
+                batch: 100,
+                max_samples: 400,
+                cv_threshold: 0.05,
+            },
+        };
+
+        let ex = solve(&ctx, 0.5, &mut Pcg32::seed(1)).unwrap();
+        assert_eq!(ex.evaluated, 16); // 4^2 assignments
+        let hb = HbssSolver::new().solve(&ctx, 0.5, &mut Pcg32::seed(2));
+        // With a small space HBSS explores it fully; it must find a plan
+        // within a small factor of the true optimum.
+        let gap = ctx.metric_of(&hb.best_estimate) / ctx.metric_of(&ex.best_estimate);
+        assert!(gap < 1.1, "optimality gap {gap}");
+    }
+
+    #[test]
+    fn huge_space_rejected() {
+        // 10 nodes × 10 regions = 10^10 — over the cap.
+        let cat = RegionCatalog::aws_default();
+        let pricing = PricingCatalog::aws_default(&cat);
+        let runtime = LambdaRuntime::aws_default(&cat);
+        let latency = LatencyModel::from_catalog(&cat);
+        let mut carbon = TableSource::new();
+        for (id, _) in cat.iter() {
+            carbon.insert(id, CarbonSeries::new(0, vec![100.0; 24]));
+        }
+        let mut wf = Workflow::new("big", "0.1");
+        let mut prev = wf.serverless_function("n0").register();
+        for i in 1..10 {
+            let cur = wf.serverless_function(format!("n{i}")).register();
+            wf.invoke(prev, cur, None);
+            prev = cur;
+        }
+        let (dag, profile, _) = wf.extract().unwrap();
+        let home = cat.id_of("us-east-1").unwrap();
+        let permitted: Vec<Vec<_>> = vec![cat.all_ids(); 10];
+        let models = DefaultModels {
+            profile: &profile,
+            runtime: &runtime,
+            latency: &latency,
+            orchestrator: Orchestrator::Caribou,
+        };
+        let ctx = SolverContext {
+            dag: &dag,
+            profile: &profile,
+            permitted: &permitted,
+            home,
+            objective: Objective::Carbon,
+            tolerances: Tolerances::default(),
+            carbon_source: &carbon,
+            carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+            cost_model: CostModel::new(&pricing),
+            models: &models,
+            mc_config: MonteCarloConfig::default(),
+        };
+        assert!(solve(&ctx, 0.5, &mut Pcg32::seed(1)).is_none());
+    }
+}

@@ -1,0 +1,28 @@
+//! The five benchmark workloads of §9.1 and invocation-trace generators.
+//!
+//! Each benchmark is a resource-model replica of the corresponding real
+//! application: the same DAG structure (Table 1), with per-stage execution
+//! times, memory sizes, payload sizes, and home-anchored external data
+//! calibrated so that each workload's execution-to-transmission carbon
+//! ratio lands where Fig. 8 places it:
+//!
+//! | Benchmark | DAG | Sync | Cond | Inputs |
+//! |---|---|---|---|---|
+//! | DNA Visualization | single node | ✗ | ✗ | 69 KB / 1.1 MB |
+//! | RAG Data Ingestion | 2-stage chain | ✗ | ✗ | 33 / 115 pages |
+//! | Image Processing | 1 → 4 fan-out | ✗ | ✗ | 222 KB / 2.4 MB |
+//! | Text2Speech Censoring | parallel + join | ✓ | ✓ | 1 KB / 12 KB |
+//! | Video Analytics | split → 4 → join | ✓ | ✗ | 206 KB / 2.4 MB |
+//!
+//! [`traces`] provides the uniform invocation pattern used for the
+//! trade-off studies and an Azure-Functions-2021-shaped diurnal trace used
+//! for the continuous evaluations (§9.1 Workload Invocation and Traffic).
+
+pub mod benchmarks;
+pub mod traces;
+
+pub use benchmarks::{
+    all_benchmarks, dna_visualization, image_processing, rag_data_ingestion, text2speech_censoring,
+    video_analytics, Benchmark, InputSize,
+};
+pub use traces::{azure_trace, trace_from_csv, trace_to_csv, uniform_trace};

@@ -1,0 +1,207 @@
+//! Invocation-trace generators (§9.1 Workload Invocation and Traffic).
+//!
+//! * [`uniform_trace`] — the uniform pattern used for the trade-off and
+//!   high-level studies;
+//! * [`azure_trace`] — an Azure-Functions-2021-shaped trace: a diurnal
+//!   rate curve (business-hours peak, overnight trough) with Poisson
+//!   arrivals, defaulting to the ~1.6K average daily invocations of the
+//!   5th-percentile DAG the paper uses for §9.7.
+
+use caribou_model::rng::Pcg32;
+
+/// Generates evenly spaced invocation times over `[start_s, end_s)` at
+/// `per_day` invocations per day.
+///
+/// # Examples
+///
+/// ```
+/// use caribou_workloads::traces::uniform_trace;
+///
+/// let day = uniform_trace(0.0, 86_400.0, 288.0); // one per 5 minutes
+/// assert_eq!(day.len(), 288);
+/// ```
+pub fn uniform_trace(start_s: f64, end_s: f64, per_day: f64) -> Vec<f64> {
+    assert!(end_s > start_s, "empty window");
+    assert!(per_day > 0.0, "rate must be positive");
+    let interval = 86_400.0 / per_day;
+    let mut out = Vec::new();
+    let mut t = start_s + interval / 2.0;
+    while t < end_s {
+        out.push(t);
+        t += interval;
+    }
+    out
+}
+
+/// Relative diurnal rate multiplier (mean 1.0 over a day) shaped like the
+/// Azure Functions 2021 trace: peak in business hours, trough overnight.
+fn diurnal_rate(hour_of_day: f64) -> f64 {
+    // Two-harmonic fit; constants chosen to give a ~3:1 peak-to-trough
+    // ratio with the peak near 15:00 UTC.
+    let w = std::f64::consts::TAU / 24.0;
+    let v = 1.0
+        + 0.55 * (w * (hour_of_day - 15.0)).cos()
+        + 0.12 * (2.0 * w * (hour_of_day - 9.0)).cos();
+    v.max(0.05)
+}
+
+/// Generates Poisson arrivals over `[start_s, end_s)` whose rate follows
+/// the Azure-shaped diurnal curve, averaging `per_day` invocations per
+/// day. Deterministic in `rng`.
+pub fn azure_trace(start_s: f64, end_s: f64, per_day: f64, rng: &mut Pcg32) -> Vec<f64> {
+    assert!(end_s > start_s, "empty window");
+    assert!(per_day > 0.0, "rate must be positive");
+    // Thinning over hourly buckets: draw a Poisson count per hour at the
+    // modulated rate, then spread arrivals uniformly within the hour.
+    let mut out = Vec::new();
+    let mut t = start_s;
+    while t < end_s {
+        let hod = (t / 3600.0) % 24.0;
+        let hour_len = (end_s - t).min(3600.0);
+        let expected = per_day / 24.0 * diurnal_rate(hod) * (hour_len / 3600.0);
+        let count = rng.poisson(expected);
+        for _ in 0..count {
+            out.push(t + rng.next_f64() * hour_len);
+        }
+        t += hour_len;
+    }
+    out.sort_by(f64::total_cmp);
+    out
+}
+
+/// Parses an invocation trace from CSV: one arrival time (seconds since
+/// the epoch) per line, optionally with a `seconds` header. Times must be
+/// non-decreasing.
+pub fn trace_from_csv(csv: &str) -> Result<Vec<f64>, String> {
+    let mut out: Vec<f64> = Vec::new();
+    for (lineno, line) in csv.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty()
+            || (lineno == 0 && line.chars().next().is_some_and(|c| c.is_alphabetic()))
+        {
+            continue;
+        }
+        let t: f64 = line
+            .parse()
+            .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if !t.is_finite() || t < 0.0 {
+            return Err(format!("line {}: invalid time {t}", lineno + 1));
+        }
+        if let Some(prev) = out.last() {
+            if t < *prev {
+                return Err(format!(
+                    "line {}: times must be non-decreasing ({t} after {prev})",
+                    lineno + 1
+                ));
+            }
+        }
+        out.push(t);
+    }
+    if out.is_empty() {
+        return Err("empty trace".to_string());
+    }
+    Ok(out)
+}
+
+/// Serializes a trace to the CSV format read by [`trace_from_csv`].
+pub fn trace_to_csv(trace: &[f64]) -> String {
+    let mut s = String::from("seconds\n");
+    for t in trace {
+        s.push_str(&format!("{t}\n"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_csv_round_trip() {
+        let t = vec![1.5, 20.0, 300.25];
+        let csv = trace_to_csv(&t);
+        assert_eq!(trace_from_csv(&csv).unwrap(), t);
+    }
+
+    #[test]
+    fn trace_csv_rejects_bad_input() {
+        assert!(trace_from_csv("").is_err());
+        assert!(trace_from_csv("seconds\n").is_err());
+        assert!(trace_from_csv("seconds\n5\n3\n").is_err(), "decreasing");
+        assert!(trace_from_csv("seconds\n-1\n").is_err(), "negative");
+        assert!(trace_from_csv("seconds\nabc\n").is_err(), "garbage");
+    }
+
+    #[test]
+    fn uniform_trace_rate_and_spacing() {
+        let t = uniform_trace(0.0, 86_400.0, 1440.0); // one per minute
+        assert_eq!(t.len(), 1440);
+        let d0 = t[1] - t[0];
+        for w in t.windows(2) {
+            assert!((w[1] - w[0] - d0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_trace_respects_window() {
+        let t = uniform_trace(100.0, 200.0, 86_400.0); // one per second
+        assert!(t.first().copied().unwrap() >= 100.0);
+        assert!(t.last().copied().unwrap() < 200.0);
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn azure_trace_hits_daily_volume() {
+        let mut rng = Pcg32::seed(1);
+        let days = 7.0;
+        let t = azure_trace(0.0, days * 86_400.0, 1600.0, &mut rng);
+        let per_day = t.len() as f64 / days;
+        assert!((per_day / 1600.0 - 1.0).abs() < 0.05, "per_day {per_day}");
+    }
+
+    #[test]
+    fn azure_trace_is_diurnal() {
+        let mut rng = Pcg32::seed(2);
+        let t = azure_trace(0.0, 14.0 * 86_400.0, 2000.0, &mut rng);
+        let count_in = |from_h: f64, to_h: f64| -> usize {
+            t.iter()
+                .filter(|x| {
+                    let hod = (**x / 3600.0) % 24.0;
+                    hod >= from_h && hod < to_h
+                })
+                .count()
+        };
+        let peak = count_in(13.0, 17.0);
+        let trough = count_in(1.0, 5.0);
+        assert!(
+            peak as f64 > 2.0 * trough as f64,
+            "peak {peak} trough {trough}"
+        );
+    }
+
+    #[test]
+    fn azure_trace_sorted_and_in_window() {
+        let mut rng = Pcg32::seed(3);
+        let t = azure_trace(1000.0, 90_000.0, 500.0, &mut rng);
+        for w in t.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(t.iter().all(|x| (1000.0..90_000.0).contains(x)));
+    }
+
+    #[test]
+    fn azure_trace_deterministic() {
+        let a = azure_trace(0.0, 86_400.0, 1000.0, &mut Pcg32::seed(9));
+        let b = azure_trace(0.0, 86_400.0, 1000.0, &mut Pcg32::seed(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn diurnal_rate_averages_to_one() {
+        let mean: f64 = (0..2400)
+            .map(|i| diurnal_rate(i as f64 / 100.0))
+            .sum::<f64>()
+            / 2400.0;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration-test host crate; all content lives in the `[[test]]` targets.

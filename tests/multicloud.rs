@@ -1,0 +1,100 @@
+//! Multi-cloud integration: GCP regions participate fully, same-grid
+//! regions share intensity across providers, and provider compliance
+//! constraints hold.
+
+use caribou_carbon::source::{CarbonDataSource, RegionalSource};
+use caribou_carbon::synth::SyntheticCarbonSource;
+use caribou_model::constraints::{Constraints, RegionFilter};
+use caribou_model::region::{Provider, RegionCatalog};
+use caribou_simcloud::cloud::SimCloud;
+
+#[test]
+fn multi_cloud_catalog_is_complete() {
+    let cat = RegionCatalog::multi_cloud();
+    assert!(cat.len() >= 15);
+    let gcp: Vec<_> = cat
+        .iter()
+        .filter(|(_, s)| s.provider == Provider::Gcp)
+        .collect();
+    assert_eq!(gcp.len(), 5);
+    // Every region's grid zone has a calibrated carbon profile.
+    let synth = SyntheticCarbonSource::aws_calibrated(1);
+    for (_, spec) in cat.iter() {
+        assert!(
+            synth.has_zone(&spec.grid_zone),
+            "missing {}",
+            spec.grid_zone
+        );
+    }
+    // Latency, pricing, and compute cover the new regions.
+    let cloud = SimCloud::with_catalog(cat, 1);
+    let gcp_qc = cloud.region("northamerica-northeast1");
+    let aws_east = cloud.region("us-east-1");
+    assert!(cloud.latency.rtt(aws_east, gcp_qc) > 0.005);
+    assert!(cloud.pricing.region(gcp_qc).lambda_gb_second > 0.0);
+}
+
+#[test]
+fn same_grid_regions_share_intensity_across_providers() {
+    let cat = RegionCatalog::multi_cloud();
+    let src = RegionalSource::new(&cat, SyntheticCarbonSource::aws_calibrated(2));
+    // AWS us-west-2 and GCP us-west1 both sit on the Pacific Northwest
+    // grid; AWS ca-central-1 and GCP northamerica-northeast1 on Québec's.
+    let pairs = [
+        ("us-west-2", "us-west1"),
+        ("ca-central-1", "northamerica-northeast1"),
+    ];
+    for (aws, gcp) in pairs {
+        let a = cat.id_of(aws).unwrap();
+        let g = cat.id_of(gcp).unwrap();
+        for h in [0.0, 13.0, 100.0] {
+            assert_eq!(
+                src.intensity(a, h),
+                src.intensity(g, h),
+                "{aws} vs {gcp} at hour {h}"
+            );
+        }
+    }
+}
+
+#[test]
+fn provider_filter_excludes_foreign_clouds() {
+    let cat = RegionCatalog::multi_cloud();
+    let universe = cat.all_ids();
+    let home = cat.id_of("us-east-1").unwrap();
+    let dag = {
+        let mut wf = caribou_model::builder::Workflow::new("wf", "0.1");
+        let a = wf.serverless_function("A").register();
+        let b = wf.serverless_function("B").register();
+        wf.invoke(a, b, None);
+        wf.extract_dag().unwrap()
+    };
+    let mut c = Constraints::unconstrained(2);
+    c.workflow = RegionFilter {
+        allowed_providers: vec![Provider::Aws],
+        ..RegionFilter::default()
+    };
+    let permitted = c.permitted_regions(&dag, &universe, &cat, home).unwrap();
+    for set in &permitted {
+        for r in set {
+            assert_eq!(
+                cat.spec(*r).provider,
+                Provider::Aws,
+                "{} leaked through the provider filter",
+                cat.name(*r)
+            );
+        }
+    }
+    // The inverse filter yields GCP-only (plus the always-permitted home).
+    let mut g = Constraints::unconstrained(2);
+    g.workflow = RegionFilter {
+        allowed_providers: vec![Provider::Gcp],
+        ..RegionFilter::default()
+    };
+    let permitted = g.permitted_regions(&dag, &universe, &cat, home).unwrap();
+    for set in &permitted {
+        for r in set {
+            assert!(cat.spec(*r).provider == Provider::Gcp || *r == home);
+        }
+    }
+}

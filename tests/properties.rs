@@ -1,0 +1,319 @@
+//! Property-based integration tests (proptest) over randomly generated
+//! workflows, plans, and traces.
+
+use caribou_carbon::series::CarbonSeries;
+use caribou_carbon::source::TableSource;
+use caribou_exec::engine::{ExecutionEngine, WorkflowApp};
+use caribou_metrics::carbonmodel::{CarbonModel, TransmissionScenario};
+use caribou_metrics::costmodel::CostModel;
+use caribou_metrics::logs::{InvocationLog, LogStore, NodeRecord};
+use caribou_metrics::montecarlo::{DefaultModels, MonteCarloConfig, MonteCarloEstimator};
+use caribou_model::dag::{Edge, NodeId, NodeMeta, WorkflowDag};
+use caribou_model::dist::DistSpec;
+use caribou_model::plan::DeploymentPlan;
+use caribou_model::profile::{EdgeProfile, NodeProfile, WorkflowProfile};
+use caribou_model::region::RegionId;
+use caribou_model::rng::Pcg32;
+use caribou_simcloud::cloud::SimCloud;
+use caribou_simcloud::orchestration::Orchestrator;
+use proptest::prelude::*;
+
+/// A randomly generated, always-valid workflow: node 0 is the unique
+/// start; every later node gets one parent among its predecessors plus
+/// optional extra parents (making it a synchronization node).
+#[derive(Debug, Clone)]
+struct RandomWorkflow {
+    dag: WorkflowDag,
+    profile: WorkflowProfile,
+}
+
+fn random_workflow() -> impl Strategy<Value = RandomWorkflow> {
+    (2usize..8, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = Pcg32::seed(seed);
+        let nodes: Vec<NodeMeta> = (0..n)
+            .map(|i| NodeMeta {
+                name: format!("n{i}"),
+                source_function: format!("f{i}"),
+            })
+            .collect();
+        let mut edges = Vec::new();
+        for i in 1..n {
+            let parent = rng.next_index(i);
+            edges.push(Edge {
+                from: NodeId(parent as u32),
+                to: NodeId(i as u32),
+                conditional: rng.chance(0.3),
+            });
+            // Occasionally add a second parent, creating a sync node.
+            if i >= 2 && rng.chance(0.35) {
+                let mut second = rng.next_index(i);
+                if second == parent {
+                    second = (second + 1) % i;
+                }
+                if second != parent {
+                    edges.push(Edge {
+                        from: NodeId(second as u32),
+                        to: NodeId(i as u32),
+                        conditional: rng.chance(0.3),
+                    });
+                }
+            }
+        }
+        let dag = WorkflowDag::new("random", "0.1", nodes, edges).expect("constructed valid");
+        let profile = WorkflowProfile {
+            nodes: (0..n)
+                .map(|_| NodeProfile {
+                    memory_mb: [512, 1024, 1769][rng.next_index(3)],
+                    exec_time: DistSpec::Constant {
+                        value: rng.uniform(0.2, 5.0),
+                    },
+                    cpu_utilization: rng.uniform(0.3, 0.95),
+                    external_data_bytes: if rng.chance(0.3) {
+                        rng.uniform(1e4, 1e6)
+                    } else {
+                        0.0
+                    },
+                })
+                .collect(),
+            edges: dag
+                .all_edges()
+                .map(|e| EdgeProfile {
+                    payload_bytes: DistSpec::Constant {
+                        value: rng.uniform(1e3, 1e6),
+                    },
+                    probability: if dag.edge(e).conditional {
+                        rng.uniform(0.1, 0.9)
+                    } else {
+                        1.0
+                    },
+                })
+                .collect(),
+            input_bytes: DistSpec::Constant {
+                value: rng.uniform(1e3, 1e5),
+            },
+        };
+        profile.validate(&dag).expect("constructed profile valid");
+        RandomWorkflow { dag, profile }
+    })
+}
+
+fn flat_carbon(cloud: &SimCloud) -> TableSource {
+    let mut t = TableSource::new();
+    for (id, _) in cloud.regions.iter() {
+        t.insert(id, CarbonSeries::new(0, vec![200.0; 24]));
+    }
+    t
+}
+
+fn random_plan(dag: &WorkflowDag, regions: &[RegionId], seed: u64) -> DeploymentPlan {
+    let mut rng = Pcg32::seed(seed ^ 0xdead);
+    DeploymentPlan::new(
+        (0..dag.node_count())
+            .map(|_| regions[rng.next_index(regions.len())])
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The execution engine respects causality on every random workflow
+    /// and random deployment plan: a node starts only after each taken
+    /// predecessor finished, every node executes at most once, and the
+    /// end-to-end latency equals the last finish time.
+    #[test]
+    fn engine_respects_causality(wf in random_workflow(), seed in any::<u64>()) {
+        let mut cloud = SimCloud::aws(seed);
+        cloud.compute.cold_start_prob = 0.0;
+        let carbon = flat_carbon(&cloud);
+        let regions = cloud.regions.evaluation_regions();
+        let app = WorkflowApp {
+            name: "random".into(),
+            dag: wf.dag.clone(),
+            profile: wf.profile.clone(),
+            home: cloud.region("us-east-1"),
+        };
+        let plan = random_plan(&wf.dag, &regions, seed);
+        let engine = ExecutionEngine {
+            carbon_source: &carbon,
+            carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+            orchestrator: Orchestrator::Caribou,
+        };
+        engine.provision(&mut cloud, &app, &plan);
+        let out = engine.invoke(&mut cloud, &app, &plan, 1, 100.0, &mut Pcg32::seed(seed));
+        prop_assert!(out.completed);
+
+        // Each node at most once.
+        let mut seen = std::collections::HashSet::new();
+        for n in &out.log.nodes {
+            prop_assert!(seen.insert(n.node), "node {} executed twice", n.node);
+        }
+        // Start node always executes.
+        prop_assert!(seen.contains(&wf.dag.start().0));
+
+        // Causality along taken edges.
+        let rec = |id: u32| out.log.nodes.iter().find(|n| n.node == id);
+        for e in &out.log.edges {
+            if !e.taken {
+                continue;
+            }
+            let from = wf.dag.edge(caribou_model::dag::EdgeId(e.edge)).from.0;
+            let to = wf.dag.edge(caribou_model::dag::EdgeId(e.edge)).to.0;
+            if let (Some(f), Some(t)) = (rec(from), rec(to)) {
+                prop_assert!(
+                    t.start_s >= f.start_s + f.duration_s - 1e-9,
+                    "edge {}->{} violates causality", from, to
+                );
+            }
+        }
+        // e2e = last finish.
+        let last_finish = out
+            .log
+            .nodes
+            .iter()
+            .map(|n| n.start_s + n.duration_s)
+            .fold(0.0f64, f64::max);
+        prop_assert!((out.e2e_latency_s - last_finish).abs() < 1e-9);
+        // A node with no taken incoming edge must not execute.
+        for n in &out.log.nodes {
+            if NodeId(n.node) == wf.dag.start() {
+                continue;
+            }
+            let any_taken = out.log.edges.iter().any(|e| {
+                e.taken && wf.dag.edge(caribou_model::dag::EdgeId(e.edge)).to.0 == n.node
+            });
+            prop_assert!(any_taken, "node {} ran without a taken in-edge", n.node);
+        }
+    }
+
+    /// The Monte Carlo estimator is finite, positive, and internally
+    /// consistent on random workflows.
+    #[test]
+    fn monte_carlo_estimates_are_sane(wf in random_workflow(), seed in any::<u64>()) {
+        let mut cloud = SimCloud::aws(seed);
+        cloud.compute.cold_start_prob = 0.0;
+        let carbon = flat_carbon(&cloud);
+        let regions = cloud.regions.evaluation_regions();
+        let home = cloud.region("us-east-1");
+        let plan = random_plan(&wf.dag, &regions, seed.wrapping_add(1));
+        let models = DefaultModels {
+            profile: &wf.profile,
+            runtime: &cloud.compute,
+            latency: &cloud.latency,
+            orchestrator: Orchestrator::Caribou,
+        };
+        let est = MonteCarloEstimator {
+            dag: &wf.dag,
+            profile: &wf.profile,
+            carbon_source: &carbon,
+            carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+            cost_model: CostModel::new(&cloud.pricing),
+            models: &models,
+            home,
+            config: MonteCarloConfig {
+                batch: 50,
+                max_samples: 100,
+                cv_threshold: 0.1,
+            },
+        };
+        let s = est.estimate(&plan, 0.5, &mut Pcg32::seed(seed));
+        prop_assert!(s.latency.mean.is_finite() && s.latency.mean > 0.0);
+        prop_assert!(s.cost.mean > 0.0);
+        prop_assert!(s.carbon.mean > 0.0);
+        prop_assert!(s.latency.p95 >= s.latency.mean * 0.5);
+        // Carbon decomposes into execution + transmission.
+        prop_assert!(
+            (s.exec_carbon_mean + s.trans_carbon_mean - s.carbon.mean).abs()
+                / s.carbon.mean < 0.05
+        );
+        // The critical path is at least the start node's execution time.
+        let start_exec = wf.profile.nodes[wf.dag.start().index()].exec_time.mean();
+        prop_assert!(s.latency.mean >= start_exec * 0.9);
+    }
+
+    /// Log retention never exceeds its cap nor its window.
+    #[test]
+    fn log_retention_invariants(cap in 1usize..50, count in 1usize..200, seed in any::<u64>()) {
+        let mut store = LogStore::with_cap(cap);
+        let mut rng = Pcg32::seed(seed);
+        for i in 0..count {
+            let at = i as f64 * rng.uniform(10.0, 100_000.0);
+            store.record(InvocationLog {
+                workflow: "wf".into(),
+                at_s: at,
+                benchmark_traffic: false,
+                nodes: vec![NodeRecord {
+                    node: 0,
+                    region: RegionId(rng.next_bounded(5) as u16),
+                    duration_s: 1.0,
+                    cpu_total_time_s: 0.5,
+                    memory_mb: 1024,
+                    start_s: 0.0,
+                }],
+                edges: vec![],
+                e2e_latency_s: 1.0,
+                cost_usd: 0.0,
+            });
+            prop_assert!(store.len() <= cap.max(1));
+        }
+        if let (Some(first), Some(last)) = (
+            store.logs().first().map(|l| l.at_s),
+            store.logs().last().map(|l| l.at_s),
+        ) {
+            prop_assert!(last - first <= 30.0 * 86_400.0 + 1e-6);
+        }
+    }
+
+    /// Deployment-plan diff/set round trips.
+    #[test]
+    fn plan_diff_set_round_trip(n in 1usize..12, seed in any::<u64>()) {
+        let mut rng = Pcg32::seed(seed);
+        let a = DeploymentPlan::new(
+            (0..n).map(|_| RegionId(rng.next_bounded(6) as u16)).collect(),
+        );
+        let b = DeploymentPlan::new(
+            (0..n).map(|_| RegionId(rng.next_bounded(6) as u16)).collect(),
+        );
+        let diff = a.diff(&b);
+        // Applying b's assignments at the diff indices turns a into b.
+        let mut c = a.clone();
+        for node in &diff {
+            c.set(*node, b.region_of(*node));
+        }
+        prop_assert_eq!(c, b.clone());
+        // Diff is symmetric in size.
+        prop_assert_eq!(diff.len(), b.diff(&a).len());
+    }
+
+    /// The synthetic carbon source is strictly positive and deterministic
+    /// over arbitrary query times, including negative (pre-epoch) hours.
+    #[test]
+    fn synthetic_carbon_positive_everywhere(hour in -5000.0f64..5000.0, seed in any::<u64>()) {
+        use caribou_carbon::synth::SyntheticCarbonSource;
+        let s = SyntheticCarbonSource::aws_calibrated(seed);
+        for zone in ["US-MIDA-PJM", "US-CAL-CISO", "US-NW-PACW", "CA-QC"] {
+            let v = s.zone_intensity(zone, hour);
+            prop_assert!(v > 0.0 && v.is_finite());
+            prop_assert_eq!(v, s.zone_intensity(zone, hour));
+        }
+    }
+
+    /// Holt-Winters forecasts have the requested horizon and stay finite
+    /// and non-negative on arbitrary positive series.
+    #[test]
+    fn forecast_shape_invariants(seed in any::<u64>(), horizon in 1usize..200) {
+        use caribou_carbon::forecast::HoltWinters;
+        let mut rng = Pcg32::seed(seed);
+        let data: Vec<f64> = (0..96)
+            .map(|h| {
+                200.0
+                    + 50.0 * (std::f64::consts::TAU * (h % 24) as f64 / 24.0).cos()
+                    + rng.normal(0.0, 10.0)
+            })
+            .collect();
+        let hw = HoltWinters::fit(&data, 24);
+        let f = hw.forecast(horizon);
+        prop_assert_eq!(f.len(), horizon);
+        prop_assert!(f.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+}
