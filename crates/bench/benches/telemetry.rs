@@ -1,0 +1,53 @@
+//! Telemetry recorder overhead: how much a count/event/observe costs when
+//! telemetry is disabled (the production default — one thread-local bool),
+//! when enabled through the NullSink, and when streaming into a MemorySink.
+//! The disabled numbers are the ones that matter: instrumentation is
+//! compiled into every hot path of the simulator, so they must stay in the
+//! low-nanosecond range.
+
+use caribou_telemetry::{MemorySink, NullSink};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_disabled(c: &mut Criterion) {
+    assert!(!caribou_telemetry::is_enabled());
+    c.bench_function("telemetry/disabled_count", |b| {
+        b.iter(|| caribou_telemetry::count("bench.counter", 1));
+    });
+    c.bench_function("telemetry/disabled_observe", |b| {
+        b.iter(|| caribou_telemetry::observe("bench.hist", 0.125));
+    });
+    c.bench_function("telemetry/disabled_event", |b| {
+        b.iter(|| caribou_telemetry::event("bench.event", "label", 1.0));
+    });
+    c.bench_function("telemetry/disabled_span_at", |b| {
+        b.iter(|| caribou_telemetry::span_at("bench", "span", 0.0, 1.0, 0, "t"));
+    });
+}
+
+fn bench_null_sink(c: &mut Criterion) {
+    caribou_telemetry::enable(Box::new(NullSink));
+    c.bench_function("telemetry/null_count", |b| {
+        b.iter(|| caribou_telemetry::count("bench.counter", 1));
+    });
+    c.bench_function("telemetry/null_observe", |b| {
+        b.iter(|| caribou_telemetry::observe("bench.hist", 0.125));
+    });
+    c.bench_function("telemetry/null_event", |b| {
+        b.iter(|| caribou_telemetry::event("bench.event", "label", 1.0));
+    });
+    c.bench_function("telemetry/null_span_at", |b| {
+        b.iter(|| caribou_telemetry::span_at("bench", "span", 0.0, 1.0, 0, "t"));
+    });
+    caribou_telemetry::finish();
+}
+
+fn bench_memory_sink(c: &mut Criterion) {
+    caribou_telemetry::enable(Box::new(MemorySink::default()));
+    c.bench_function("telemetry/memory_event", |b| {
+        b.iter(|| caribou_telemetry::event("bench.event", "label", 1.0));
+    });
+    caribou_telemetry::finish();
+}
+
+criterion_group!(benches, bench_disabled, bench_null_sink, bench_memory_sink);
+criterion_main!(benches);

@@ -8,7 +8,8 @@
 //! caribou plan <benchmark> [--input small|large] [--hour H]
 //!                                           # solve a deployment plan
 //! caribou simulate <benchmark> [--days D] [--per-day N] [--worst-case]
-//!                                           # run the full framework loop
+//!                  [--telemetry out.jsonl]  # run the full framework loop
+//! caribou trace <journal.jsonl> [--limit N] # replay a telemetry journal
 //! caribou benchmarks                        # list available benchmarks
 //! ```
 //!
@@ -44,6 +45,8 @@ USAGE:
     caribou carbon <region> [--hours N]
     caribou plan <benchmark> [--input small|large] [--hour H] [--worst-case]
     caribou simulate <benchmark> [--input small|large] [--days D] [--per-day N] [--worst-case]
+                     [--telemetry <out.jsonl>] [--json]
+    caribou trace <journal.jsonl> [--limit N]
 ";
 
 fn main() -> ExitCode {
@@ -54,6 +57,7 @@ fn main() -> ExitCode {
         Some("carbon") => cmd_carbon(&args[1..]),
         Some("plan") => cmd_plan(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
@@ -296,12 +300,29 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let idx = caribou
         .deploy(app, &manifest, constraints)
         .map_err(|e| e.to_string())?;
+    let telemetry_path = flag(args, "--telemetry");
+    if let Some(path) = telemetry_path {
+        let sink = caribou_telemetry::JsonlSink::create(path)
+            .map_err(|e| format!("--telemetry {path}: {e}"))?;
+        caribou_telemetry::enable(Box::new(sink));
+    }
     let trace = uniform_trace(30.0, days * 86_400.0, per_day);
     eprintln!(
         "simulating {} invocations over {days} day(s)...",
         trace.len()
     );
     let report = caribou.run_trace(idx, &trace);
+    if let Some(path) = telemetry_path {
+        if let Some(finished) = caribou_telemetry::finish() {
+            let r = &finished.recorder;
+            eprintln!(
+                "telemetry: {} event kinds, {} journal entries ({} dropped) -> {path}",
+                r.counters.len(),
+                r.journal.len(),
+                r.journal.dropped()
+            );
+        }
+    }
 
     println!("invocations:       {}", report.samples.len());
     println!(
@@ -349,6 +370,28 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             serde_json::to_string_pretty(&report.summary_json()).expect("summary serializes")
         );
     }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .ok_or("usage: caribou trace <journal.jsonl> [--limit N]")?;
+    let limit: usize = flag(args, "--limit")
+        .map(|v| v.parse().map_err(|e| format!("--limit: {e}")))
+        .transpose()?
+        .unwrap_or(60);
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let lines = caribou_telemetry::replay::parse_journal(&text);
+    if lines.is_empty() {
+        return Err(format!("{path}: no telemetry records found"));
+    }
+    print!(
+        "{}",
+        caribou_telemetry::replay::render_timeline(&lines, limit)
+    );
+    println!();
+    print!("{}", caribou_telemetry::replay::render_summary(&lines));
     Ok(())
 }
 

@@ -435,6 +435,8 @@ impl<S: CarbonDataSource> Caribou<S> {
 
         // Solve on forecast data only (§7.2): the framework knows the past
         // and Holt-Winters-extrapolates the future.
+        let _solve_span = caribou_telemetry::is_enabled()
+            .then(|| caribou_telemetry::wall_span("core", "manager.solve_and_rollout"));
         let plans = {
             let state = &self.workflows[idx];
             let dag = &state.dep.app.dag;

@@ -114,6 +114,14 @@ impl DeploymentManager {
             (self.stable_interval_s * 1.7).min(MAX_STABLE_S)
         };
         self.bucket.next_check_s = now_s + self.stable_interval_s;
+        if caribou_telemetry::is_enabled() {
+            caribou_telemetry::event_at(
+                now_s,
+                "manager.cadence_change",
+                if plans_changed { "reset" } else { "stretch" },
+                self.stable_interval_s,
+            );
+        }
         self.stable_interval_s
     }
 
@@ -184,6 +192,22 @@ impl DeploymentManager {
         }
         self.bucket
             .schedule_next_check(now_s, earn_rate, hourly_cost);
+        if caribou_telemetry::is_enabled() {
+            caribou_telemetry::gauge("manager.token_level_g", self.bucket.tokens());
+            caribou_telemetry::count("manager.token_check", 1);
+            match decision {
+                SolveDecision::Skip => {}
+                SolveDecision::Daily => {
+                    caribou_telemetry::event_at(now_s, "manager.dp_generation", "daily", daily_cost)
+                }
+                SolveDecision::Hourly => caribou_telemetry::event_at(
+                    now_s,
+                    "manager.dp_generation",
+                    "hourly",
+                    hourly_cost,
+                ),
+            }
+        }
         decision
     }
 }

@@ -62,6 +62,15 @@ impl Migrator {
                 .faults
                 .deploy_fails(region, now_s + report.duration_s, &mut rng)
             {
+                if caribou_telemetry::is_enabled() {
+                    // The §6.1 fallback: failed rollout, traffic stays home.
+                    caribou_telemetry::event_at(
+                        now_s,
+                        "migrator.rollback",
+                        format!("{}@r{}", workflow.app.name, region.0),
+                        0.0,
+                    );
+                }
                 workflow.pending = Some(plans);
                 return Err(CoreError::DeploymentFailed {
                     region,
@@ -117,6 +126,18 @@ impl Migrator {
         workflow.router.activate(plans);
         workflow.pending = None;
         report.activated = true;
+        if caribou_telemetry::is_enabled() {
+            caribou_telemetry::event_at(
+                now_s,
+                "migrator.migration",
+                &workflow.app.name,
+                report.newly_deployed.len() as f64,
+            );
+            caribou_telemetry::count(
+                "migrator.regions_deployed",
+                report.newly_deployed.len() as u64,
+            );
+        }
         Ok(report)
     }
 

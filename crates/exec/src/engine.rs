@@ -162,6 +162,13 @@ impl<S: CarbonDataSource> ExecutionEngine<'_, S> {
             .map(|r| r.start_s + r.duration_s)
             .fold(0.0f64, f64::max);
         let cost = ctx.meter.cost(&ctx.cloud.pricing);
+        if caribou_telemetry::is_enabled() {
+            caribou_telemetry::event_at(at_s, "exec.invocation", &app.name, e2e);
+            caribou_telemetry::span_at("invocation", &app.name, at_s, e2e, inv_id, "invocation");
+            if !ctx.completed {
+                caribou_telemetry::count("exec.incomplete", 1);
+            }
+        }
         ctx.cloud.meter.merge(&ctx.meter);
         ExecutionOutcome {
             log: InvocationLog {
@@ -277,7 +284,18 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
                 .warm
                 .check_and_touch(&self.app.name, node.0, region, self.at_s + t)
         } else {
-            self.rng.chance(self.cloud.compute.cold_start_prob)
+            let cold = self.rng.chance(self.cloud.compute.cold_start_prob);
+            if caribou_telemetry::is_enabled() {
+                caribou_telemetry::count(
+                    if cold {
+                        "compute.cold_start"
+                    } else {
+                        "compute.warm_start"
+                    },
+                    1,
+                );
+            }
+            cold
         };
         let record = self.cloud.compute.execute_forced(
             region,
@@ -317,6 +335,17 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
             memory_mb: p.memory_mb,
             start_s: t,
         });
+        if caribou_telemetry::is_enabled() {
+            caribou_telemetry::span_at(
+                "exec",
+                &self.app.dag.node(node).name,
+                self.at_s + t,
+                duration,
+                self.inv_id,
+                format!("node:{}@r{}", node.0, region.0),
+            );
+            caribou_telemetry::observe("exec.node_duration_s", duration);
+        }
 
         // Decide and dispatch every outgoing edge.
         let finish = self.finish[node.index()];
@@ -377,6 +406,16 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
                     bytes: payload,
                     latency_s: decision_t - t,
                 });
+                if caribou_telemetry::is_enabled() {
+                    caribou_telemetry::span_at(
+                        "sync",
+                        format!("annotate n{}", succ.0),
+                        self.at_s + t,
+                        decision_t - t,
+                        self.inv_id,
+                        format!("edge:{}", eid.0),
+                    );
+                }
                 self.check_sync(succ);
                 return;
             }
@@ -431,6 +470,16 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
                 bytes: payload,
                 latency_s: arrival - t,
             });
+            if caribou_telemetry::is_enabled() {
+                caribou_telemetry::span_at(
+                    "hop",
+                    format!("e{} r{}->r{}", eid.0, from_region.0, succ_region.0),
+                    self.at_s + t,
+                    arrival - t,
+                    self.inv_id,
+                    format!("edge:{}", eid.0),
+                );
+            }
             // The successor's wrapper reads the intermediate data.
             let read_latency = self.load_intermediate(eid, succ_region);
             self.queue.push(arrival + read_latency, succ);
@@ -560,11 +609,18 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
     /// simulation time) performs the invocation — regardless of the order
     /// the engine processed the branches in.
     fn check_sync(&mut self, succ: NodeId) {
+        let telemetry = caribou_telemetry::is_enabled();
+        if telemetry {
+            caribou_telemetry::count("sync.condition_eval", 1);
+        }
         let in_edges = self.app.dag.in_edges(succ);
         if !in_edges
             .iter()
             .all(|e| self.edge_state[e.index()].is_decided())
         {
+            if telemetry {
+                caribou_telemetry::count("sync.condition_pending", 1);
+            }
             return;
         }
         let mut any_taken = false;
@@ -580,8 +636,14 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
             }
         }
         if !any_taken {
+            if telemetry {
+                caribou_telemetry::event("sync.not_fired", format!("n{}", succ.0), last_at);
+            }
             self.mark_node_dead_downstream(succ, last_at);
             return;
+        }
+        if telemetry {
+            caribou_telemetry::event("sync.fired", format!("n{}", succ.0), last_at);
         }
         let succ_region = self.plan.region_of(succ);
         let lm = latency_clone(self.cloud);
@@ -623,6 +685,9 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
     fn mark_node_dead_downstream(&mut self, node: NodeId, t: f64) {
         if std::mem::replace(&mut self.node_dead[node.index()], true) {
             return;
+        }
+        if caribou_telemetry::is_enabled() {
+            caribou_telemetry::count("exec.skip_propagation", 1);
         }
         let region = self.plan.region_of(node);
         let out: Vec<EdgeId> = self.app.dag.out_edges(node).to_vec();

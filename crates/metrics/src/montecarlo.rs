@@ -186,6 +186,18 @@ impl<S: CarbonDataSource, M: StageModels> MonteCarloEstimator<'_, S, M> {
                 && carbon.rel_std_error() < self.config.cv_threshold;
             if converged || latencies.len() >= self.config.max_samples {
                 let n = latencies.len();
+                if caribou_telemetry::is_enabled() {
+                    caribou_telemetry::count("montecarlo.batches", (n / self.config.batch) as u64);
+                    caribou_telemetry::count("montecarlo.samples", n as u64);
+                    let cv_at_stop = latency
+                        .rel_std_error()
+                        .max(cost.rel_std_error())
+                        .max(carbon.rel_std_error());
+                    caribou_telemetry::observe("montecarlo.cv_at_stop", cv_at_stop);
+                    if !converged {
+                        caribou_telemetry::count("montecarlo.sample_cap_hit", 1);
+                    }
+                }
                 return EstimateSummary {
                     latency,
                     cost,

@@ -240,9 +240,7 @@ mod tests {
         assert_eq!(c.objective, Objective::Cost);
         assert!((c.tolerances.latency - 0.2).abs() < 1e-12);
         assert_eq!(c.per_node.len(), 3);
-        assert!(!c
-            .workflow
-            .permits(cat.id_of("ca-central-1").unwrap(), &cat));
+        assert!(!c.workflow.permits(cat.id_of("ca-central-1").unwrap(), &cat));
         assert!(c.workflow.permits(cat.id_of("us-west-2").unwrap(), &cat));
     }
 

@@ -66,12 +66,20 @@ impl SimClock {
             t
         );
         self.now = self.now.max(t);
+        if caribou_telemetry::is_enabled() {
+            caribou_telemetry::set_sim_now(self.now);
+            caribou_telemetry::count("clock.advance", 1);
+        }
     }
 
     /// Advances the clock by a non-negative duration.
     pub fn advance_by(&mut self, dt: f64) {
         assert!(dt >= 0.0, "negative duration");
         self.now += dt;
+        if caribou_telemetry::is_enabled() {
+            caribou_telemetry::set_sim_now(self.now);
+            caribou_telemetry::count("clock.advance", 1);
+        }
     }
 }
 

@@ -54,7 +54,11 @@ impl FaultPlan {
 
     /// Samples whether a deployment attempt fails.
     pub fn deploy_fails(&self, region: RegionId, t: SimTime, rng: &mut Pcg32) -> bool {
-        self.region_down(region, t) || rng.chance(self.deploy_failure_prob)
+        let fails = self.region_down(region, t) || rng.chance(self.deploy_failure_prob);
+        if fails && caribou_telemetry::is_enabled() {
+            caribou_telemetry::event_at(t, "fault.deploy_failure", format!("r{}", region.0), 0.0);
+        }
+        fails
     }
 }
 

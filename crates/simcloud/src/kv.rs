@@ -95,6 +95,10 @@ impl KvStore {
         let c = self.ops.entry(home).or_default();
         c.reads += reads;
         c.writes += writes;
+        if caribou_telemetry::is_enabled() {
+            caribou_telemetry::count("kv.read", reads);
+            caribou_telemetry::count("kv.write", writes);
+        }
     }
 
     /// Reads a key.
@@ -159,7 +163,16 @@ impl KvStore {
         f: impl FnOnce(Option<&Bytes>) -> Bytes,
     ) -> KvAccess {
         let entry_key = (table.to_string(), key.to_string());
-        let new = f(self.data.get(&entry_key));
+        let prev = self.data.get(&entry_key);
+        if caribou_telemetry::is_enabled() {
+            // A read-modify-write over an existing annotation means another
+            // writer got there first — the contended case of §4.
+            if prev.is_some() {
+                caribou_telemetry::event("kv.rmw_conflict", key, 0.0);
+            }
+            caribou_telemetry::count("kv.rmw", 1);
+        }
+        let new = f(prev);
         let size = new.len() as f64;
         self.data.insert(entry_key, new.clone());
         let latency_s = self.op_latency(table, from, latency, size, rng);

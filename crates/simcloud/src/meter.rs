@@ -6,7 +6,7 @@
 //! and for the framework's own overhead accounting (§5.2: the control
 //! logic's overhead must stay below the savings).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use caribou_model::region::RegionId;
 use serde::{Deserialize, Serialize};
@@ -14,24 +14,27 @@ use serde::{Deserialize, Serialize};
 use crate::pricing::PricingCatalog;
 
 /// Accumulated usage, decomposable by region.
+///
+/// Keyed by `BTreeMap` so that iteration (summing costs, serializing to
+/// JSON/CSV) is deterministic — byte-stable output for identical runs.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct UsageMeter {
     /// Lambda GB-seconds per region.
-    pub lambda_gb_s: HashMap<RegionId, f64>,
+    pub lambda_gb_s: BTreeMap<RegionId, f64>,
     /// Lambda invocation counts per region.
-    pub lambda_requests: HashMap<RegionId, u64>,
+    pub lambda_requests: BTreeMap<RegionId, u64>,
     /// SNS publishes per region.
-    pub sns_publishes: HashMap<RegionId, u64>,
+    pub sns_publishes: BTreeMap<RegionId, u64>,
     /// DynamoDB reads per region.
-    pub kv_reads: HashMap<RegionId, u64>,
+    pub kv_reads: BTreeMap<RegionId, u64>,
     /// DynamoDB writes per region.
-    pub kv_writes: HashMap<RegionId, u64>,
+    pub kv_writes: BTreeMap<RegionId, u64>,
     /// Object-storage GETs per region.
-    pub blob_gets: HashMap<RegionId, u64>,
+    pub blob_gets: BTreeMap<RegionId, u64>,
     /// Object-storage PUTs per region.
-    pub blob_puts: HashMap<RegionId, u64>,
+    pub blob_puts: BTreeMap<RegionId, u64>,
     /// Egress bytes per (from, to) region pair, `from != to`.
-    pub egress_bytes: HashMap<(RegionId, RegionId), f64>,
+    pub egress_bytes: BTreeMap<(RegionId, RegionId), f64>,
 }
 
 impl UsageMeter {

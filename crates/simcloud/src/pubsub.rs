@@ -104,12 +104,23 @@ impl PubSub {
             key.region
         );
         *self.publishes.entry(from).or_insert(0) += 1;
+        let telemetry = caribou_telemetry::is_enabled();
+        if telemetry {
+            caribou_telemetry::event("pubsub.publish", &key.stage, payload_bytes);
+        }
         let mut total = rng.lognormal(PUBLISH_OVERHEAD_MEDIAN_S.ln(), PUBLISH_OVERHEAD_SIGMA);
         let mut attempts = 0;
         while attempts < MAX_ATTEMPTS {
             attempts += 1;
             total += latency.sample_transfer_seconds(from, key.region, payload_bytes, rng);
             if !rng.chance(self.drop_probability) {
+                if telemetry {
+                    caribou_telemetry::count("pubsub.ack", 1);
+                    if attempts > 1 {
+                        caribou_telemetry::event("pubsub.retry", &key.stage, (attempts - 1) as f64);
+                    }
+                    caribou_telemetry::observe("pubsub.delivery_latency_s", total);
+                }
                 return Delivery {
                     latency_s: total,
                     attempts,
@@ -117,6 +128,9 @@ impl PubSub {
                 };
             }
             total += RETRY_BACKOFF_S;
+        }
+        if telemetry {
+            caribou_telemetry::event("pubsub.dead_letter", &key.stage, attempts as f64);
         }
         Delivery {
             latency_s: total,

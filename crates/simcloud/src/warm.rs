@@ -79,6 +79,16 @@ impl WarmPool {
             None => true,
         };
         self.last_seen.insert(key, now);
+        if caribou_telemetry::is_enabled() {
+            caribou_telemetry::count(
+                if cold {
+                    "compute.cold_start"
+                } else {
+                    "compute.warm_start"
+                },
+                1,
+            );
+        }
         cold
     }
 

@@ -77,6 +77,8 @@ impl HbssSolver {
         hour: f64,
         rng: &mut Pcg32,
     ) -> SolveOutcome {
+        let telemetry = caribou_telemetry::is_enabled();
+        let _solve_span = telemetry.then(|| caribou_telemetry::wall_span("solver", "hbss.solve"));
         let p = &self.params;
         let n_nodes = ctx.dag.node_count();
         let n_regions = ctx
@@ -119,6 +121,8 @@ impl HbssSolver {
         let mut best_metric = current_metric;
         let mut best_estimate = home_estimate;
 
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
         let mut i = 0usize;
         while i < alpha {
             let nd = self.gen_new_deployment(&current_plan, &ranked, p.beta, rng);
@@ -129,6 +133,9 @@ impl HbssSolver {
             let estimate = ctx.evaluate(&nd, hour, rng);
             evaluated += 1;
             if ctx.violates_tolerance(&estimate, &home_estimate) {
+                if telemetry {
+                    caribou_telemetry::count("solver.infeasible", 1);
+                }
                 continue;
             }
             let metric = ctx.metric_of(&estimate);
@@ -141,13 +148,28 @@ impl HbssSolver {
             let accept = metric < current_metric
                 || self.stochastic_mutation(gamma, current_metric, metric, p.mutation_scale, rng);
             if accept {
+                accepted += 1;
                 current_plan = nd;
                 current_metric = metric;
                 gamma *= p.gamma_decay;
+                if telemetry {
+                    // The temperature trajectory: one point per acceptance.
+                    caribou_telemetry::event("solver.accept", format!("h{}", hour as u64), gamma);
+                }
+            } else {
+                rejected += 1;
             }
             if seen.len() >= space {
                 break;
             }
+        }
+        if telemetry {
+            caribou_telemetry::count("solver.iterations", i as u64);
+            caribou_telemetry::count("solver.accepted", accepted);
+            caribou_telemetry::count("solver.rejected", rejected);
+            caribou_telemetry::count("solver.evaluated", evaluated as u64);
+            caribou_telemetry::gauge("solver.gamma", gamma);
+            caribou_telemetry::event("solver.solve", format!("h{}", hour as u64), i as f64);
         }
 
         feasible.sort_by(|a, b| a.1.total_cmp(&b.1));

@@ -1,0 +1,387 @@
+//! `caribou-telemetry` — tracing, metrics and event-journal subsystem for
+//! the Caribou stack.
+//!
+//! Instrumented code (simcloud, exec, solver, core, metrics) calls the free
+//! functions in this module — [`count`], [`gauge`], [`observe`], [`event`],
+//! [`span_at`], [`wall_span`] — which are no-ops costing one thread-local
+//! boolean check unless a session is active. Sessions are per-thread: the
+//! simulator is single-threaded, so no locks appear on hot paths and
+//! parallel test threads get independent recorders.
+//!
+//! ```no_run
+//! use caribou_telemetry as telemetry;
+//!
+//! telemetry::enable(Box::new(telemetry::MemorySink::default()));
+//! telemetry::count("pubsub.publish", 1);
+//! telemetry::event("pubsub.retry", "us-east-1", 2.0);
+//! let session = telemetry::finish().unwrap();
+//! assert_eq!(session.recorder.counter("pubsub.publish"), 1);
+//! ```
+
+pub mod recorder;
+pub mod replay;
+pub mod sink;
+pub mod span;
+
+use std::cell::{Cell, RefCell};
+
+pub use recorder::{Event, Histogram, Journal, Recorder, HISTOGRAM_BUCKETS, MIN_BUCKET};
+pub use sink::{JsonlSink, MemorySink, NullSink, TelemetrySink};
+pub use span::{chrome_trace, flame_summary, SpanRecord, WallSpanGuard};
+
+/// Default ring-buffer capacity of the event journal.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 65_536;
+
+struct Session {
+    recorder: Recorder,
+    sink: Box<dyn TelemetrySink>,
+    /// Virtual sim time, fed by the sim clock so events don't need a time
+    /// parameter threaded through every call site.
+    sim_now_s: f64,
+    /// Current wall-span nesting depth.
+    depth: u32,
+    /// Wall epoch for guard spans.
+    epoch: std::time::Instant,
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static SESSION: RefCell<Option<Session>> = const { RefCell::new(None) };
+}
+
+/// A finished telemetry session: the final aggregates and the sink, handed
+/// back so callers can extract buffered data (e.g. [`MemorySink`]).
+pub struct FinishedSession {
+    pub recorder: Recorder,
+    pub sink: Box<dyn TelemetrySink>,
+}
+
+/// Whether a telemetry session is active on this thread.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Start a session on this thread with the default journal capacity.
+pub fn enable(sink: Box<dyn TelemetrySink>) {
+    enable_with_capacity(sink, DEFAULT_JOURNAL_CAPACITY);
+}
+
+/// Start a session with an explicit journal ring-buffer capacity.
+pub fn enable_with_capacity(sink: Box<dyn TelemetrySink>, journal_capacity: usize) {
+    SESSION.with(|s| {
+        *s.borrow_mut() = Some(Session {
+            recorder: Recorder::new(journal_capacity),
+            sink,
+            sim_now_s: 0.0,
+            depth: 0,
+            epoch: std::time::Instant::now(),
+        });
+    });
+    ENABLED.with(|e| e.set(true));
+}
+
+/// End the session: flushes the summary to the sink and returns both the
+/// recorder and the sink. Returns `None` if no session was active.
+pub fn finish() -> Option<FinishedSession> {
+    ENABLED.with(|e| e.set(false));
+    SESSION.with(|s| s.borrow_mut().take()).map(|mut session| {
+        session.sink.finish(&session.recorder);
+        FinishedSession {
+            recorder: session.recorder,
+            sink: session.sink,
+        }
+    })
+}
+
+#[inline]
+fn with_session<R>(f: impl FnOnce(&mut Session) -> R) -> Option<R> {
+    if !is_enabled() {
+        return None;
+    }
+    SESSION.with(|s| s.borrow_mut().as_mut().map(f))
+}
+
+/// Feed the current virtual sim time; the sim clock calls this on advance.
+#[inline]
+pub fn set_sim_now(t_s: f64) {
+    if !is_enabled() {
+        return;
+    }
+    with_session(|s| s.sim_now_s = t_s);
+}
+
+/// Current virtual sim time as last fed by the clock.
+#[inline]
+pub fn sim_now() -> f64 {
+    with_session(|s| s.sim_now_s).unwrap_or(0.0)
+}
+
+/// Increment a counter.
+#[inline]
+pub fn count(key: &'static str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    with_session(|s| s.recorder.count(key, delta));
+}
+
+/// Set a gauge to its latest value.
+#[inline]
+pub fn gauge(key: &'static str, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    with_session(|s| s.recorder.gauge(key, value));
+}
+
+/// Record an observation into a log-scale histogram.
+#[inline]
+pub fn observe(key: &'static str, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    with_session(|s| s.recorder.observe(key, value));
+}
+
+/// Append an event to the journal at the current sim time and stream it to
+/// the sink. `label` is only materialized when a session is active.
+#[inline]
+pub fn event(kind: &'static str, label: impl AsRef<str>, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    with_session(|s| {
+        let e = Event {
+            t_s: s.sim_now_s,
+            kind,
+            label: label.as_ref().to_string(),
+            value,
+        };
+        s.sink.record_event(&e);
+        s.recorder.journal.push(e);
+        s.recorder.count(kind, 1);
+    });
+}
+
+/// Like [`event`] but with an explicit sim timestamp.
+#[inline]
+pub fn event_at(t_s: f64, kind: &'static str, label: impl AsRef<str>, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    with_session(|s| {
+        let e = Event {
+            t_s,
+            kind,
+            label: label.as_ref().to_string(),
+            value,
+        };
+        s.sink.record_event(&e);
+        s.recorder.journal.push(e);
+        s.recorder.count(kind, 1);
+    });
+}
+
+/// Record a completed sim-time span: the simulator knows the modeled
+/// `(start, duration)` pair, so no guard object is needed. `pid` groups
+/// spans per invocation; `tid` is the lane within it (node name, `pubsub`).
+#[inline]
+pub fn span_at(
+    cat: &'static str,
+    name: impl AsRef<str>,
+    start_s: f64,
+    dur_s: f64,
+    pid: u64,
+    tid: impl AsRef<str>,
+) {
+    if !is_enabled() {
+        return;
+    }
+    with_session(|s| {
+        let rec = SpanRecord {
+            name: name.as_ref().to_string(),
+            cat,
+            ts_us: (start_s.max(0.0) * 1e6) as u64,
+            dur_us: (dur_s.max(0.0) * 1e6).round() as u64,
+            pid,
+            tid: tid.as_ref().to_string(),
+            depth: 0,
+        };
+        s.sink.record_span(&rec);
+    });
+}
+
+/// Start a wall-clock span guard; records on drop. Use the [`span!`] macro
+/// for brevity. Nesting depth is tracked per thread.
+pub fn wall_span(cat: &'static str, name: impl AsRef<str>) -> WallSpanGuard {
+    let active = is_enabled();
+    if active {
+        with_session(|s| s.depth += 1);
+    }
+    WallSpanGuard {
+        name: name.as_ref().to_string(),
+        cat,
+        start: std::time::Instant::now(),
+        active,
+    }
+}
+
+pub(crate) fn finish_wall_span(guard: &mut span::WallSpanGuard) {
+    with_session(|s| {
+        let dur = guard.start.elapsed();
+        s.depth = s.depth.saturating_sub(1);
+        let rec = SpanRecord {
+            name: guard.name.clone(),
+            cat: guard.cat,
+            ts_us: guard.start.saturating_duration_since(s.epoch).as_micros() as u64,
+            dur_us: dur.as_micros() as u64,
+            pid: 0,
+            tid: format!("wall:{}", guard.cat),
+            depth: s.depth,
+        };
+        s.sink.record_span(&rec);
+        s.recorder
+            .observe(guard.name.leak_or_static(), dur.as_secs_f64());
+    });
+}
+
+trait LeakOrStatic {
+    fn leak_or_static(&self) -> &'static str;
+}
+
+impl LeakOrStatic for String {
+    /// Wall spans observe into a histogram keyed by `&'static str`; span
+    /// names come from a small fixed set of call sites, so interning by
+    /// leaking is bounded.
+    fn leak_or_static(&self) -> &'static str {
+        use std::collections::BTreeSet;
+        use std::sync::Mutex;
+        static INTERNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+        let mut set = INTERNED.lock().unwrap();
+        if let Some(s) = set.get(self.as_str()) {
+            return s;
+        }
+        let leaked: &'static str = Box::leak(self.clone().into_boxed_str());
+        set.insert(leaked);
+        leaked
+    }
+}
+
+/// Run `f` against the active recorder (e.g. to snapshot counters mid-run).
+pub fn with_recorder<R>(f: impl FnOnce(&Recorder) -> R) -> Option<R> {
+    with_session(|s| f(&s.recorder))
+}
+
+#[cfg(test)]
+mod tests {
+    // Sessions are thread-local and the test harness gives each test its
+    // own thread, so these lifecycle tests don't interfere.
+    use super::*;
+
+    #[test]
+    fn disabled_calls_are_noops_and_finish_returns_none() {
+        assert!(!is_enabled());
+        count("x", 1);
+        gauge("g", 1.0);
+        observe("h", 1.0);
+        event("e.kind", "label", 0.0);
+        span_at("cat", "name", 0.0, 1.0, 0, "t");
+        {
+            let _g = wall_span("cat", "guard");
+        }
+        assert!(finish().is_none());
+    }
+
+    #[test]
+    fn session_records_and_hands_back_sink() {
+        enable(Box::new(MemorySink::default()));
+        assert!(is_enabled());
+        set_sim_now(10.0);
+        assert_eq!(sim_now(), 10.0);
+        count("kv.read", 3);
+        gauge("tokens", 2.5);
+        observe("lat", 0.125);
+        event("pubsub.publish", "r0", 1.0);
+        event_at(42.0, "pubsub.ack", "r1", 0.0);
+        span_at("exec", "nodeA", 10.0, 0.5, 7, "node:0");
+
+        let finished = finish().expect("session was active");
+        assert!(!is_enabled());
+        assert_eq!(finished.recorder.counter("kv.read"), 3);
+        // Events also bump a counter under their kind.
+        assert_eq!(finished.recorder.counter("pubsub.publish"), 1);
+        assert_eq!(finished.recorder.gauges["tokens"], 2.5);
+        assert_eq!(finished.recorder.journal.len(), 2);
+        let times: Vec<f64> = finished.recorder.journal.iter().map(|e| e.t_s).collect();
+        assert_eq!(times, [10.0, 42.0]);
+
+        let sink = finished
+            .sink
+            .as_any()
+            .downcast_ref::<MemorySink>()
+            .expect("downcast the sink we enabled with");
+        assert_eq!(sink.events.len(), 2);
+        assert_eq!(sink.spans.len(), 1);
+        assert_eq!(sink.spans[0].name, "nodeA");
+        assert_eq!(sink.spans[0].ts_us, 10_000_000);
+        assert_eq!(sink.spans[0].dur_us, 500_000);
+        assert_eq!(sink.spans[0].pid, 7);
+    }
+
+    #[test]
+    fn wall_span_nesting_tracks_depth_and_observes_duration() {
+        enable(Box::new(MemorySink::default()));
+        {
+            let _outer = wall_span("solver", "outer");
+            {
+                let _inner = wall_span("solver", "inner");
+            }
+        }
+        let finished = finish().unwrap();
+        let sink = finished.sink.as_any().downcast_ref::<MemorySink>().unwrap();
+        // Guards record on drop: inner first at depth 1, outer at depth 0.
+        assert_eq!(sink.spans.len(), 2);
+        assert_eq!(sink.spans[0].name, "inner");
+        assert_eq!(sink.spans[0].depth, 1);
+        assert_eq!(sink.spans[1].name, "outer");
+        assert_eq!(sink.spans[1].depth, 0);
+        assert_eq!(finished.recorder.histograms["outer"].count, 1);
+        assert_eq!(finished.recorder.histograms["inner"].count, 1);
+    }
+
+    #[test]
+    fn wall_span_guard_from_disabled_period_stays_inert() {
+        // A guard taken while disabled must not record even if a session
+        // starts before it drops.
+        let guard = wall_span("cat", "stale");
+        enable(Box::new(MemorySink::default()));
+        drop(guard);
+        let finished = finish().unwrap();
+        let sink = finished.sink.as_any().downcast_ref::<MemorySink>().unwrap();
+        assert!(sink.spans.is_empty());
+    }
+
+    #[test]
+    fn journal_capacity_is_honored_by_the_session() {
+        enable_with_capacity(Box::new(NullSink), 3);
+        for i in 0..8 {
+            event("cap.test", format!("e{i}"), i as f64);
+        }
+        let finished = finish().unwrap();
+        assert_eq!(finished.recorder.journal.len(), 3);
+        assert_eq!(finished.recorder.journal.dropped(), 5);
+        // The counter still saw all eight.
+        assert_eq!(finished.recorder.counter("cap.test"), 8);
+    }
+
+    #[test]
+    fn with_recorder_snapshots_mid_session() {
+        assert!(with_recorder(|_| ()).is_none());
+        enable(Box::new(NullSink));
+        count("mid", 4);
+        let snap = with_recorder(|r| r.counter("mid"));
+        assert_eq!(snap, Some(4));
+        finish();
+    }
+}

@@ -1,0 +1,338 @@
+//! The [`Recorder`]: counters, gauges, log-scale histograms and the bounded
+//! ring-buffer event journal.
+//!
+//! All aggregate state lives in `BTreeMap`s keyed by `&'static str` so that
+//! every exported view iterates in a deterministic order.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Number of log-scale histogram buckets. Bucket `i` covers
+/// `[MIN_BUCKET * 2^i, MIN_BUCKET * 2^(i+1))`; the first and last buckets
+/// absorb underflow and overflow.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Lower bound of bucket 0 — 1 nanosecond when observations are seconds.
+pub const MIN_BUCKET: f64 = 1e-9;
+
+/// Fixed-bucket log-scale histogram (powers of two above [`MIN_BUCKET`]).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a value: `floor(log2(v / MIN_BUCKET))`, clamped.
+    pub fn bucket_index(value: f64) -> usize {
+        // NaN and anything at or below the floor land in bucket 0.
+        if value.is_nan() || value <= MIN_BUCKET {
+            return 0;
+        }
+        let idx = (value / MIN_BUCKET).log2().floor() as i64;
+        idx.clamp(0, HISTOGRAM_BUCKETS as i64 - 1) as usize
+    }
+
+    /// Lower bound of bucket `i`.
+    pub fn bucket_lo(i: usize) -> f64 {
+        MIN_BUCKET * (2f64).powi(i as i32)
+    }
+
+    pub fn observe(&mut self, value: f64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Quantile estimate: walks buckets and returns the geometric midpoint
+    /// of the bucket containing the q-th observation (clamped to the
+    /// observed min/max so degenerate histograms stay sensible).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lo = Self::bucket_lo(i);
+                let hi = lo * 2.0;
+                let mid = (lo * hi).sqrt();
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// A journal entry keyed on virtual sim time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Virtual sim time (seconds since sim epoch) at which this happened.
+    pub t_s: f64,
+    /// Dotted event kind, e.g. `pubsub.retry` or `kv.rmw_conflict`.
+    pub kind: &'static str,
+    /// Short free-form context (region name, node name, …).
+    pub label: String,
+    /// Numeric payload (bytes, attempt number, temperature, …).
+    pub value: f64,
+}
+
+/// Bounded ring buffer of [`Event`]s. When full, the oldest entry is
+/// dropped and counted.
+#[derive(Debug, Default)]
+pub struct Journal {
+    entries: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Journal {
+    pub fn new(capacity: usize) -> Self {
+        Journal {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub fn push(&mut self, event: Event) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(event);
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.entries.iter()
+    }
+
+    pub fn into_vec(self) -> Vec<Event> {
+        self.entries.into()
+    }
+}
+
+/// Aggregating recorder: counters, gauges, histograms and the journal.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    pub counters: BTreeMap<&'static str, u64>,
+    pub gauges: BTreeMap<&'static str, f64>,
+    pub histograms: BTreeMap<&'static str, Histogram>,
+    pub journal: Journal,
+}
+
+impl Recorder {
+    pub fn new(journal_capacity: usize) -> Self {
+        Recorder {
+            journal: Journal::new(journal_capacity),
+            ..Default::default()
+        }
+    }
+
+    pub fn count(&mut self, key: &'static str, delta: u64) {
+        *self.counters.entry(key).or_insert(0) += delta;
+    }
+
+    pub fn gauge(&mut self, key: &'static str, value: f64) {
+        self.gauges.insert(key, value);
+    }
+
+    pub fn observe(&mut self, key: &'static str, value: f64) {
+        self.histograms.entry(key).or_default().observe(value);
+    }
+
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Each bucket's lower bound maps into that bucket; a value just
+        // below it lands one bucket down.
+        for i in 1..HISTOGRAM_BUCKETS {
+            let lo = Histogram::bucket_lo(i);
+            assert_eq!(Histogram::bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(
+                Histogram::bucket_index(lo * 0.999),
+                i - 1,
+                "just below bucket {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_values_land_in_bucket_zero() {
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(-1.0), 0);
+        assert_eq!(Histogram::bucket_index(f64::NAN), 0);
+        assert_eq!(Histogram::bucket_index(MIN_BUCKET), 0);
+        assert_eq!(Histogram::bucket_index(MIN_BUCKET / 2.0), 0);
+    }
+
+    #[test]
+    fn overflow_clamps_to_last_bucket() {
+        assert_eq!(Histogram::bucket_index(1e30), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(
+            Histogram::bucket_index(f64::INFINITY),
+            HISTOGRAM_BUCKETS - 1
+        );
+    }
+
+    #[test]
+    fn histogram_aggregates() {
+        let mut h = Histogram::default();
+        for v in [0.5, 1.5, 2.0, 4.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 8.0).abs() < 1e-12);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 4.0);
+    }
+
+    #[test]
+    fn quantile_estimates_bracket_the_distribution() {
+        let mut h = Histogram::default();
+        for _ in 0..50 {
+            h.observe(1.0);
+        }
+        for _ in 0..50 {
+            h.observe(1000.0);
+        }
+        // The log-scale buckets separate 1 s and 1000 s by ~10 buckets; the
+        // geometric-midpoint estimate stays within a bucket width (2x).
+        let p25 = h.quantile(0.25);
+        assert!((0.5..=2.0).contains(&p25), "p25 {p25}");
+        let p90 = h.quantile(0.9);
+        assert!((500.0..=1000.0).contains(&p90), "p90 {p90}");
+        // Clamped to observed extremes.
+        assert!(h.quantile(0.0) >= h.min);
+        assert!(h.quantile(1.0) <= h.max);
+    }
+
+    #[test]
+    fn quantile_of_constant_observations_is_exact() {
+        let mut h = Histogram::default();
+        for _ in 0..100 {
+            h.observe(3.25);
+        }
+        // min == max == 3.25, so the clamp pins every quantile.
+        assert_eq!(h.quantile(0.5), 3.25);
+        assert_eq!(h.quantile(0.99), 3.25);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    fn ev(i: usize) -> Event {
+        Event {
+            t_s: i as f64,
+            kind: "test.event",
+            label: format!("e{i}"),
+            value: i as f64,
+        }
+    }
+
+    #[test]
+    fn journal_wraps_dropping_oldest() {
+        let mut j = Journal::new(4);
+        for i in 0..10 {
+            j.push(ev(i));
+        }
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.dropped(), 6);
+        let kept: Vec<String> = j.iter().map(|e| e.label.clone()).collect();
+        assert_eq!(kept, ["e6", "e7", "e8", "e9"]);
+    }
+
+    #[test]
+    fn journal_under_capacity_keeps_everything() {
+        let mut j = Journal::new(100);
+        for i in 0..10 {
+            j.push(ev(i));
+        }
+        assert_eq!(j.len(), 10);
+        assert_eq!(j.dropped(), 0);
+        assert_eq!(j.into_vec().len(), 10);
+    }
+
+    #[test]
+    fn zero_capacity_journal_drops_all() {
+        let mut j = Journal::new(0);
+        j.push(ev(0));
+        j.push(ev(1));
+        assert!(j.is_empty());
+        assert_eq!(j.dropped(), 2);
+    }
+
+    #[test]
+    fn recorder_counters_gauges_histograms() {
+        let mut r = Recorder::new(16);
+        r.count("a", 2);
+        r.count("a", 3);
+        r.gauge("g", 1.0);
+        r.gauge("g", 7.5);
+        r.observe("h", 0.25);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.gauges["g"], 7.5);
+        assert_eq!(r.histograms["h"].count, 1);
+    }
+}

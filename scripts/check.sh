@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Lint gate: formatting + clippy with warnings denied + the full test
+# suite. Run before sending a PR; CI runs the same three commands.
+#
+#   scripts/check.sh          # fmt + clippy + tests
+#   scripts/check.sh --fast   # fmt + clippy only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" != "--fast" ]]; then
+    echo "==> cargo test"
+    cargo test --workspace -q
+fi
+
+echo "OK"

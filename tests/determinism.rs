@@ -30,8 +30,19 @@ fn full_experiment_pipeline_is_bit_reproducible() {
             default_tolerances(),
             2,
         );
-        let fine = eval_over_week(&env, &bench, TransmissionScenario::BEST, |h| solver.plan_at(h), 3);
-        (base.carbon_g, fine.carbon_g, fine.latency_p95_s, fine.cost_usd)
+        let fine = eval_over_week(
+            &env,
+            &bench,
+            TransmissionScenario::BEST,
+            |h| solver.plan_at(h),
+            3,
+        );
+        (
+            base.carbon_g,
+            fine.carbon_g,
+            fine.latency_p95_s,
+            fine.cost_usd,
+        )
     };
     let a = run();
     let b = run();

@@ -1,0 +1,154 @@
+//! Integration tests for the telemetry subsystem threaded through the
+//! framework: a quickstart-scale run must emit pub/sub, KV and solver
+//! events, spans must export as parseable Chrome trace JSON, and the
+//! NullSink must keep instrumentation overhead negligible.
+
+use caribou_carbon::source::RegionalSource;
+use caribou_carbon::synth::SyntheticCarbonSource;
+use caribou_core::framework::{Caribou, CaribouConfig};
+use caribou_exec::engine::WorkflowApp;
+use caribou_metrics::carbonmodel::TransmissionScenario;
+use caribou_metrics::montecarlo::MonteCarloConfig;
+use caribou_model::manifest::DeploymentManifest;
+use caribou_simcloud::cloud::SimCloud;
+use caribou_solver::hbss::HbssParams;
+use caribou_telemetry::{MemorySink, NullSink};
+use caribou_workloads::benchmarks::{text2speech_censoring, Benchmark, InputSize};
+use caribou_workloads::traces::uniform_trace;
+
+fn fast_config(regions: Vec<caribou_model::region::RegionId>) -> CaribouConfig {
+    let mut config = CaribouConfig::new(regions, TransmissionScenario::BEST);
+    config.mc = MonteCarloConfig {
+        batch: 60,
+        max_samples: 120,
+        cv_threshold: 0.1,
+    };
+    config.hbss = HbssParams {
+        max_iterations: 60,
+        ..HbssParams::default()
+    };
+    config
+}
+
+fn quickstart_run(seed: u64, horizon_s: f64) -> caribou_core::framework::RunReport {
+    let bench: Benchmark = text2speech_censoring(InputSize::Small);
+    let cloud = SimCloud::aws(seed);
+    let carbon = RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(seed));
+    let regions = cloud.regions.evaluation_regions();
+    let mut caribou = Caribou::new(cloud, carbon, fast_config(regions));
+    let mut constraints = bench.constraints.clone();
+    constraints.tolerances.latency = 0.15;
+    constraints.tolerances.cost = 1.0;
+    let app = WorkflowApp {
+        name: bench.dag.name().to_string(),
+        home: caribou.cloud.region("us-east-1"),
+        dag: bench.dag.clone(),
+        profile: bench.profile.clone(),
+    };
+    let manifest = DeploymentManifest::new(app.name.clone(), "1.0", "us-east-1");
+    let idx = caribou
+        .deploy(app, &manifest, constraints)
+        .expect("deploys");
+    let trace = uniform_trace(30.0, horizon_s, 600.0);
+    caribou.run_trace(idx, &trace)
+}
+
+#[test]
+fn quickstart_run_emits_pubsub_kv_and_solver_events() {
+    caribou_telemetry::enable(Box::new(MemorySink::default()));
+    quickstart_run(200, 86_400.0);
+    let finished = caribou_telemetry::finish().expect("session active");
+    let rec = &finished.recorder;
+    assert!(rec.counter("pubsub.publish") > 0, "pub/sub publishes");
+    assert!(rec.counter("pubsub.ack") > 0, "pub/sub acks");
+    assert!(rec.counter("kv.read") > 0, "KV reads");
+    assert!(rec.counter("kv.write") > 0, "KV writes");
+    assert!(rec.counter("solver.iterations") > 0, "solver iterated");
+    assert!(rec.counter("exec.invocation") > 0, "invocations recorded");
+    assert!(rec.counter("clock.advance") > 0, "clock advances recorded");
+    assert!(!rec.journal.is_empty(), "journal has events");
+    // Journal is ordered by virtual sim time (monotone clock feed).
+    let times: Vec<f64> = rec.journal.iter().map(|e| e.t_s).collect();
+    assert!(
+        times.windows(2).all(|w| w[0] <= w[1] + 1e6),
+        "journal roughly time-ordered"
+    );
+}
+
+#[test]
+fn chrome_trace_export_round_trips_with_a_span_per_node() {
+    let bench = text2speech_censoring(InputSize::Small);
+    let node_count = bench.dag.node_count();
+
+    caribou_telemetry::enable(Box::new(MemorySink::default()));
+    quickstart_run(201, 6.0 * 3600.0);
+    let finished = caribou_telemetry::finish().expect("session active");
+    let sink = finished
+        .sink
+        .as_any()
+        .downcast_ref::<MemorySink>()
+        .expect("MemorySink");
+    assert!(!sink.spans.is_empty(), "spans were streamed");
+
+    // Every workflow node produced at least one "exec" span named after it.
+    for i in 0..node_count {
+        let name = bench
+            .dag
+            .node(caribou_model::dag::NodeId(i as u32))
+            .name
+            .clone();
+        let n = sink
+            .spans
+            .iter()
+            .filter(|s| s.cat == "exec" && s.name == name)
+            .count();
+        assert!(n >= 1, "no exec span for node {name}");
+    }
+
+    // The export is well-formed Chrome trace JSON: serialize, parse back.
+    let doc = caribou_telemetry::chrome_trace(&sink.spans);
+    let text = serde_json::to_string(&doc).expect("serializes");
+    let parsed: serde_json::Value = serde_json::from_str(&text).expect("parses back");
+    let events = parsed["traceEvents"].as_array().expect("traceEvents array");
+    assert_eq!(events.len(), sink.spans.len());
+    for e in events {
+        assert_eq!(e["ph"], "X");
+        assert!(e["name"].as_str().is_some());
+        assert!(e["ts"].as_f64().is_some());
+        assert!(e["dur"].as_f64().is_some());
+    }
+}
+
+#[test]
+fn null_sink_overhead_is_negligible() {
+    // Warm up caches and JIT-ish effects, then compare an uninstrumented
+    // run against one with telemetry enabled through the NullSink. The
+    // bound is deliberately loose (3x) so a noisy CI machine can't flake
+    // it; the real budget (<2% on fig7 scale) is tracked by the criterion
+    // bench in crates/bench.
+    quickstart_run(202, 6.0 * 3600.0);
+
+    let t0 = std::time::Instant::now();
+    let base = quickstart_run(202, 6.0 * 3600.0);
+    let uninstrumented = t0.elapsed();
+
+    caribou_telemetry::enable(Box::new(NullSink));
+    let t1 = std::time::Instant::now();
+    let instrumented_report = quickstart_run(202, 6.0 * 3600.0);
+    let instrumented = t1.elapsed();
+    caribou_telemetry::finish();
+
+    // Same seed, same results: telemetry must not perturb the simulation.
+    assert_eq!(base.samples.len(), instrumented_report.samples.len());
+    assert_eq!(
+        base.workflow_carbon_g(),
+        instrumented_report.workflow_carbon_g()
+    );
+
+    assert!(
+        instrumented.as_secs_f64() < uninstrumented.as_secs_f64() * 3.0 + 0.05,
+        "NullSink run {:?} vs uninstrumented {:?}",
+        instrumented,
+        uninstrumented
+    );
+}

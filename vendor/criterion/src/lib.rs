@@ -1,0 +1,254 @@
+//! Vendored mini benchmarking harness exposing the subset of the
+//! `criterion` API this workspace uses. Measurement is deliberately simple:
+//! a short warm-up, then timed batches, reporting the mean time per
+//! iteration of the fastest batch (robust against scheduler noise).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        let function_name = function_name.into();
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        BenchmarkId { id: s.clone() }
+    }
+}
+
+/// Runs closures under timing; passed to benchmark functions.
+pub struct Bencher {
+    /// Best observed mean nanoseconds per iteration.
+    best_ns_per_iter: f64,
+    /// Total iterations executed across all batches.
+    iterations: u64,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    fn new(measurement_time: Duration) -> Self {
+        Bencher {
+            best_ns_per_iter: f64::INFINITY,
+            iterations: 0,
+            measurement_time,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: figure out a batch size targeting ~10ms per batch.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= Duration::from_millis(10) || warmup_iters >= 1000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let batch = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let deadline = Instant::now() + self.measurement_time;
+        let mut batches = 0u32;
+        while batches < 3 || (Instant::now() < deadline && batches < 100) {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            if ns < self.best_ns_per_iter {
+                self.best_ns_per_iter = ns;
+            }
+            self.iterations += batch;
+            batches += 1;
+        }
+    }
+
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let deadline = Instant::now() + self.measurement_time;
+        let mut batches = 0u32;
+        while batches < 3 || (Instant::now() < deadline && batches < 100) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let ns = start.elapsed().as_nanos() as f64;
+            if ns < self.best_ns_per_iter {
+                self.best_ns_per_iter = ns;
+            }
+            self.iterations += 1;
+            batches += 1;
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn report(group: Option<&str>, id: &str, b: &Bencher) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let ns = b.best_ns_per_iter;
+    let human = if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    };
+    println!(
+        "{full:<56} time: {human:>12}   ({} iterations)",
+        b.iterations
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.measurement_time);
+        f(&mut b);
+        report(None, &id.id, &b);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.measurement_time);
+        f(&mut b);
+        report(Some(&self.name), &id.id, &b);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.measurement_time);
+        f(&mut b, input);
+        report(Some(&self.name), &id.id, &b);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,576 @@
+//! Vendored, dependency-free stand-in for `serde`.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! exact trait surface the workspace uses. Instead of serde's visitor
+//! architecture it is built around a concrete value tree ([`Content`]):
+//! `Serialize` produces a `Content`, `Deserialize` consumes one. The derive
+//! macros in `serde_derive` generate code against the helper functions at the
+//! bottom of this file.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::{self, Display};
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree — the interchange format between
+/// serializers and deserializers in this vendored implementation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(BTreeMap<String, Content>),
+}
+
+impl Content {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::Num(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+
+    /// Total ordering used to sort map entries with non-string keys so that
+    /// serialized output is byte-stable across runs.
+    pub fn order_key(&self) -> String {
+        match self {
+            Content::Null => "0".to_string(),
+            Content::Bool(b) => format!("1{b}"),
+            Content::Num(n) => format!("2{:030.9}", n),
+            Content::Str(s) => format!("3{s}"),
+            Content::Seq(items) => {
+                let mut s = String::from("4");
+                for it in items {
+                    s.push_str(&it.order_key());
+                    s.push('\u{1}');
+                }
+                s
+            }
+            Content::Map(m) => {
+                let mut s = String::from("5");
+                for (k, v) in m {
+                    s.push_str(k);
+                    s.push('\u{1}');
+                    s.push_str(&v.order_key());
+                    s.push('\u{1}');
+                }
+                s
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Error traits
+// ---------------------------------------------------------------------------
+
+pub mod ser {
+    use std::fmt::Display;
+    pub trait Error: Sized + std::fmt::Debug {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    use std::fmt::Display;
+    pub trait Error: Sized + std::fmt::Debug {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Concrete error type used by [`ContentSerializer`] / [`ContentDeserializer`].
+#[derive(Debug, Clone)]
+pub struct ContentError(pub String);
+
+impl Display for ContentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+impl ser::Error for ContentError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+impl de::Error for ContentError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+
+    /// Accept a fully-built value tree.
+    fn accept(self, value: Content) -> Result<Self::Ok, Self::Error>;
+
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.accept(Content::Null)
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        let content = to_content(value).map_err(|e| <Self::Error as ser::Error>::custom(e.0))?;
+        self.accept(content)
+    }
+}
+
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// The canonical serializer: returns the value tree itself.
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = ContentError;
+    fn accept(self, value: Content) -> Result<Content, ContentError> {
+        Ok(value)
+    }
+}
+
+/// Serialize any value into a [`Content`] tree.
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Result<Content, ContentError> {
+    value.serialize(ContentSerializer)
+}
+
+/// Map a [`ContentError`] into an arbitrary serializer error (derive helper).
+pub fn ser_custom<E: ser::Error>(e: ContentError) -> E {
+    E::custom(e.0)
+}
+
+macro_rules! impl_ser_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.accept(Content::Num(*self as f64))
+            }
+        }
+    )*};
+}
+
+impl_ser_num!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.accept(Content::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.accept(Content::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.accept(Content::Str(self.clone()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.accept(Content::Str(self.to_string()))
+    }
+}
+
+impl Serialize for Content {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.accept(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => s.serialize_some(v),
+            None => s.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut items = Vec::with_capacity(self.len());
+        for v in self {
+            items.push(to_content(v).map_err(ser_custom::<S::Error>)?);
+        }
+        s.accept(Content::Seq(items))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let items = vec![
+                    $(to_content(&self.$idx).map_err(ser_custom::<S::Error>)?,)+
+                ];
+                s.accept(Content::Seq(items))
+            }
+        }
+    };
+}
+
+impl_ser_tuple!(A: 0);
+impl_ser_tuple!(A: 0, B: 1);
+impl_ser_tuple!(A: 0, B: 1, C: 2);
+impl_ser_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+/// Shared map-serialization logic: string keys become a JSON object with
+/// sorted keys; any other key type becomes a sorted sequence of `[k, v]`
+/// pairs. Both forms are byte-stable across runs regardless of hash order.
+fn serialize_pairs<S: Serializer>(pairs: Vec<(Content, Content)>, s: S) -> Result<S::Ok, S::Error> {
+    let all_strings = pairs.iter().all(|(k, _)| matches!(k, Content::Str(_)));
+    if all_strings {
+        let mut m = BTreeMap::new();
+        for (k, v) in pairs {
+            if let Content::Str(key) = k {
+                m.insert(key, v);
+            }
+        }
+        s.accept(Content::Map(m))
+    } else {
+        let mut items: Vec<(String, Content)> = pairs
+            .into_iter()
+            .map(|(k, v)| (k.order_key(), Content::Seq(vec![k, v])))
+            .collect();
+        items.sort_by(|a, b| a.0.cmp(&b.0));
+        s.accept(Content::Seq(items.into_iter().map(|(_, v)| v).collect()))
+    }
+}
+
+impl<K: Serialize, V: Serialize, St> Serialize for HashMap<K, V, St> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut pairs = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            pairs.push((
+                to_content(k).map_err(ser_custom::<S::Error>)?,
+                to_content(v).map_err(ser_custom::<S::Error>)?,
+            ));
+        }
+        serialize_pairs(pairs, s)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut pairs = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            pairs.push((
+                to_content(k).map_err(ser_custom::<S::Error>)?,
+                to_content(v).map_err(ser_custom::<S::Error>)?,
+            ));
+        }
+        serialize_pairs(pairs, s)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+
+    /// Yield the underlying value tree.
+    fn take(self) -> Result<Content, Self::Error>;
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Deserializer over an in-memory [`Content`] tree, generic in the error type
+/// so derived code can thread through the caller's `D::Error`.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    _marker: PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+    fn take(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Deserialize a value out of a [`Content`] tree (derive helper).
+pub fn from_content<'de, T: Deserialize<'de>, E: de::Error>(content: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::<E>::new(content))
+}
+
+fn expect_num<E: de::Error>(c: &Content) -> Result<f64, E> {
+    match c {
+        Content::Num(n) => Ok(*n),
+        Content::Bool(b) => Ok(if *b { 1.0 } else { 0.0 }),
+        other => Err(E::custom(format!(
+            "expected number, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+macro_rules! impl_de_num {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                Ok(expect_num::<D::Error>(&d.take()?)? as $t)
+            }
+        }
+    )*};
+}
+
+impl_de_num!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take()? {
+            Content::Str(s) => Ok(s),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take()? {
+            Content::Null => Ok(None),
+            other => Ok(Some(from_content::<T, D::Error>(other)?)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|c| from_content::<T, D::Error>(c))
+                .collect(),
+            other => Err(<D::Error as de::Error>::custom(format!(
+                "expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(Box::new(from_content::<T, D::Error>(d.take()?)?))
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($len:expr => $($name:ident : $idx:tt),+) => {
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take()? {
+                    Content::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            {
+                                let _ = $idx;
+                                from_content::<$name, D::Error>(it.next().unwrap())?
+                            },
+                        )+))
+                    }
+                    other => Err(<D::Error as de::Error>::custom(format!(
+                        "expected sequence of length {}, found {}",
+                        $len,
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+impl_de_tuple!(1 => A: 0);
+impl_de_tuple!(2 => A: 0, B: 1);
+impl_de_tuple!(3 => A: 0, B: 1, C: 2);
+impl_de_tuple!(4 => A: 0, B: 1, C: 2, Z: 3);
+
+fn map_pairs<E: de::Error>(content: Content) -> Result<Vec<(Content, Content)>, E> {
+    match content {
+        Content::Map(m) => Ok(m.into_iter().map(|(k, v)| (Content::Str(k), v)).collect()),
+        Content::Seq(items) => items
+            .into_iter()
+            .map(|item| match item {
+                Content::Seq(mut kv) if kv.len() == 2 => {
+                    let v = kv.pop().unwrap();
+                    let k = kv.pop().unwrap();
+                    Ok((k, v))
+                }
+                other => Err(E::custom(format!(
+                    "expected [key, value] pair, found {}",
+                    other.kind()
+                ))),
+            })
+            .collect(),
+        other => Err(E::custom(format!("expected map, found {}", other.kind()))),
+    }
+}
+
+impl<'de, K, V, St> Deserialize<'de> for HashMap<K, V, St>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    St: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let pairs = map_pairs::<D::Error>(d.take()?)?;
+        let mut out = HashMap::with_capacity_and_hasher(pairs.len(), St::default());
+        for (k, v) in pairs {
+            out.insert(
+                from_content::<K, D::Error>(k)?,
+                from_content::<V, D::Error>(v)?,
+            );
+        }
+        Ok(out)
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let pairs = map_pairs::<D::Error>(d.take()?)?;
+        let mut out = BTreeMap::new();
+        for (k, v) in pairs {
+            out.insert(
+                from_content::<K, D::Error>(k)?,
+                from_content::<V, D::Error>(v)?,
+            );
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derive-codegen helpers
+// ---------------------------------------------------------------------------
+
+/// Unwrap a `Content::Map` (derive helper for struct deserialization).
+pub fn take_map<E: de::Error>(content: Content) -> Result<BTreeMap<String, Content>, E> {
+    match content {
+        Content::Map(m) => Ok(m),
+        other => Err(E::custom(format!(
+            "expected struct map, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Unwrap a `Content::Seq` (derive helper for tuple-struct deserialization).
+pub fn take_seq<E: de::Error>(content: Content) -> Result<Vec<Content>, E> {
+    match content {
+        Content::Seq(items) => Ok(items),
+        other => Err(E::custom(format!(
+            "expected sequence, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Extract a required struct field (derive helper).
+pub fn field<'de, T: Deserialize<'de>, E: de::Error>(
+    map: &mut BTreeMap<String, Content>,
+    key: &str,
+) -> Result<T, E> {
+    match map.remove(key) {
+        Some(v) => from_content(v),
+        None => Err(E::custom(format!("missing field `{key}`"))),
+    }
+}
+
+/// Extract a struct field marked `#[serde(default)]` (derive helper).
+pub fn field_or_default<'de, T: Deserialize<'de> + Default, E: de::Error>(
+    map: &mut BTreeMap<String, Content>,
+    key: &str,
+) -> Result<T, E> {
+    match map.remove(key) {
+        Some(Content::Null) | None => Ok(T::default()),
+        Some(v) => from_content(v),
+    }
+}
+
+/// Extract raw field content for `#[serde(with = "...")]` (derive helper).
+pub fn field_content(map: &mut BTreeMap<String, Content>, key: &str) -> Content {
+    map.remove(key).unwrap_or(Content::Null)
+}

@@ -1,0 +1,535 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the in-tree serde
+//! stand-in. Parses the derive input token stream directly (no syn/quote)
+//! and emits impls against the `Content` value model in `serde`.
+//!
+//! Supported shapes — exactly what this workspace declares:
+//! - named-field structs, with `#[serde(default)]` and `#[serde(with = "path")]`
+//! - newtype tuple structs (serialized transparently)
+//! - unit-variant enums (serialized as the variant name string)
+//! - struct-variant enums (externally tagged: `{"Variant": {..fields..}}`)
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    default: bool,
+    with: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Shape)>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == s)
+    }
+
+    /// Consume leading attributes, returning the streams of any
+    /// `#[serde(...)]` groups encountered.
+    fn eat_attrs(&mut self) -> Vec<TokenStream> {
+        let mut serde_attrs = Vec::new();
+        while self.eat_punct('#') {
+            // Outer attribute body: a bracketed group.
+            if let Some(TokenTree::Group(g)) = self.next() {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis {
+                        serde_attrs.push(args.stream());
+                    }
+                }
+            }
+        }
+        serde_attrs
+    }
+
+    fn eat_visibility(&mut self) {
+        if self.peek_ident("pub") {
+            self.pos += 1;
+            // pub(crate), pub(super), ...
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.eat_attrs();
+    c.eat_visibility();
+
+    let kw = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported (deriving `{name}`)");
+        }
+    }
+
+    match kw.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                shape: Shape::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                shape: Shape::Tuple(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+                name,
+                shape: Shape::Unit,
+            },
+            other => panic!("serde_derive: unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: unexpected enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let serde_attrs = c.eat_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.eat_visibility();
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        if !c.eat_punct(':') {
+            panic!("serde_derive: expected `:` after field `{name}`");
+        }
+        skip_type(&mut c);
+        c.eat_punct(',');
+
+        let mut field = Field {
+            name,
+            default: false,
+            with: None,
+        };
+        for attr in serde_attrs {
+            apply_serde_attr(&mut field, attr);
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+fn apply_serde_attr(field: &mut Field, attr: TokenStream) {
+    let toks: Vec<TokenTree> = attr.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                field.default = true;
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "with" => {
+                // with = "path"
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (toks.get(i + 1), toks.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let raw = lit.to_string();
+                        field.with = Some(raw.trim_matches('"').to_string());
+                    }
+                }
+                i += 3;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Skip a type expression up to a top-level `,` (tracking `<...>` nesting).
+fn skip_type(c: &mut Cursor) {
+    let mut depth: i32 = 0;
+    while let Some(t) = c.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        c.pos += 1;
+    }
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut c = Cursor::new(ts);
+    let mut count = 0;
+    while c.peek().is_some() {
+        c.eat_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.eat_visibility();
+        skip_type(&mut c);
+        c.eat_punct(',');
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<(String, Shape)> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.eat_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = match c.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let s = Shape::Named(parse_named_fields(g.stream()));
+                c.pos += 1;
+                s
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let s = Shape::Tuple(count_tuple_fields(g.stream()));
+                c.pos += 1;
+                s
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant `= expr` up to the next comma.
+        while let Some(t) = c.peek() {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+            c.pos += 1;
+        }
+        c.eat_punct(',');
+        variants.push((name, shape));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn ser_named_fields(fields: &[Field], access_prefix: &str) -> String {
+    let mut out = String::from(
+        "let mut __m = ::std::collections::BTreeMap::<::std::string::String, ::serde::Content>::new();\n",
+    );
+    for f in fields {
+        let access = format!("{access_prefix}{}", f.name);
+        let value_expr = match &f.with {
+            Some(path) => format!(
+                "{path}::serialize(&{access}, ::serde::ContentSerializer)\
+                 .map_err(::serde::ser_custom::<S::Error>)?"
+            ),
+            None => {
+                format!("::serde::to_content(&{access}).map_err(::serde::ser_custom::<S::Error>)?")
+            }
+        };
+        out.push_str(&format!(
+            "__m.insert(::std::string::String::from(\"{}\"), {value_expr});\n",
+            f.name
+        ));
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let mut b = ser_named_fields(fields, "self.");
+                    b.push_str("__s.accept(::serde::Content::Map(__m))");
+                    b
+                }
+                Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0, __s)".to_string(),
+                Shape::Tuple(n) => {
+                    let mut b = String::from("let __items = vec![");
+                    for i in 0..*n {
+                        b.push_str(&format!(
+                            "::serde::to_content(&self.{i}).map_err(::serde::ser_custom::<S::Error>)?,"
+                        ));
+                    }
+                    b.push_str("];\n__s.accept(::serde::Content::Seq(__items))");
+                    b
+                }
+                Shape::Unit => "__s.accept(::serde::Content::Null)".to_string(),
+            };
+            (name.clone(), body)
+        }
+        Item::Enum { name, variants } => {
+            let mut b = String::from("match self {\n");
+            for (vname, shape) in variants {
+                match shape {
+                    Shape::Unit => b.push_str(&format!(
+                        "{name}::{vname} => __s.accept(::serde::Content::Str(\
+                         ::std::string::String::from(\"{vname}\"))),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pat = binders.join(", ");
+                        let inner = if *n == 1 {
+                            "::serde::to_content(__f0).map_err(::serde::ser_custom::<S::Error>)?"
+                                .to_string()
+                        } else {
+                            let mut s = String::from("::serde::Content::Seq(vec![");
+                            for bdr in &binders {
+                                s.push_str(&format!(
+                                    "::serde::to_content({bdr}).map_err(::serde::ser_custom::<S::Error>)?,"
+                                ));
+                            }
+                            s.push_str("])");
+                            s
+                        };
+                        b.push_str(&format!(
+                            "{name}::{vname}({pat}) => {{\n\
+                             let mut __m = ::std::collections::BTreeMap::new();\n\
+                             __m.insert(::std::string::String::from(\"{vname}\"), {inner});\n\
+                             __s.accept(::serde::Content::Map(__m))\n}}\n"
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let pat: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pat = pat.join(", ");
+                        let inner = ser_named_fields(fields, "*");
+                        b.push_str(&format!(
+                            "{name}::{vname} {{ {pat} }} => {{\n{inner}\
+                             let mut __outer = ::std::collections::BTreeMap::new();\n\
+                             __outer.insert(::std::string::String::from(\"{vname}\"), ::serde::Content::Map(__m));\n\
+                             __s.accept(::serde::Content::Map(__outer))\n}}\n"
+                        ));
+                    }
+                }
+            }
+            b.push('}');
+            (name.clone(), b)
+        }
+    };
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, __s: S) -> \
+         ::core::result::Result<S::Ok, S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn de_named_fields(fields: &[Field], map_var: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let expr = match &f.with {
+            Some(path) => format!(
+                "{path}::deserialize(::serde::ContentDeserializer::<D::Error>::new(\
+                 ::serde::field_content(&mut {map_var}, \"{}\")))?",
+                f.name
+            ),
+            None if f.default => {
+                format!("::serde::field_or_default(&mut {map_var}, \"{}\")?", f.name)
+            }
+            None => format!("::serde::field(&mut {map_var}, \"{}\")?", f.name),
+        };
+        out.push_str(&format!("{}: {expr},\n", f.name));
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let inner = de_named_fields(fields, "__m");
+                    format!(
+                        "let mut __m = ::serde::take_map::<D::Error>(::serde::Deserializer::take(__d)?)?;\n\
+                         ::core::result::Result::Ok({name} {{\n{inner}}})"
+                    )
+                }
+                Shape::Tuple(1) => format!(
+                    "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(__d)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let mut b = format!(
+                        "let __items = ::serde::take_seq::<D::Error>(::serde::Deserializer::take(__d)?)?;\n\
+                         if __items.len() != {n} {{\n\
+                         return ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                         \"wrong tuple length\"));\n}}\n\
+                         let mut __it = __items.into_iter();\n\
+                         ::core::result::Result::Ok({name}("
+                    );
+                    for _ in 0..*n {
+                        b.push_str("::serde::from_content::<_, D::Error>(__it.next().unwrap())?,");
+                    }
+                    b.push_str("))");
+                    b
+                }
+                Shape::Unit => format!("::core::result::Result::Ok({name})"),
+            };
+            (name.clone(), body)
+        }
+        Item::Enum { name, variants } => {
+            let mut str_arms = String::new();
+            let mut map_arms = String::new();
+            for (vname, shape) in variants {
+                match shape {
+                    Shape::Unit => str_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let inner = if *n == 1 {
+                            format!(
+                                "::core::result::Result::Ok({name}::{vname}(\
+                                 ::serde::from_content::<_, D::Error>(__v)?))"
+                            )
+                        } else {
+                            let mut s = format!(
+                                "let __items = ::serde::take_seq::<D::Error>(__v)?;\n\
+                                 if __items.len() != {n} {{\n\
+                                 return ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                                 \"wrong tuple variant length\"));\n}}\n\
+                                 let mut __it = __items.into_iter();\n\
+                                 ::core::result::Result::Ok({name}::{vname}("
+                            );
+                            for _ in 0..*n {
+                                s.push_str(
+                                    "::serde::from_content::<_, D::Error>(__it.next().unwrap())?,",
+                                );
+                            }
+                            s.push_str("))");
+                            s
+                        };
+                        map_arms.push_str(&format!("\"{vname}\" => {{\n{inner}\n}}\n"));
+                    }
+                    Shape::Named(fields) => {
+                        let inner = de_named_fields(fields, "__vm");
+                        map_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let mut __vm = ::serde::take_map::<D::Error>(__v)?;\n\
+                             ::core::result::Result::Ok({name}::{vname} {{\n{inner}}})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match ::serde::Deserializer::take(__d)? {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n{str_arms}\
+                 __other => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                 format!(\"unknown variant `{{__other}}` for {name}\"))),\n}},\n\
+                 ::serde::Content::Map(__m) => {{\n\
+                 let mut __m = __m;\n\
+                 let (__k, __v) = match __m.pop_first() {{\n\
+                 ::core::option::Option::Some(kv) => kv,\n\
+                 ::core::option::Option::None => return ::core::result::Result::Err(\
+                 <D::Error as ::serde::de::Error>::custom(\"empty variant map for {name}\")),\n}};\n\
+                 match __k.as_str() {{\n{map_arms}\
+                 __other => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                 format!(\"unknown variant `{{__other}}` for {name}\"))),\n}}\n}}\n\
+                 __other => ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                 format!(\"expected variant for {name}, found {{}}\", __other.kind()))),\n}}"
+            );
+            (name.clone(), body)
+        }
+    };
+
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(__d: D) -> \
+         ::core::result::Result<Self, D::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
