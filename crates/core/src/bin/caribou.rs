@@ -9,6 +9,8 @@
 //!                                           # solve a deployment plan
 //! caribou simulate <benchmark> [--days D] [--per-day N] [--worst-case]
 //!                  [--telemetry out.jsonl]  # run the full framework loop
+//! caribou chaos [--seed N] [--requests N]   # seeded fault campaign with
+//!                                           # invariant checking
 //! caribou trace <journal.jsonl> [--limit N] # replay a telemetry journal
 //! caribou benchmarks                        # list available benchmarks
 //! ```
@@ -46,6 +48,8 @@ USAGE:
     caribou plan <benchmark> [--input small|large] [--hour H] [--worst-case]
     caribou simulate <benchmark> [--input small|large] [--days D] [--per-day N] [--worst-case]
                      [--telemetry <out.jsonl>] [--json]
+    caribou chaos [--seed N] [--requests N] [--duration-s S] [--drop P]
+                  [--no-breaker] [--json]
     caribou trace <journal.jsonl> [--limit N]
 ";
 
@@ -57,6 +61,7 @@ fn main() -> ExitCode {
         Some("carbon") => cmd_carbon(&args[1..]),
         Some("plan") => cmd_plan(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
@@ -371,6 +376,83 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    let mut config = caribou_core::ChaosConfig::default();
+    if let Some(v) = flag(args, "--seed") {
+        config.seed = v.parse().map_err(|e| format!("--seed: {e}"))?;
+    }
+    if let Some(v) = flag(args, "--requests") {
+        config.requests = v.parse().map_err(|e| format!("--requests: {e}"))?;
+    }
+    if let Some(v) = flag(args, "--duration-s") {
+        config.duration_s = v.parse().map_err(|e| format!("--duration-s: {e}"))?;
+    }
+    if let Some(v) = flag(args, "--drop") {
+        config.drop_prob = v.parse().map_err(|e| format!("--drop: {e}"))?;
+        if !(0.0..=1.0).contains(&config.drop_prob) {
+            return Err("--drop: probability must be in [0, 1]".into());
+        }
+    }
+    config.breaker_enabled = !has_flag(args, "--no-breaker");
+
+    eprintln!(
+        "chaos campaign: seed {} · {} requests over {:.0} s · drop {} · breaker {}",
+        config.seed,
+        config.requests,
+        config.duration_s,
+        config.drop_prob,
+        if config.breaker_enabled { "on" } else { "off" },
+    );
+    let report = caribou_core::chaos::run_campaign(&config);
+
+    println!(
+        "faults injected:   {} outage(s), {} partition(s), {} gray failure(s), {} KV throttle(s), {} cold storm(s)",
+        report.faults.outages,
+        report.faults.partitions,
+        report.faults.gray_failures,
+        report.faults.kv_throttles,
+        report.faults.cold_storms,
+    );
+    println!("requests:          {}", report.requests);
+    println!("completed clean:   {}", report.completed_clean);
+    println!("fell back home:    {}", report.fell_back_home);
+    println!("reported failed:   {}", report.failed);
+    println!("breaker reroutes:  {}", report.breaker_reroutes);
+    println!(
+        "latency:           {:.2} s p50 / {:.2} s p99 / {:.2} s mean",
+        report.p50_latency_s, report.p99_latency_s, report.mean_latency_s
+    );
+    if has_flag(args, "--json") {
+        println!(
+            "{}",
+            serde_json::json!({
+                "seed": config.seed,
+                "requests": report.requests,
+                "completed_clean": report.completed_clean,
+                "fell_back_home": report.fell_back_home,
+                "failed": report.failed,
+                "breaker_reroutes": report.breaker_reroutes,
+                "p50_latency_s": report.p50_latency_s,
+                "p99_latency_s": report.p99_latency_s,
+                "mean_latency_s": report.mean_latency_s,
+                "violations": report.violations,
+            })
+        );
+    }
+    if report.ok() {
+        println!("invariants:        all upheld");
+        Ok(())
+    } else {
+        for v in &report.violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        Err(format!(
+            "{} invariant violation(s) detected",
+            report.violations.len()
+        ))
+    }
 }
 
 fn cmd_trace(args: &[String]) -> Result<(), String> {

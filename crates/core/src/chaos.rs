@@ -1,0 +1,370 @@
+//! Chaos harness: seeded randomized fault campaigns with run-level
+//! invariant checking.
+//!
+//! The harness deploys a diamond workflow (fan-out, conditional edge, and
+//! a synchronization node — every §4 mechanism), offloads it across the
+//! evaluation regions, then replays a request trace under a
+//! [`FaultPlan::randomized`] campaign: region outages, pairwise network
+//! partitions, gray failures, KV throttling, cold-start storms, and
+//! stochastic message drops. After every invocation it checks the
+//! robustness invariants the design promises:
+//!
+//! 1. **No invocation lost** — every request lands in exactly one of
+//!    {completed clean, fell back home, reported failed}, and the
+//!    classification is consistent with the outcome's raw fields.
+//! 2. **Routing stays deployable** — the router never hands out a plan
+//!    referencing a region without an active deployment.
+//! 3. **Metering is honest** — the SNS publishes billed to the invocation
+//!    meter equal the messages the pub/sub service actually accepted, per
+//!    invocation and campaign-wide (no double counting, no leaks).
+//!
+//! Everything is deterministic under the campaign seed: the same
+//! [`ChaosConfig`] always produces the same [`ChaosReport`].
+
+use caribou_carbon::series::CarbonSeries;
+use caribou_carbon::source::TableSource;
+use caribou_exec::engine::{ExecutionEngine, WorkflowApp};
+use caribou_exec::outcome::InvocationStatus;
+use caribou_metrics::carbonmodel::{CarbonModel, TransmissionScenario};
+use caribou_model::builder::Workflow;
+use caribou_model::dag::NodeId;
+use caribou_model::dist::DistSpec;
+use caribou_model::manifest::DeploymentManifest;
+use caribou_model::plan::{DeploymentPlan, HourlyPlans};
+use caribou_model::region::RegionId;
+use caribou_model::rng::Pcg32;
+use caribou_simcloud::cloud::SimCloud;
+use caribou_simcloud::faults::FaultPlan;
+use caribou_simcloud::orchestration::Orchestrator;
+
+use crate::migrator::Migrator;
+use crate::utility::DeploymentUtility;
+
+/// Parameters of one chaos campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Master seed: the cloud, the fault plan, and every invocation derive
+    /// from it deterministically.
+    pub seed: u64,
+    /// Number of requests replayed, evenly spaced over `duration_s`.
+    pub requests: u32,
+    /// Campaign length, simulation seconds.
+    pub duration_s: f64,
+    /// Whether the router's per-region circuit breaker participates.
+    pub breaker_enabled: bool,
+    /// Per-attempt stochastic message-drop probability.
+    pub drop_prob: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 42,
+            requests: 500,
+            duration_s: 6.0 * 3600.0,
+            breaker_enabled: true,
+            drop_prob: 0.02,
+        }
+    }
+}
+
+/// Summary of the fault classes a campaign injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultClassCounts {
+    /// Full region outage windows.
+    pub outages: usize,
+    /// Pairwise network partition windows.
+    pub partitions: usize,
+    /// Gray-failure (latency inflation) windows.
+    pub gray_failures: usize,
+    /// KV throttling windows.
+    pub kv_throttles: usize,
+    /// Cold-start storm windows.
+    pub cold_storms: usize,
+}
+
+/// Result of one chaos campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// Requests replayed.
+    pub requests: u32,
+    /// Requests that completed on the planned deployment.
+    pub completed_clean: u32,
+    /// Requests that completed via the mid-flight home fallback.
+    pub fell_back_home: u32,
+    /// Requests reported failed.
+    pub failed: u32,
+    /// Requests whose route was rewritten by an open circuit breaker.
+    pub breaker_reroutes: u32,
+    /// Median end-to-end latency over non-failed requests, seconds.
+    pub p50_latency_s: f64,
+    /// 99th-percentile end-to-end latency over non-failed requests.
+    pub p99_latency_s: f64,
+    /// Mean end-to-end latency over non-failed requests.
+    pub mean_latency_s: f64,
+    /// Fault windows the campaign injected.
+    pub faults: FaultClassCounts,
+    /// Invariant violations (empty on a healthy run).
+    pub violations: Vec<String>,
+}
+
+impl ChaosReport {
+    /// Whether the campaign upheld every invariant.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The diamond chaos workload: A fans out to B (conditional) and C, which
+/// join at synchronization node D.
+fn chaos_app(home: RegionId) -> WorkflowApp {
+    let mut wf = Workflow::new("chaos", "0.1");
+    let a = wf
+        .serverless_function("A")
+        .exec_time(DistSpec::Constant { value: 0.4 })
+        .register();
+    let b = wf
+        .serverless_function("B")
+        .exec_time(DistSpec::Constant { value: 0.6 })
+        .register();
+    let c = wf
+        .serverless_function("C")
+        .exec_time(DistSpec::Constant { value: 0.8 })
+        .register();
+    let d = wf
+        .serverless_function("D")
+        .exec_time(DistSpec::Constant { value: 0.3 })
+        .register();
+    wf.invoke(a, b, Some(0.7));
+    wf.invoke(a, c, None);
+    wf.invoke(b, d, None);
+    wf.invoke(c, d, None);
+    wf.get_predecessor_data(d);
+    let (dag, profile, _) = wf.extract().expect("static chaos workflow is valid");
+    WorkflowApp {
+        name: "chaos".into(),
+        dag,
+        profile,
+        home,
+    }
+}
+
+/// Runs one seeded chaos campaign and returns its report.
+pub fn run_campaign(config: &ChaosConfig) -> ChaosReport {
+    let mut cloud = SimCloud::aws(config.seed);
+    let home = cloud.region("us-east-1");
+    let regions = cloud.regions.evaluation_regions();
+
+    // Flat carbon: the campaign studies robustness, not carbon.
+    let mut carbon = TableSource::new();
+    for (id, _) in cloud.regions.iter() {
+        carbon.insert(id, CarbonSeries::new(-400, vec![300.0; 24 * 100]));
+    }
+
+    // Deploy home, then offload across the evaluation regions BEFORE any
+    // fault is armed — the campaign studies the runtime, not the rollout.
+    let app = chaos_app(home);
+    let manifest = DeploymentManifest::new("chaos", "0.1", "us-east-1");
+    let mut wf =
+        DeploymentUtility::deploy_initial(&mut cloud, app, &manifest).expect("initial deploy");
+    let offload: Vec<RegionId> = regions.iter().copied().filter(|r| *r != home).collect();
+    let mut plan = DeploymentPlan::uniform(4, offload[0]);
+    plan.set(NodeId(1), offload[1 % offload.len()]);
+    plan.set(NodeId(2), offload[2 % offload.len()]);
+    plan.set(NodeId(3), offload[0]);
+    let expires = config.duration_s * 10.0 + 1e6;
+    let deployed_at = cloud.clock.now();
+    Migrator::rollout(
+        &mut cloud,
+        &mut wf,
+        HourlyPlans::daily(plan, 0.0, expires),
+        deployed_at,
+    )
+    .expect("rollout before faults cannot fail");
+    wf.router.breaker.enabled = config.breaker_enabled;
+
+    // Arm the randomized campaign.
+    let mut faults = FaultPlan::randomized(config.seed, &regions, home, config.duration_s);
+    faults.message_drop_prob = config.drop_prob;
+    let fault_counts = FaultClassCounts {
+        outages: faults.outages.len(),
+        partitions: faults.partitions.len(),
+        gray_failures: faults.gray_failures.len(),
+        kv_throttles: faults.kv_throttles.len(),
+        cold_storms: faults.cold_storms.len(),
+    };
+    cloud.set_faults(faults.clone());
+
+    let engine = ExecutionEngine {
+        carbon_source: &carbon,
+        carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+        orchestrator: Orchestrator::Caribou,
+    };
+
+    let mut master = Pcg32::seed_stream(config.seed, 0xc4a0);
+    let t0 = cloud.clock.now();
+    let step = config.duration_s / config.requests.max(1) as f64;
+    let mut report = ChaosReport {
+        requests: config.requests,
+        completed_clean: 0,
+        fell_back_home: 0,
+        failed: 0,
+        breaker_reroutes: 0,
+        p50_latency_s: 0.0,
+        p99_latency_s: 0.0,
+        mean_latency_s: 0.0,
+        faults: fault_counts,
+        violations: Vec::new(),
+    };
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut sns_billed_total: u64 = 0;
+    let sns_base = cloud.pubsub.total_published();
+
+    for i in 0..config.requests {
+        let at_s = t0 + i as f64 * step;
+        let decision = wf.router.route(at_s);
+        if decision.breaker_rerouted {
+            report.breaker_reroutes += 1;
+        }
+
+        // Invariant 2: the routed plan references only active regions.
+        for r in decision.plan.regions_used() {
+            if !wf.active_regions.contains(&r) {
+                report.violations.push(format!(
+                    "request {i}: routed plan references region {r:?} with no deployment"
+                ));
+            }
+        }
+
+        let published_before = cloud.pubsub.total_published();
+        let mut rng = master.fork(i as u64 + 1);
+        let outcome = engine.invoke(
+            &mut cloud,
+            &wf.app,
+            &decision.plan,
+            i as u64 + 1,
+            at_s,
+            &mut rng,
+        );
+        wf.router
+            .record_outcome(&decision.plan, outcome.failed_region, at_s);
+
+        // Invariant 1: exactly-one-of classification, consistent with the
+        // raw outcome fields.
+        match outcome.status() {
+            InvocationStatus::Completed => {
+                report.completed_clean += 1;
+                if !outcome.completed || outcome.failovers > 0 {
+                    report.violations.push(format!(
+                        "request {i}: Completed status but inconsistent fields"
+                    ));
+                }
+            }
+            InvocationStatus::FellBackHome => {
+                report.fell_back_home += 1;
+                if !outcome.completed || outcome.failovers == 0 {
+                    report.violations.push(format!(
+                        "request {i}: FellBackHome status but inconsistent fields"
+                    ));
+                }
+                if outcome.failed_region.is_none() {
+                    report.violations.push(format!(
+                        "request {i}: fell back home without a failed region"
+                    ));
+                }
+            }
+            InvocationStatus::Failed => {
+                report.failed += 1;
+                if outcome.completed {
+                    report.violations.push(format!(
+                        "request {i}: Failed status on a completed invocation"
+                    ));
+                }
+            }
+        }
+
+        // Invariant 3 (per invocation): SNS publishes billed to the meter
+        // equal the messages pub/sub accepted during this invocation.
+        let billed: u64 = outcome.meter.sns_publishes.values().sum();
+        let accepted = cloud.pubsub.total_published() - published_before;
+        if billed != accepted {
+            report.violations.push(format!(
+                "request {i}: meter billed {billed} SNS publishes, pub/sub accepted {accepted}"
+            ));
+        }
+        sns_billed_total += billed;
+
+        if outcome.completed {
+            latencies.push(outcome.e2e_latency_s);
+        }
+    }
+
+    // Invariant 3 (campaign-wide): no publish was double-billed or lost
+    // across the whole run.
+    let accepted_total = cloud.pubsub.total_published() - sns_base;
+    if sns_billed_total != accepted_total {
+        report.violations.push(format!(
+            "campaign: meters billed {sns_billed_total} SNS publishes, pub/sub accepted {accepted_total}"
+        ));
+    }
+    let classified = report.completed_clean + report.fell_back_home + report.failed;
+    if classified != config.requests {
+        report.violations.push(format!(
+            "campaign: {classified} classified of {} requests",
+            config.requests
+        ));
+    }
+
+    latencies.sort_by(f64::total_cmp);
+    if !latencies.is_empty() {
+        report.p50_latency_s = caribou_metrics::summary::percentile_sorted(&latencies, 0.50);
+        report.p99_latency_s = caribou_metrics::summary::percentile_sorted(&latencies, 0.99);
+        report.mean_latency_s = latencies.iter().sum::<f64>() / latencies.len() as f64;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(seed: u64, breaker: bool) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            requests: 120,
+            duration_s: 2.0 * 3600.0,
+            breaker_enabled: breaker,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic_under_a_seed() {
+        let a = run_campaign(&quick(7, true));
+        let b = run_campaign(&quick(7, true));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn campaign_upholds_invariants_and_exercises_every_fault_class() {
+        let report = run_campaign(&quick(42, true));
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert!(report.faults.partitions > 0, "partitions injected");
+        assert!(report.faults.gray_failures > 0, "gray failures injected");
+        assert!(report.faults.kv_throttles > 0, "KV throttling injected");
+        assert_eq!(
+            report.completed_clean + report.fell_back_home + report.failed,
+            report.requests
+        );
+        assert!(report.fell_back_home > 0, "faults forced some failovers");
+    }
+
+    #[test]
+    fn disabling_the_breaker_is_visible_in_reroute_counts() {
+        let with = run_campaign(&quick(42, true));
+        let without = run_campaign(&quick(42, false));
+        assert!(without.ok(), "violations: {:?}", without.violations);
+        assert!(with.breaker_reroutes > 0, "breaker engaged under faults");
+        assert_eq!(without.breaker_reroutes, 0);
+    }
+}

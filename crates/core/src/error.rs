@@ -5,6 +5,8 @@ use std::fmt;
 use caribou_model::error::ModelError;
 use caribou_model::region::RegionId;
 
+use crate::migrator::MigrationReport;
+
 /// Errors raised by the deployment control plane.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
@@ -17,6 +19,10 @@ pub enum CoreError {
         region: RegionId,
         /// Stage that failed.
         stage: String,
+        /// What the attempt accomplished before failing: regions already
+        /// deployed (and registered in `active_regions`, so a retry skips
+        /// them) and the egress those crane copies were billed.
+        partial: Box<MigrationReport>,
     },
     /// A crane image copy failed because the source image is missing.
     ImageMissing {
@@ -34,8 +40,16 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::Model(e) => write!(f, "model error: {e}"),
-            CoreError::DeploymentFailed { region, stage } => {
-                write!(f, "deployment of `{stage}` to {region} failed")
+            CoreError::DeploymentFailed {
+                region,
+                stage,
+                partial,
+            } => {
+                write!(
+                    f,
+                    "deployment of `{stage}` to {region} failed ({} region(s) already deployed)",
+                    partial.newly_deployed.len()
+                )
             }
             CoreError::ImageMissing { image } => write!(f, "image `{image}` missing"),
             CoreError::NotDeployed { workflow } => {

@@ -88,6 +88,9 @@ pub struct InvocationSample {
     pub trans_carbon_g: f64,
     /// Whether the invocation completed.
     pub completed: bool,
+    /// Whether the invocation completed only by re-routing one or more
+    /// nodes to the home deployment mid-flight (§6.1 fallback).
+    pub fell_back_home: bool,
     /// Whether this was pinned-home benchmarking traffic.
     pub benchmark_traffic: bool,
     /// Region hosting the majority of the plan's nodes (Fig. 11's
@@ -157,15 +160,24 @@ impl RunReport {
         self.samples.iter().filter(|s| s.completed).count() as f64 / self.samples.len() as f64
     }
 
+    /// Fraction of invocations that completed only via the mid-flight
+    /// home-region fallback.
+    pub fn fallback_rate(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|s| s.fell_back_home).count() as f64 / self.samples.len() as f64
+    }
+
     /// Serializes the per-invocation samples as CSV for external plotting
     /// (one row per invocation).
     pub fn samples_to_csv(&self, catalog: &caribou_model::region::RegionCatalog) -> String {
         let mut out = String::from(
-            "at_s,latency_s,cost_usd,exec_carbon_g,trans_carbon_g,completed,benchmark_traffic,majority_region\n",
+            "at_s,latency_s,cost_usd,exec_carbon_g,trans_carbon_g,completed,benchmark_traffic,majority_region,fell_back_home\n",
         );
         for s in &self.samples {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{}\n",
                 s.at_s,
                 s.latency_s,
                 s.cost_usd,
@@ -173,7 +185,8 @@ impl RunReport {
                 s.trans_carbon_g,
                 s.completed,
                 s.benchmark_traffic,
-                catalog.name(s.majority_region)
+                catalog.name(s.majority_region),
+                s.fell_back_home
             ));
         }
         out
@@ -185,6 +198,7 @@ impl RunReport {
         serde_json::json!({
             "invocations": self.samples.len(),
             "completion_rate": self.completion_rate(),
+            "fallback_rate": self.fallback_rate(),
             "workflow_carbon_g": self.workflow_carbon_g(),
             "framework_carbon_g": self.framework_carbon_g,
             "total_carbon_g": self.total_carbon_g(),
@@ -346,6 +360,14 @@ impl<S: CarbonDataSource> Caribou<S> {
         );
         outcome.log.benchmark_traffic = decision.benchmark_traffic;
         state.metrics.record(outcome.log.clone());
+        // Feed the outcome back into the router's per-region circuit
+        // breaker: consecutive failures of an offload region open its
+        // breaker and later invocations are pre-routed home instead of
+        // paying the mid-flight failover tax.
+        state
+            .dep
+            .router
+            .record_outcome(&plan, outcome.failed_region, at_s);
         InvocationSample {
             at_s,
             latency_s: outcome.e2e_latency_s,
@@ -353,6 +375,7 @@ impl<S: CarbonDataSource> Caribou<S> {
             exec_carbon_g: outcome.exec_carbon_g,
             trans_carbon_g: outcome.trans_carbon_g,
             completed: outcome.completed,
+            fell_back_home: outcome.fell_back_home(),
             benchmark_traffic: decision.benchmark_traffic,
             majority_region,
         }
@@ -361,11 +384,17 @@ impl<S: CarbonDataSource> Caribou<S> {
     /// One Deployment Manager tick (Fig. 6): retry pending rollouts,
     /// collect metrics, earn/spend tokens, solve, and migrate.
     fn manager_tick(&mut self, idx: usize, now_s: f64, report: &mut RunReport) {
-        // Retry a previously failed rollout first (§6.1).
+        // Retry a previously failed rollout first (§6.1). Even a failed
+        // attempt may have copied images to some regions; its partial
+        // report keeps the egress accounting complete.
         {
             let state = &mut self.workflows[idx];
-            if let Some(Ok(r)) = Migrator::retry_pending(&mut self.cloud, &mut state.dep, now_s) {
-                report.migration_egress_bytes += r.egress_bytes;
+            match Migrator::retry_pending(&mut self.cloud, &mut state.dep, now_s) {
+                Some(Ok(r)) => report.migration_egress_bytes += r.egress_bytes,
+                Some(Err(CoreError::DeploymentFailed { partial, .. })) => {
+                    report.migration_egress_bytes += partial.egress_bytes;
+                }
+                _ => {}
             }
         }
 
@@ -544,9 +573,13 @@ impl<S: CarbonDataSource> Caribou<S> {
             .min(now_s + self.config.plan_expiry_s.max(interval + 7200.0));
 
         // Roll out: on failure the plan stays pending and traffic remains
-        // home-routed.
-        if let Ok(r) = Migrator::rollout(&mut self.cloud, &mut state.dep, plans, now_s) {
-            report.migration_egress_bytes += r.egress_bytes;
+        // home-routed, but any partial progress is still billed.
+        match Migrator::rollout(&mut self.cloud, &mut state.dep, plans, now_s) {
+            Ok(r) => report.migration_egress_bytes += r.egress_bytes,
+            Err(CoreError::DeploymentFailed { partial, .. }) => {
+                report.migration_egress_bytes += partial.egress_bytes;
+            }
+            Err(_) => {}
         }
     }
 }
@@ -775,6 +808,45 @@ mod tests {
             let frac = bench as f64 / trace.len() as f64;
             assert!((frac - 0.1).abs() < 0.02, "wf {idx}: {frac}");
         }
+    }
+
+    #[test]
+    fn outage_trips_breaker_and_traffic_falls_back_home() {
+        use caribou_exec::router::BreakerState;
+        use caribou_simcloud::faults::FaultPlan;
+
+        let mut fw = framework(9);
+        let app = compute_heavy_app(&fw.cloud);
+        let manifest = DeploymentManifest::new("heavy", "0.1", "us-east-1");
+        let idx = fw.deploy(app, &manifest, tolerant_constraints(2)).unwrap();
+        let ca = fw.cloud.region("ca-central-1");
+        // Install an offload plan directly, then take the region down.
+        let plans = HourlyPlans::daily(DeploymentPlan::uniform(2, ca), 0.0, 1e9);
+        Migrator::rollout(&mut fw.cloud, &mut fw.workflows[idx].dep, plans, 0.0).unwrap();
+        fw.cloud
+            .set_faults(FaultPlan::none().with_outage(ca, 1000.0, 1e9));
+
+        let trace: Vec<f64> = (0..60).map(|i| 2000.0 + i as f64 * 10.0).collect();
+        let report = fw.run_trace(idx, &trace);
+
+        // Nothing is lost: early invocations fail over mid-flight, and
+        // once the breaker opens the router pre-routes home.
+        assert!(report.completion_rate() > 0.999);
+        assert!(report.fallback_rate() > 0.0, "some mid-flight failovers");
+        assert_eq!(
+            fw.workflows[idx].dep.router.breaker_state(ca),
+            BreakerState::Open
+        );
+        // After the breaker opens, at most the occasional half-open probe
+        // still pays the failover path.
+        let late_fallbacks = report
+            .samples
+            .iter()
+            .rev()
+            .take(20)
+            .filter(|s| s.fell_back_home)
+            .count();
+        assert!(late_fallbacks <= 1, "late fallbacks: {late_fallbacks}");
     }
 
     #[test]

@@ -17,13 +17,17 @@
 //! * [`manager`] — the Deployment Manager orchestrating the Fig. 6 loop;
 //! * [`framework`] — the top-level [`framework::Caribou`] runtime that
 //!   executes invocation traces end-to-end against the simulated cloud,
-//!   learning, solving, migrating, and accounting as it goes.
+//!   learning, solving, migrating, and accounting as it goes;
+//! * [`chaos`] — a seeded randomized fault-campaign harness checking the
+//!   framework's robustness invariants (no invocation lost, routing stays
+//!   deployable, metering stays honest) under composed fault classes.
 //!
 //! # Quickstart
 //!
 //! See `examples/quickstart.rs` for a complete end-to-end run; the crate
 //! root re-exports the types needed for typical use.
 
+pub mod chaos;
 pub mod error;
 pub mod framework;
 pub mod manager;
@@ -31,6 +35,7 @@ pub mod migrator;
 pub mod tokens;
 pub mod utility;
 
+pub use chaos::{ChaosConfig, ChaosReport};
 pub use error::CoreError;
 pub use framework::{Caribou, CaribouConfig, RunReport};
 pub use manager::DeploymentManager;

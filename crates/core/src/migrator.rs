@@ -72,9 +72,14 @@ impl Migrator {
                     );
                 }
                 workflow.pending = Some(plans);
+                // The regions deployed before the failure stay deployed
+                // (and in `active_regions`), so the retry only copies
+                // images to the regions that are still missing. The
+                // partial report keeps the billing account consistent.
                 return Err(CoreError::DeploymentFailed {
                     region,
                     stage: workflow.app.name.clone(),
+                    partial: Box::new(report),
                 });
             }
             // Replay step 2 in the new region: IAM role, crane copy,
@@ -150,7 +155,16 @@ impl Migrator {
         let plans = workflow.pending.take()?;
         if plans.expired(now_s) {
             // An expired plan is worthless; drop it (traffic is already
-            // routed home).
+            // routed home). The drop is observable so operators can tell
+            // "plan replaced" apart from "plan silently abandoned".
+            if caribou_telemetry::is_enabled() {
+                caribou_telemetry::event_at(
+                    now_s,
+                    "migrator.plan_expired",
+                    &workflow.app.name,
+                    plans.expires_at,
+                );
+            }
             return None;
         }
         Some(Self::rollout(cloud, workflow, plans, now_s))
@@ -254,5 +268,76 @@ mod tests {
         let mut cloud = SimCloud::aws(5);
         let mut wf = deployed(&mut cloud);
         assert!(Migrator::retry_pending(&mut cloud, &mut wf, 0.0).is_none());
+    }
+
+    fn plans_split(a: RegionId, b: RegionId, expires: f64) -> HourlyPlans {
+        let mut plan = DeploymentPlan::uniform(2, a);
+        plan.set(caribou_model::dag::NodeId(1), b);
+        HourlyPlans::hourly((0..24).map(|_| plan.clone()).collect(), 0.0, expires)
+    }
+
+    #[test]
+    fn failed_rollout_reports_partial_progress() {
+        let mut cloud = SimCloud::aws(6);
+        let mut wf = deployed(&mut cloud);
+        let west = cloud.region("us-west-1");
+        let ca = cloud.region("ca-central-1");
+        // regions_used() is sorted, so us-west-1 (2) deploys before
+        // ca-central-1 (4) — and only the latter is down.
+        cloud.set_faults(FaultPlan::none().with_outage(ca, 0.0, 1000.0));
+        let err = Migrator::rollout(&mut cloud, &mut wf, plans_split(west, ca, 1e9), 10.0);
+        let Err(CoreError::DeploymentFailed {
+            region, partial, ..
+        }) = err
+        else {
+            panic!("expected DeploymentFailed");
+        };
+        assert_eq!(region, ca);
+        assert_eq!(partial.newly_deployed, vec![west]);
+        assert!(partial.egress_bytes > 0.0, "west crane copy was billed");
+        assert!(!partial.activated);
+        assert!(wf.active_regions.contains(&west), "west stays deployed");
+    }
+
+    #[test]
+    fn retry_after_partial_failure_does_not_recopy_images() {
+        let mut cloud = SimCloud::aws(7);
+        let mut wf = deployed(&mut cloud);
+        let west = cloud.region("us-west-1");
+        let ca = cloud.region("ca-central-1");
+        cloud.set_faults(FaultPlan::none().with_outage(ca, 0.0, 1000.0));
+        let _ = Migrator::rollout(&mut cloud, &mut wf, plans_split(west, ca, 1e9), 10.0);
+        // Outage over: the retry deploys only the region that failed.
+        let retry = Migrator::retry_pending(&mut cloud, &mut wf, 2000.0)
+            .expect("pending plan retained")
+            .expect("retry succeeds");
+        assert_eq!(retry.newly_deployed, vec![ca], "west is not re-deployed");
+        assert!(retry.activated);
+        assert!(wf.router.has_active_plan(2000.0));
+    }
+
+    #[test]
+    fn expired_pending_drop_emits_telemetry_event() {
+        caribou_telemetry::enable(Box::new(caribou_telemetry::MemorySink::default()));
+        let mut cloud = SimCloud::aws(8);
+        let mut wf = deployed(&mut cloud);
+        let ca = cloud.region("ca-central-1");
+        cloud.set_faults(FaultPlan::none().with_outage(ca, 0.0, 1000.0));
+        let _ = Migrator::rollout(&mut cloud, &mut wf, plans_using(ca, 500.0), 10.0);
+        assert!(Migrator::retry_pending(&mut cloud, &mut wf, 2000.0).is_none());
+        let finished = caribou_telemetry::finish().expect("session active");
+        let sink = finished
+            .sink
+            .as_any()
+            .downcast_ref::<caribou_telemetry::MemorySink>()
+            .unwrap();
+        let drop_events: Vec<_> = sink
+            .events
+            .iter()
+            .filter(|e| e.kind == "migrator.plan_expired")
+            .collect();
+        assert_eq!(drop_events.len(), 1);
+        assert_eq!(drop_events[0].label, "wf");
+        assert_eq!(drop_events[0].value, 500.0, "records the expiry time");
     }
 }

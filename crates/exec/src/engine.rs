@@ -21,7 +21,7 @@ use caribou_simcloud::clock::EventQueue;
 use caribou_simcloud::cloud::SimCloud;
 use caribou_simcloud::meter::UsageMeter;
 use caribou_simcloud::orchestration::Orchestrator;
-use caribou_simcloud::pubsub::TopicKey;
+use caribou_simcloud::pubsub::{Delivery, DeliveryStatus, TopicKey};
 
 use crate::outcome::ExecutionOutcome;
 
@@ -85,6 +85,14 @@ struct InvocationCtx<'c, 'a, S: CarbonDataSource> {
     exec_carbon: f64,
     trans_carbon: f64,
     completed: bool,
+    /// Per-node region override installed by mid-flight failover (§6.1):
+    /// when set, the node runs in that region instead of the plan's.
+    overrides: Vec<Option<RegionId>>,
+    /// Number of nodes re-routed to the home deployment this invocation.
+    failovers: u32,
+    /// First region observed failing (outage, partition, or dead-letter
+    /// target); feeds the router's per-region circuit breaker.
+    failed_region: Option<RegionId>,
     edge_state: Vec<EdgeState>,
     node_started: Vec<bool>,
     node_dead: Vec<bool>,
@@ -101,17 +109,18 @@ impl<S: CarbonDataSource> ExecutionEngine<'_, S> {
     pub fn provision(&self, cloud: &mut SimCloud, app: &WorkflowApp, plan: &DeploymentPlan) {
         for node in app.dag.all_nodes() {
             let region = plan.region_of(node);
-            cloud.pubsub.create_topic(TopicKey {
-                workflow: app.name.clone(),
-                stage: app.dag.node(node).name.clone(),
-                region,
-            });
-            cloud
-                .kv
-                .create_table(format!("caribou-data@{}", region.0), region);
-            cloud
-                .kv
-                .create_table(format!("caribou-sync@{}", region.0), region);
+            for r in [region, app.home] {
+                // The home deployment always exists (§6.1): mid-flight
+                // failover publishes to the home topic, so it is created
+                // alongside the plan's even when the plan never uses home.
+                cloud.pubsub.create_topic(TopicKey {
+                    workflow: app.name.clone(),
+                    stage: app.dag.node(node).name.clone(),
+                    region: r,
+                });
+                cloud.kv.create_table(format!("caribou-data@{}", r.0), r);
+                cloud.kv.create_table(format!("caribou-sync@{}", r.0), r);
+            }
         }
         cloud.kv.create_table("caribou-meta", app.home);
     }
@@ -134,6 +143,9 @@ impl<S: CarbonDataSource> ExecutionEngine<'_, S> {
         );
         let hour = at_s / 3600.0;
         let n = app.dag.node_count();
+        // Windowed faults (partitions, gray failures, throttles) are
+        // evaluated at the invocation's start time.
+        cloud.set_fault_now(at_s);
         let mut ctx = InvocationCtx {
             engine: self,
             cloud,
@@ -147,6 +159,9 @@ impl<S: CarbonDataSource> ExecutionEngine<'_, S> {
             exec_carbon: 0.0,
             trans_carbon: 0.0,
             completed: true,
+            overrides: vec![None; n],
+            failovers: 0,
+            failed_region: None,
             edge_state: vec![EdgeState::Undecided; app.dag.edge_count()],
             node_started: vec![false; n],
             node_dead: vec![false; n],
@@ -168,6 +183,9 @@ impl<S: CarbonDataSource> ExecutionEngine<'_, S> {
             if !ctx.completed {
                 caribou_telemetry::count("exec.incomplete", 1);
             }
+            if ctx.failovers > 0 {
+                caribou_telemetry::count("failover.invocations", 1);
+            }
         }
         ctx.cloud.meter.merge(&ctx.meter);
         ExecutionOutcome {
@@ -186,16 +204,77 @@ impl<S: CarbonDataSource> ExecutionEngine<'_, S> {
             trans_carbon_g: ctx.trans_carbon,
             meter: ctx.meter,
             completed: ctx.completed,
+            failovers: ctx.failovers,
+            failed_region: ctx.failed_region,
         }
     }
 }
 
 impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
+    /// Effective region of a node: the failover override when one was
+    /// installed, otherwise the plan's assignment.
+    fn region_of(&self, node: NodeId) -> RegionId {
+        self.overrides[node.index()].unwrap_or_else(|| self.plan.region_of(node))
+    }
+
     fn topic(&self, node: NodeId) -> TopicKey {
         TopicKey {
             workflow: self.app.name.clone(),
             stage: self.app.dag.node(node).name.clone(),
-            region: self.plan.region_of(node),
+            region: self.region_of(node),
+        }
+    }
+
+    /// Publishes the invocation message for `node` from `from`, metering
+    /// the publish (rejected topic-missing calls are not billed).
+    fn publish_to(&mut self, node: NodeId, from: RegionId, payload_bytes: f64) -> Delivery {
+        let topic = self.topic(node);
+        let lm = latency_clone(self.cloud);
+        let delivery = self
+            .cloud
+            .pubsub
+            .publish(&topic, from, payload_bytes, &lm, self.rng);
+        if delivery.status != DeliveryStatus::TopicMissing {
+            self.meter.record_sns(from);
+        }
+        delivery
+    }
+
+    /// §6.1 graceful degradation: re-routes `node` to the home deployment
+    /// (which always exists) after its planned region failed, and
+    /// re-publishes the invocation message to the home topic. Returns the
+    /// failover delivery on success; `None` when the node already runs at
+    /// home or the failover publish itself is lost — the caller then
+    /// reports the invocation failed. Always records the failed region so
+    /// the router's circuit breaker hears about it either way.
+    fn fail_over_home(
+        &mut self,
+        node: NodeId,
+        from: RegionId,
+        failed: RegionId,
+        payload_bytes: f64,
+        t: f64,
+    ) -> Option<Delivery> {
+        self.failed_region.get_or_insert(failed);
+        let home = self.app.home;
+        if self.region_of(node) == home || self.cloud.faults.region_down(home, self.at_s + t) {
+            return None;
+        }
+        self.overrides[node.index()] = Some(home);
+        let delivery = self.publish_to(node, from, payload_bytes);
+        if delivery.delivered() {
+            self.failovers += 1;
+            if caribou_telemetry::is_enabled() {
+                caribou_telemetry::event_at(
+                    self.at_s + t,
+                    "failover.reroute",
+                    format!("n{} r{}->r{}", node.0, failed.0, home.0),
+                    delivery.latency_s,
+                );
+            }
+            Some(delivery)
+        } else {
+            None
         }
     }
 
@@ -221,24 +300,23 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
         let input_bytes = self.app.profile.input_bytes.sample(self.rng);
         let mut t0 = self.engine.orchestrator.sample_setup_s(self.rng);
 
-        let delivery = {
-            let topic = self.topic(start);
-            self.cloud.pubsub.publish(
-                &topic,
-                self.app.home,
-                input_bytes,
-                // Reborrow dance: pubsub needs the latency model.
-                &latency_clone(self.cloud),
-                self.rng,
-            )
-        };
-        self.meter.record_sns(self.app.home);
+        let delivery = self.publish_to(start, self.app.home, input_bytes);
         self.account_transfer(self.app.home, start_region, input_bytes);
-        if !delivery.delivered {
-            self.completed = false;
-            return;
+        if !delivery.delivered() {
+            // The entry region is unreachable (outage, partition, or the
+            // message dead-lettered): re-route the entry to the home
+            // deployment — the client's payload is already at home.
+            match self.fail_over_home(start, self.app.home, start_region, input_bytes, t0) {
+                Some(fo) => t0 += delivery.latency_s + fo.latency_s,
+                None => {
+                    self.completed = false;
+                    return;
+                }
+            }
+        } else {
+            t0 += delivery.latency_s;
         }
-        t0 += delivery.latency_s;
+        let start_region = self.region_of(start);
 
         if self.engine.orchestrator == Orchestrator::Caribou {
             // Entry wrapper fetches the active deployment plan from the
@@ -263,28 +341,41 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
         }
     }
 
-    fn execute_node(&mut self, node: NodeId, t: f64) {
+    fn execute_node(&mut self, node: NodeId, mut t: f64) {
         if std::mem::replace(&mut self.node_started[node.index()], true) {
             return;
         }
-        let region = self.plan.region_of(node);
+        let mut region = self.region_of(node);
         if self.cloud.faults.region_down(region, self.at_s + t) {
-            // Region outage: the delivery retries would eventually
-            // dead-letter; the invocation cannot complete.
-            self.completed = false;
-            self.mark_node_dead_downstream(node, t);
-            return;
+            // Region outage mid-flight: the function never picks the
+            // message up. The dead-letter redrive re-routes the node to
+            // the home deployment (§6.1) — published from home, where the
+            // framework's control plane lives.
+            match self.fail_over_home(node, self.app.home, region, 2048.0, t) {
+                Some(fo) => {
+                    t += fo.latency_s;
+                    region = self.region_of(node);
+                }
+                None => {
+                    self.completed = false;
+                    self.mark_node_dead_downstream(node, t);
+                    return;
+                }
+            }
         }
         let p = &self.app.profile.nodes[node.index()];
-        // Cold starts: stateful when the warm pool is enabled (a freshly
-        // offloaded region starts cold until traffic warms it), otherwise
-        // the compute model's probabilistic rate applies.
+        // Cold starts: a cold-start storm forces cold; otherwise stateful
+        // when the warm pool is enabled (a freshly offloaded region starts
+        // cold until traffic warms it), or the compute model's
+        // probabilistic rate applies.
+        let storm = self.cloud.faults.cold_storm(region, self.at_s + t);
         let cold = if self.cloud.warm.enabled {
             self.cloud
                 .warm
                 .check_and_touch(&self.app.name, node.0, region, self.at_s + t)
+                || storm
         } else {
-            let cold = self.rng.chance(self.cloud.compute.cold_start_prob);
+            let cold = storm || self.rng.chance(self.cloud.compute.cold_start_prob);
             if caribou_telemetry::is_enabled() {
                 caribou_telemetry::count(
                     if cold {
@@ -297,6 +388,9 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
             }
             cold
         };
+        if storm && caribou_telemetry::is_enabled() {
+            caribou_telemetry::count("fault.cold_storm", 1);
+        }
         let record = self.cloud.compute.execute_forced(
             region,
             &p.exec_time,
@@ -370,14 +464,14 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
         }
         let edge = *self.app.dag.edge(eid);
         let succ = edge.to;
-        let succ_region = self.plan.region_of(succ);
+        let succ_region = self.region_of(succ);
         let is_sync = self.app.dag.is_sync_node(succ);
 
         if taken {
             let payload = self.app.profile.edges[eid.index()]
                 .payload_bytes
                 .sample(self.rng);
-            let from_region = self.plan.region_of(edge.from);
+            let from_region = self.region_of(edge.from);
             let lm = latency_clone(self.cloud);
 
             // Intermediate data goes to the successor region's storage:
@@ -426,37 +520,41 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
                 after_write
                     + lm.sample_transfer_seconds(from_region, succ_region, payload, self.rng)
             } else {
-                let topic = self.topic(succ);
                 // The invocation message itself is small: the data went
                 // through the KV store; the message carries the DP and
                 // location header (§6.2 Traffic Routing).
-                let delivery =
-                    self.cloud
-                        .pubsub
-                        .publish(&topic, from_region, 2048.0, &lm, self.rng);
-                self.meter.record_sns(from_region);
-                if !delivery.delivered {
-                    // Dead-lettered: the successor never starts.
-                    self.completed = false;
-                    self.edge_state[eid.index()] = EdgeState::Decided {
-                        taken: false,
-                        at: t,
-                        writer: from_region,
-                    };
-                    self.edge_records.push(EdgeRecord {
-                        edge: eid.0,
-                        taken: false,
-                        from_region,
-                        to_region: succ_region,
-                        bytes: payload,
-                        latency_s: 0.0,
-                    });
-                    self.mark_node_dead_downstream(succ, t);
-                    return;
+                let delivery = self.publish_to(succ, from_region, 2048.0);
+                if !delivery.delivered() {
+                    // Dead-lettered: re-route the successor to the home
+                    // deployment; it reads the intermediate data from the
+                    // originally planned region's table.
+                    match self.fail_over_home(succ, from_region, succ_region, 2048.0, after_write) {
+                        Some(fo) => after_write + delivery.latency_s + fo.latency_s,
+                        None => {
+                            self.completed = false;
+                            self.edge_state[eid.index()] = EdgeState::Decided {
+                                taken: false,
+                                at: t,
+                                writer: from_region,
+                            };
+                            self.edge_records.push(EdgeRecord {
+                                edge: eid.0,
+                                taken: false,
+                                from_region,
+                                to_region: succ_region,
+                                bytes: payload,
+                                latency_s: 0.0,
+                            });
+                            self.mark_node_dead_downstream(succ, t);
+                            return;
+                        }
+                    }
+                } else {
+                    after_write + delivery.latency_s
                 }
-                after_write + delivery.latency_s
             };
 
+            let to_region = self.region_of(succ);
             self.edge_state[eid.index()] = EdgeState::Decided {
                 taken: true,
                 at: arrival,
@@ -466,25 +564,26 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
                 edge: eid.0,
                 taken: true,
                 from_region,
-                to_region: succ_region,
+                to_region,
                 bytes: payload,
                 latency_s: arrival - t,
             });
             if caribou_telemetry::is_enabled() {
                 caribou_telemetry::span_at(
                     "hop",
-                    format!("e{} r{}->r{}", eid.0, from_region.0, succ_region.0),
+                    format!("e{} r{}->r{}", eid.0, from_region.0, to_region.0),
                     self.at_s + t,
                     arrival - t,
                     self.inv_id,
                     format!("edge:{}", eid.0),
                 );
             }
-            // The successor's wrapper reads the intermediate data.
-            let read_latency = self.load_intermediate(eid, succ_region);
+            // The successor's wrapper reads the intermediate data (stored
+            // at the originally planned region even after a failover).
+            let read_latency = self.load_intermediate(eid, succ_region, to_region);
             self.queue.push(arrival + read_latency, succ);
         } else {
-            let from_region = self.plan.region_of(edge.from);
+            let from_region = self.region_of(edge.from);
             let decision_t = if is_sync {
                 self.sync_annotate(succ, false, t, decider_region)
             } else {
@@ -555,29 +654,28 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
         }
     }
 
-    /// Loads one edge's intermediate payload at the successor, following
-    /// the blob reference when present. Returns the read latency.
-    fn load_intermediate(&mut self, eid: EdgeId, succ_region: RegionId) -> f64 {
+    /// Loads one edge's intermediate payload, following the blob reference
+    /// when present. `storage` is the region whose table/bucket holds the
+    /// data (the successor's planned region); `reader` is where the
+    /// successor actually runs — they differ after a failover, which then
+    /// pays the cross-region read. Returns the read latency.
+    fn load_intermediate(&mut self, eid: EdgeId, storage: RegionId, reader: RegionId) -> f64 {
         let key = format!("inv{}:e{}", self.inv_id, eid.0);
         let lm = latency_clone(self.cloud);
-        if let Some(blob) = self
-            .cloud
-            .blob
-            .get(succ_region, &key, succ_region, &lm, self.rng)
-        {
-            self.meter.record_blob(succ_region, 1, 0);
+        if let Some(blob) = self.cloud.blob.get(storage, &key, reader, &lm, self.rng) {
+            self.meter.record_blob(storage, 1, 0);
             // The wrapper first read the KV reference.
-            self.meter.record_kv(succ_region, 1, 0);
+            self.meter.record_kv(storage, 1, 0);
             return blob.latency_s;
         }
         let read = self.cloud.kv.get(
-            &format!("caribou-data@{}", succ_region.0),
+            &format!("caribou-data@{}", storage.0),
             &key,
-            succ_region,
+            reader,
             &lm,
             self.rng,
         );
-        self.meter.record_kv(succ_region, 1, 0);
+        self.meter.record_kv(storage, 1, 0);
         read.latency_s
     }
 
@@ -585,7 +683,7 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
     /// node's regional table, returning the simulation time the update
     /// completed.
     fn sync_annotate(&mut self, succ: NodeId, taken: bool, t: f64, writer_region: RegionId) -> f64 {
-        let succ_region = self.plan.region_of(succ);
+        let succ_region = self.region_of(succ);
         let sync_table = format!("caribou-sync@{}", succ_region.0);
         let key = format!("inv{}:n{}", self.inv_id, succ.0);
         let lm = latency_clone(self.cloud);
@@ -625,7 +723,7 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
         }
         let mut any_taken = false;
         let mut last_at = 0.0f64;
-        let mut last_writer = self.plan.region_of(succ);
+        let mut last_writer = self.region_of(succ);
         for e in in_edges {
             if let EdgeState::Decided { taken, at, writer } = self.edge_state[e.index()] {
                 any_taken |= taken;
@@ -645,28 +743,32 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
         if telemetry {
             caribou_telemetry::event("sync.fired", format!("n{}", succ.0), last_at);
         }
-        let succ_region = self.plan.region_of(succ);
-        let lm = latency_clone(self.cloud);
+        let succ_region = self.region_of(succ);
         // The completing writer invokes the synchronization node with a
         // small message; the node then loads the intermediate data of
         // every taken predecessor from the KV store (§4, Fig. 5).
         let start_t = if self.engine.orchestrator == Orchestrator::StepFunctions {
             last_at + self.engine.orchestrator.sample_transition_s(self.rng)
         } else {
-            let topic = self.topic(succ);
-            let delivery = self
-                .cloud
-                .pubsub
-                .publish(&topic, last_writer, 1024.0, &lm, self.rng);
-            self.meter.record_sns(last_writer);
-            if !delivery.delivered {
-                self.completed = false;
-                return;
+            let delivery = self.publish_to(succ, last_writer, 1024.0);
+            if !delivery.delivered() {
+                // The sync node's region is unreachable: fail over home.
+                match self.fail_over_home(succ, last_writer, succ_region, 1024.0, last_at) {
+                    Some(fo) => last_at + delivery.latency_s + fo.latency_s,
+                    None => {
+                        self.completed = false;
+                        self.mark_node_dead_downstream(succ, last_at);
+                        return;
+                    }
+                }
+            } else {
+                last_at + delivery.latency_s
             }
-            last_at + delivery.latency_s
         };
         // Parallel reads of predecessors' intermediate data: latency is
-        // the max of the sampled reads.
+        // the max of the sampled reads. Data sits in the planned region's
+        // storage; after a failover the reads cross regions.
+        let reader = self.region_of(succ);
         let mut read_latency: f64 = 0.0;
         let taken_edges: Vec<EdgeId> = in_edges
             .iter()
@@ -674,7 +776,7 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
             .filter(|e| self.edge_state[e.index()].is_taken())
             .collect();
         for e in taken_edges {
-            read_latency = read_latency.max(self.load_intermediate(e, succ_region));
+            read_latency = read_latency.max(self.load_intermediate(e, succ_region, reader));
         }
         self.queue.push(start_t + read_latency, succ);
     }
@@ -689,7 +791,7 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
         if caribou_telemetry::is_enabled() {
             caribou_telemetry::count("exec.skip_propagation", 1);
         }
-        let region = self.plan.region_of(node);
+        let region = self.region_of(node);
         let out: Vec<EdgeId> = self.app.dag.out_edges(node).to_vec();
         for eid in out {
             self.decide_edge(eid, false, t, region);
@@ -887,7 +989,7 @@ mod tests {
     }
 
     #[test]
-    fn region_outage_marks_invocation_incomplete() {
+    fn region_outage_fails_over_to_home() {
         let mut cloud = SimCloud::aws(6);
         let app = chain_app(&cloud);
         let ca = cloud.region("ca-central-1");
@@ -895,8 +997,92 @@ mod tests {
         let mut plan = DeploymentPlan::uniform(2, app.home);
         plan.set(NodeId(1), ca);
         let out = run(&mut cloud, &app, &plan, 6);
+        // §6.1 degradation: the offloaded stage re-routes to the home
+        // deployment instead of killing the invocation.
+        assert!(out.completed);
+        assert!(out.failovers >= 1);
+        assert_eq!(out.failed_region, Some(ca));
+        assert_eq!(out.log.nodes.len(), 2, "both stages ran");
+        let rec = out.log.nodes.iter().find(|r| r.node == 1).unwrap();
+        assert_eq!(rec.region, app.home, "stage 1 fell back home");
+    }
+
+    #[test]
+    fn home_outage_marks_invocation_failed() {
+        let mut cloud = SimCloud::aws(24);
+        let app = chain_app(&cloud);
+        let home = app.home;
+        cloud.set_faults(caribou_simcloud::faults::FaultPlan::none().with_outage(home, 0.0, 1e9));
+        let plan = DeploymentPlan::uniform(2, app.home);
+        let out = run(&mut cloud, &app, &plan, 24);
+        // No fallback target exists: the invocation is reported failed,
+        // with the failing region attributed.
         assert!(!out.completed);
-        assert_eq!(out.log.nodes.len(), 1, "only the first stage ran");
+        assert_eq!(out.failed_region, Some(home));
+        assert_eq!(out.failovers, 0);
+    }
+
+    #[test]
+    fn partition_mid_workflow_fails_over_to_home() {
+        let mut cloud = SimCloud::aws(25);
+        let app = chain_app(&cloud);
+        let ca = cloud.region("ca-central-1");
+        let home = app.home;
+        // Home and ca cannot talk; ca itself is healthy. The A→B hop
+        // dead-letters and B re-routes home.
+        cloud.set_faults(
+            caribou_simcloud::faults::FaultPlan::none().with_partition(home, ca, 0.0, 1e9),
+        );
+        let mut plan = DeploymentPlan::uniform(2, app.home);
+        plan.set(NodeId(1), ca);
+        let out = run(&mut cloud, &app, &plan, 25);
+        assert!(out.completed);
+        assert!(out.failovers >= 1);
+        assert_eq!(out.failed_region, Some(ca));
+        let rec = out.log.nodes.iter().find(|r| r.node == 1).unwrap();
+        assert_eq!(rec.region, home);
+        // The dead-letter retry tax is visible in the end-to-end latency:
+        // five attempts with backoffs before the redrive.
+        assert!(out.e2e_latency_s > 5.0, "{}", out.e2e_latency_s);
+    }
+
+    #[test]
+    fn sync_node_fails_over_when_its_region_dies() {
+        let mut cloud = SimCloud::aws(26);
+        cloud.compute.cold_start_prob = 0.0;
+        let app = sync_app(&cloud, None);
+        let ca = cloud.region("ca-central-1");
+        cloud.set_faults(caribou_simcloud::faults::FaultPlan::none().with_outage(ca, 0.0, 1e9));
+        let mut plan = DeploymentPlan::uniform(4, app.home);
+        plan.set(NodeId(3), ca);
+        let out = run(&mut cloud, &app, &plan, 26);
+        assert!(out.completed);
+        assert!(out.failovers >= 1);
+        let d = out.log.nodes.iter().find(|r| r.node == 3).unwrap();
+        assert_eq!(d.region, app.home, "sync node fell back home");
+    }
+
+    #[test]
+    fn cold_storm_forces_cold_starts() {
+        let mut cloud = SimCloud::aws(27);
+        cloud.compute.cold_start_prob = 0.0;
+        cloud.compute.exec_sigma = 0.0;
+        let app = chain_app(&cloud);
+        let plan = DeploymentPlan::uniform(2, app.home);
+        let calm = run(&mut cloud, &app, &plan, 27);
+        let mut stormy_cloud = SimCloud::aws(27);
+        stormy_cloud.compute.cold_start_prob = 0.0;
+        stormy_cloud.compute.exec_sigma = 0.0;
+        stormy_cloud.set_faults(
+            caribou_simcloud::faults::FaultPlan::none().with_cold_storm(app.home, 0.0, 1e9),
+        );
+        let stormy = run(&mut stormy_cloud, &app, &plan, 27);
+        assert!(
+            stormy.e2e_latency_s > calm.e2e_latency_s + 0.3,
+            "calm {} stormy {}",
+            calm.e2e_latency_s,
+            stormy.e2e_latency_s
+        );
     }
 
     #[test]

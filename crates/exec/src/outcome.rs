@@ -1,7 +1,23 @@
 //! Execution outcome records.
 
 use caribou_metrics::logs::InvocationLog;
+use caribou_model::region::RegionId;
 use caribou_simcloud::meter::UsageMeter;
+
+/// Exactly-one-of classification of an invocation under faults: the
+/// chaos harness's "no invocation lost" invariant requires every request
+/// to land in exactly one of these buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvocationStatus {
+    /// Ran to completion on the planned deployment.
+    Completed,
+    /// Ran to completion, but one or more nodes re-routed to the home
+    /// deployment mid-flight (§6.1 fallback).
+    FellBackHome,
+    /// Could not complete; [`ExecutionOutcome::failed_region`] names the
+    /// region that failed.
+    Failed,
+}
 
 /// The result of one end-to-end workflow invocation.
 #[derive(Debug, Clone)]
@@ -22,11 +38,33 @@ pub struct ExecutionOutcome {
     /// Whether every required message was delivered (false when a pub/sub
     /// message was dead-lettered or a region was down).
     pub completed: bool,
+    /// Number of nodes re-routed to the home deployment mid-flight.
+    pub failovers: u32,
+    /// First region observed failing during the invocation, when any —
+    /// set even when the failover succeeded, so the router's circuit
+    /// breaker learns about flaky regions behind successful requests.
+    pub failed_region: Option<RegionId>,
 }
 
 impl ExecutionOutcome {
     /// Total operational carbon, gCO₂eq.
     pub fn carbon_g(&self) -> f64 {
         self.exec_carbon_g + self.trans_carbon_g
+    }
+
+    /// The exactly-one-of classification of this invocation.
+    pub fn status(&self) -> InvocationStatus {
+        if !self.completed {
+            InvocationStatus::Failed
+        } else if self.failovers > 0 {
+            InvocationStatus::FellBackHome
+        } else {
+            InvocationStatus::Completed
+        }
+    }
+
+    /// Whether the invocation completed via the home-region fallback.
+    pub fn fell_back_home(&self) -> bool {
+        self.status() == InvocationStatus::FellBackHome
     }
 }

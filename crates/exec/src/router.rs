@@ -1,14 +1,69 @@
-//! Invocation routing: active plans, expiry fallback, and the 10%
-//! home-region benchmarking traffic (§6.2).
+//! Invocation routing: active plans, expiry fallback, the 10%
+//! home-region benchmarking traffic (§6.2), and a per-region circuit
+//! breaker.
 //!
 //! "The wrapper routes 10% of the workflow invocations to be fully
 //! executed at the home region for performance benchmarking and metric
 //! collection." The router also applies plan expiry (§5.2): when the
 //! active plan set has expired, all traffic is routed home until a new
 //! plan is activated.
+//!
+//! The circuit breaker stops repeated failures from paying the
+//! dead-letter retry tax on every request: after
+//! [`BreakerConfig::failure_threshold`] consecutive failures of a region,
+//! its breaker opens and the router substitutes the home region for that
+//! region's assignments. After [`BreakerConfig::cooldown_s`] the breaker
+//! half-opens and lets a single probe through; a success closes it, a
+//! failure re-opens it. The happy path (no breaker tripped) is a single
+//! branch on a counter, so routing cost is unchanged when regions are
+//! healthy.
+
+use std::collections::HashMap;
 
 use caribou_model::plan::{DeploymentPlan, HourlyPlans};
 use caribou_model::region::RegionId;
+
+/// Circuit-breaker tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Whether the breaker participates in routing at all.
+    pub enabled: bool,
+    /// Consecutive failures of a region before its breaker opens.
+    pub failure_threshold: u32,
+    /// Seconds an open breaker blocks traffic before half-opening.
+    pub cooldown_s: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            enabled: true,
+            failure_threshold: 3,
+            cooldown_s: 300.0,
+        }
+    }
+}
+
+/// Observable state of one region's breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: traffic flows to the region.
+    Closed,
+    /// Tripped: the region's assignments are substituted with home.
+    Open,
+    /// Cooled down: exactly one probe request is allowed through.
+    HalfOpen,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RegionBreaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at_s: f64,
+    /// Whether the half-open probe has been dispatched and is awaiting
+    /// its outcome.
+    probe_inflight: bool,
+}
 
 /// Routing decision for one invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +74,9 @@ pub struct RouteDecision {
     pub benchmark_traffic: bool,
     /// Whether the active plan set had expired (home fallback).
     pub plan_expired: bool,
+    /// Whether an open circuit breaker substituted home for one or more
+    /// of the plan's regions.
+    pub breaker_rerouted: bool,
 }
 
 /// Routes invocations of one workflow.
@@ -31,6 +89,12 @@ pub struct InvocationRouter {
     /// Every `benchmark_every`-th invocation is pinned home (10 in the
     /// paper).
     pub benchmark_every: u64,
+    /// Circuit-breaker configuration.
+    pub breaker: BreakerConfig,
+    breakers: HashMap<RegionId, RegionBreaker>,
+    /// Number of breakers currently Open or HalfOpen. The routing happy
+    /// path checks only this counter.
+    tripped: u32,
 }
 
 impl InvocationRouter {
@@ -42,6 +106,9 @@ impl InvocationRouter {
             active: None,
             counter: 0,
             benchmark_every: 10,
+            breaker: BreakerConfig::default(),
+            breakers: HashMap::new(),
+            tripped: 0,
         }
     }
 
@@ -71,37 +138,222 @@ impl InvocationRouter {
         DeploymentPlan::uniform(self.node_count, self.home)
     }
 
+    /// Whether any breaker is currently blocking a region. This is the
+    /// exact check `route` performs on its happy path; the bench suite
+    /// guards that it stays under 10 ns.
+    #[inline]
+    pub fn breaker_engaged(&self) -> bool {
+        self.breaker.enabled && self.tripped > 0
+    }
+
+    /// Current breaker state for a region.
+    pub fn breaker_state(&self, region: RegionId) -> BreakerState {
+        self.breakers
+            .get(&region)
+            .map(|b| b.state)
+            .unwrap_or(BreakerState::Closed)
+    }
+
+    /// Number of regions with a tripped (open or half-open) breaker.
+    pub fn tripped_regions(&self) -> u32 {
+        self.tripped
+    }
+
     /// Routes the next invocation at simulation time `now_s`.
     pub fn route(&mut self, now_s: f64) -> RouteDecision {
         self.counter += 1;
         let benchmark =
             self.benchmark_every > 0 && self.counter.is_multiple_of(self.benchmark_every);
         if benchmark {
+            // Benchmark traffic is pinned home by definition; no breaker
+            // can reroute it further.
             return RouteDecision {
                 plan: self.home_plan(),
                 benchmark_traffic: true,
                 plan_expired: false,
+                breaker_rerouted: false,
             };
         }
-        match &self.active {
+        let mut decision = match &self.active {
             Some(plans) if !plans.expired(now_s) => {
                 let hour = ((now_s / 3600.0) as usize) % 24;
                 RouteDecision {
                     plan: plans.plan_for_hour(hour).clone(),
                     benchmark_traffic: false,
                     plan_expired: false,
+                    breaker_rerouted: false,
                 }
             }
             Some(_) => RouteDecision {
                 plan: self.home_plan(),
                 benchmark_traffic: false,
                 plan_expired: true,
+                breaker_rerouted: false,
             },
             None => RouteDecision {
                 plan: self.home_plan(),
                 benchmark_traffic: false,
                 plan_expired: false,
+                breaker_rerouted: false,
             },
+        };
+        if self.breaker_engaged() {
+            self.apply_breakers(&mut decision, now_s);
+        }
+        decision
+    }
+
+    /// Substitutes home for every plan assignment whose region is blocked
+    /// by a tripped breaker. Only called when at least one breaker is
+    /// tripped (the cold path). The block decision is made once per
+    /// region per request, so a half-open probe admits the whole request
+    /// rather than being consumed by its first node.
+    fn apply_breakers(&mut self, decision: &mut RouteDecision, now_s: f64) {
+        let mut verdicts: Vec<(RegionId, bool)> = Vec::new();
+        for i in 0..decision.plan.len() {
+            let node = caribou_model::dag::NodeId(i as u32);
+            let region = decision.plan.region_of(node);
+            if region == self.home {
+                continue;
+            }
+            let blocked = match verdicts.iter().find(|(r, _)| *r == region) {
+                Some((_, b)) => *b,
+                None => {
+                    let b = self.blocks(region, now_s);
+                    verdicts.push((region, b));
+                    b
+                }
+            };
+            if blocked {
+                decision.plan.set(node, self.home);
+                decision.breaker_rerouted = true;
+                if caribou_telemetry::is_enabled() {
+                    caribou_telemetry::count("breaker.reroute", 1);
+                }
+            }
+        }
+    }
+
+    /// Whether the breaker currently blocks traffic to `region`,
+    /// transitioning Open → HalfOpen after the cooldown and admitting a
+    /// single probe in the half-open state.
+    fn blocks(&mut self, region: RegionId, now_s: f64) -> bool {
+        let Some(b) = self.breakers.get_mut(&region) else {
+            return false;
+        };
+        match b.state {
+            BreakerState::Closed => false,
+            BreakerState::Open => {
+                if now_s >= b.opened_at_s + self.breaker.cooldown_s {
+                    b.state = BreakerState::HalfOpen;
+                    b.probe_inflight = true;
+                    if caribou_telemetry::is_enabled() {
+                        caribou_telemetry::event_at(
+                            now_s,
+                            "breaker.half_open",
+                            format!("r{}", region.0),
+                            0.0,
+                        );
+                    }
+                    false
+                } else {
+                    true
+                }
+            }
+            BreakerState::HalfOpen => {
+                if b.probe_inflight {
+                    true
+                } else {
+                    b.probe_inflight = true;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a failed request against `region`, opening its breaker
+    /// after [`BreakerConfig::failure_threshold`] consecutive failures
+    /// (or immediately when the half-open probe fails).
+    pub fn record_failure(&mut self, region: RegionId, now_s: f64) {
+        if !self.breaker.enabled {
+            return;
+        }
+        let b = self.breakers.entry(region).or_insert(RegionBreaker {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at_s: 0.0,
+            probe_inflight: false,
+        });
+        b.consecutive_failures += 1;
+        b.probe_inflight = false;
+        match b.state {
+            BreakerState::HalfOpen => {
+                b.state = BreakerState::Open;
+                b.opened_at_s = now_s;
+                if caribou_telemetry::is_enabled() {
+                    caribou_telemetry::event_at(
+                        now_s,
+                        "breaker.reopen",
+                        format!("r{}", region.0),
+                        b.consecutive_failures as f64,
+                    );
+                }
+            }
+            BreakerState::Closed if b.consecutive_failures >= self.breaker.failure_threshold => {
+                b.state = BreakerState::Open;
+                b.opened_at_s = now_s;
+                self.tripped += 1;
+                if caribou_telemetry::is_enabled() {
+                    caribou_telemetry::event_at(
+                        now_s,
+                        "breaker.open",
+                        format!("r{}", region.0),
+                        b.consecutive_failures as f64,
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Records a successful request served by `region`, closing its
+    /// breaker (a half-open probe that succeeds, or background recovery).
+    pub fn record_success(&mut self, region: RegionId) {
+        if !self.breaker.enabled {
+            return;
+        }
+        if let Some(b) = self.breakers.remove(&region) {
+            if b.state != BreakerState::Closed {
+                self.tripped -= 1;
+                if caribou_telemetry::is_enabled() {
+                    caribou_telemetry::event("breaker.close", format!("r{}", region.0), 0.0);
+                }
+            }
+        }
+    }
+
+    /// Feeds one invocation outcome back into the breaker: the failed
+    /// region (when any) records a failure, every other region the plan
+    /// actually used records a success.
+    pub fn record_outcome(
+        &mut self,
+        plan: &DeploymentPlan,
+        failed_region: Option<RegionId>,
+        now_s: f64,
+    ) {
+        if !self.breaker.enabled {
+            return;
+        }
+        if failed_region.is_none() && self.breakers.is_empty() {
+            return;
+        }
+        if let Some(r) = failed_region {
+            self.record_failure(r, now_s);
+        }
+        for region in plan.regions_used() {
+            if Some(region) != failed_region {
+                self.record_success(region);
+            }
         }
     }
 
@@ -192,5 +444,118 @@ mod tests {
         r.deactivate();
         assert!(!r.has_active_plan(0.0));
         assert_eq!(r.route(0.0).plan, r.home_plan());
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_reroutes_home() {
+        let mut r = InvocationRouter::new(RegionId(0), 2);
+        r.activate(hourly(RegionId(3), 1e9));
+        // Below threshold: still closed, traffic still offloaded.
+        r.record_failure(RegionId(3), 10.0);
+        r.record_failure(RegionId(3), 20.0);
+        assert_eq!(r.breaker_state(RegionId(3)), BreakerState::Closed);
+        assert!(!r.route(30.0).breaker_rerouted);
+        // Third consecutive failure: open.
+        r.record_failure(RegionId(3), 40.0);
+        assert_eq!(r.breaker_state(RegionId(3)), BreakerState::Open);
+        assert!(r.breaker_engaged());
+        let d = r.route(50.0);
+        assert!(d.breaker_rerouted);
+        assert_eq!(d.plan, r.home_plan());
+    }
+
+    #[test]
+    fn breaker_half_opens_after_cooldown_single_probe() {
+        let mut r = InvocationRouter::new(RegionId(0), 2);
+        r.activate(hourly(RegionId(3), 1e9));
+        for _ in 0..3 {
+            r.record_failure(RegionId(3), 100.0);
+        }
+        // Inside the cooldown: blocked.
+        assert!(r.route(200.0).breaker_rerouted);
+        // Past the cooldown: one probe goes through...
+        let probe = r.route(500.0);
+        assert!(!probe.breaker_rerouted);
+        assert_eq!(r.breaker_state(RegionId(3)), BreakerState::HalfOpen);
+        // ...but only one: the next request is still rerouted.
+        assert!(r.route(501.0).breaker_rerouted);
+        // Probe succeeds → closed; traffic flows again.
+        r.record_success(RegionId(3));
+        assert_eq!(r.breaker_state(RegionId(3)), BreakerState::Closed);
+        assert!(!r.breaker_engaged());
+        assert!(!r.route(502.0).breaker_rerouted);
+    }
+
+    #[test]
+    fn failed_probe_reopens_breaker() {
+        let mut r = InvocationRouter::new(RegionId(0), 2);
+        r.activate(hourly(RegionId(3), 1e9));
+        for _ in 0..3 {
+            r.record_failure(RegionId(3), 100.0);
+        }
+        let probe = r.route(500.0);
+        assert!(!probe.breaker_rerouted);
+        r.record_failure(RegionId(3), 500.0);
+        assert_eq!(r.breaker_state(RegionId(3)), BreakerState::Open);
+        // A fresh cooldown applies from the re-open.
+        assert!(r.route(600.0).breaker_rerouted);
+        assert!(!r.route(900.0).breaker_rerouted);
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let mut r = InvocationRouter::new(RegionId(0), 2);
+        r.activate(hourly(RegionId(3), 1e9));
+        r.record_failure(RegionId(3), 10.0);
+        r.record_failure(RegionId(3), 20.0);
+        r.record_success(RegionId(3));
+        r.record_failure(RegionId(3), 30.0);
+        r.record_failure(RegionId(3), 40.0);
+        // Failures were not consecutive: still closed.
+        assert_eq!(r.breaker_state(RegionId(3)), BreakerState::Closed);
+    }
+
+    #[test]
+    fn disabled_breaker_never_reroutes() {
+        let mut r = InvocationRouter::new(RegionId(0), 2);
+        r.breaker.enabled = false;
+        r.activate(hourly(RegionId(3), 1e9));
+        for _ in 0..10 {
+            r.record_failure(RegionId(3), 10.0);
+        }
+        assert!(!r.breaker_engaged());
+        let d = r.route(20.0);
+        assert!(!d.breaker_rerouted);
+        assert_eq!(d.plan, DeploymentPlan::uniform(2, RegionId(3)));
+    }
+
+    #[test]
+    fn record_outcome_feeds_failure_and_successes() {
+        let mut r = InvocationRouter::new(RegionId(0), 2);
+        let mut plan = DeploymentPlan::uniform(2, RegionId(0));
+        plan.set(caribou_model::dag::NodeId(1), RegionId(3));
+        for _ in 0..3 {
+            r.record_outcome(&plan, Some(RegionId(3)), 10.0);
+        }
+        assert_eq!(r.breaker_state(RegionId(3)), BreakerState::Open);
+        // A later clean outcome through region 3 (half-open probe) closes.
+        let _ = r.route(1000.0);
+        r.record_outcome(&plan, None, 1000.0);
+        assert_eq!(r.breaker_state(RegionId(3)), BreakerState::Closed);
+    }
+
+    #[test]
+    fn benchmark_traffic_ignores_breakers() {
+        let mut r = InvocationRouter::new(RegionId(0), 2);
+        r.activate(hourly(RegionId(3), 1e9));
+        for _ in 0..3 {
+            r.record_failure(RegionId(3), 10.0);
+        }
+        for _ in 0..9 {
+            let _ = r.route(20.0);
+        }
+        let d = r.route(20.0);
+        assert!(d.benchmark_traffic);
+        assert!(!d.breaker_rerouted);
     }
 }

@@ -84,11 +84,24 @@ impl SimCloud {
         }
     }
 
-    /// Installs a fault plan, propagating the message-drop probability to
-    /// the pub/sub service.
+    /// Installs a fault plan, propagating the message-drop probability and
+    /// the windowed faults (outages, partitions, gray failures, throttles)
+    /// to the pub/sub and KV services so each delivery attempt and each
+    /// table operation consults them.
     pub fn set_faults(&mut self, plan: FaultPlan) {
         self.pubsub.drop_probability = plan.message_drop_prob;
+        self.pubsub.faults = plan.clone();
+        self.kv.faults = plan.clone();
         self.faults = plan;
+    }
+
+    /// Positions the fault clock: windowed faults in pub/sub and KV are
+    /// evaluated at this simulation time. The execution engine calls this
+    /// with the invocation start time; per-invocation resolution is
+    /// sufficient because fault windows span minutes, not milliseconds.
+    pub fn set_fault_now(&mut self, now_s: f64) {
+        self.pubsub.now_s = now_s;
+        self.kv.now_s = now_s;
     }
 
     /// Resolves a region name.
@@ -124,6 +137,18 @@ mod tests {
             ..FaultPlan::none()
         });
         assert_eq!(cloud.pubsub.drop_probability, 0.25);
+    }
+
+    #[test]
+    fn fault_plan_and_clock_propagate_to_services() {
+        let mut cloud = SimCloud::aws(1);
+        let ca = cloud.region("ca-central-1");
+        cloud.set_faults(FaultPlan::none().with_outage(ca, 10.0, 20.0));
+        cloud.set_fault_now(15.0);
+        assert!(cloud.pubsub.faults.region_down(ca, cloud.pubsub.now_s));
+        assert_eq!(cloud.kv.now_s, 15.0);
+        cloud.set_fault_now(25.0);
+        assert!(!cloud.pubsub.faults.region_down(ca, cloud.pubsub.now_s));
     }
 
     #[test]

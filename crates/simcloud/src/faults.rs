@@ -3,7 +3,13 @@
 //! The paper's Migrator "catches potential issues with deployment,
 //! including region unavailability due to increased traffic" and falls
 //! back to the home region (§6.1). The fault plan lets tests and
-//! experiments inject exactly those conditions deterministically.
+//! experiments inject exactly those conditions deterministically — and,
+//! beyond full-region outages, the weaker failure modes a chaos campaign
+//! needs: pairwise network partitions, gray failures (latency inflation
+//! over a window), KV throttling windows, and cold-start storms. All
+//! windows are half-open `[start, end)` in simulation seconds, and every
+//! probabilistic draw flows through an explicit [`Pcg32`], so a campaign
+//! is bit-reproducible from its seed.
 
 use caribou_model::region::RegionId;
 use caribou_model::rng::Pcg32;
@@ -21,15 +27,84 @@ pub struct RegionOutage {
     pub end: SimTime,
 }
 
+/// A pairwise network partition: traffic between the two regions is lost
+/// while the window is active (both regions stay up for other peers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkPartition {
+    /// One side of the partition.
+    pub a: RegionId,
+    /// The other side.
+    pub b: RegionId,
+    /// Partition start (inclusive), simulation seconds.
+    pub start: SimTime,
+    /// Partition end (exclusive), simulation seconds.
+    pub end: SimTime,
+}
+
+/// A gray failure: the region stays reachable but every transfer touching
+/// it takes `latency_factor`× as long for the window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrayFailure {
+    /// Affected region.
+    pub region: RegionId,
+    /// Window start (inclusive), simulation seconds.
+    pub start: SimTime,
+    /// Window end (exclusive), simulation seconds.
+    pub end: SimTime,
+    /// Multiplier applied to transfer latency (≥ 1).
+    pub latency_factor: f64,
+}
+
+/// A KV throttling window: operations against tables homed in the region
+/// get throttled with `throttle_prob` and pay SDK-retry latency. Data is
+/// never lost — DynamoDB-style throttling slows requests, it does not
+/// drop them — so throttles create latency pressure without breaking the
+/// delivery invariants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvThrottle {
+    /// Region whose tables are throttled.
+    pub region: RegionId,
+    /// Window start (inclusive), simulation seconds.
+    pub start: SimTime,
+    /// Window end (exclusive), simulation seconds.
+    pub end: SimTime,
+    /// Probability any single operation is throttled.
+    pub throttle_prob: f64,
+}
+
+/// A cold-start storm: every function start in the region is forced cold
+/// for the window (capacity churn evicting warm containers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColdStartStorm {
+    /// Affected region.
+    pub region: RegionId,
+    /// Window start (inclusive), simulation seconds.
+    pub start: SimTime,
+    /// Window end (exclusive), simulation seconds.
+    pub end: SimTime,
+}
+
 /// The fault-injection plan for a simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     /// Scheduled full-region outages.
     pub outages: Vec<RegionOutage>,
+    /// Scheduled pairwise network partitions.
+    pub partitions: Vec<NetworkPartition>,
+    /// Scheduled gray failures (latency inflation windows).
+    pub gray_failures: Vec<GrayFailure>,
+    /// Scheduled KV throttling windows.
+    pub kv_throttles: Vec<KvThrottle>,
+    /// Scheduled cold-start storms.
+    pub cold_storms: Vec<ColdStartStorm>,
     /// Probability any single function re-deployment attempt fails.
     pub deploy_failure_prob: f64,
     /// Probability any single pub/sub delivery attempt is lost.
     pub message_drop_prob: f64,
+}
+
+fn in_window(t: SimTime, start: SimTime, end: SimTime) -> bool {
+    t >= start && t < end
 }
 
 impl FaultPlan {
@@ -45,11 +120,131 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a pairwise partition window.
+    pub fn with_partition(
+        mut self,
+        a: RegionId,
+        b: RegionId,
+        start: SimTime,
+        end: SimTime,
+    ) -> Self {
+        assert!(end > start, "partition window must be non-empty");
+        assert!(a != b, "a region cannot be partitioned from itself");
+        self.partitions.push(NetworkPartition { a, b, start, end });
+        self
+    }
+
+    /// Adds a gray-failure window inflating the region's transfer latency.
+    pub fn with_gray_failure(
+        mut self,
+        region: RegionId,
+        start: SimTime,
+        end: SimTime,
+        latency_factor: f64,
+    ) -> Self {
+        assert!(end > start, "gray-failure window must be non-empty");
+        assert!(latency_factor >= 1.0, "latency factor must be ≥ 1");
+        self.gray_failures.push(GrayFailure {
+            region,
+            start,
+            end,
+            latency_factor,
+        });
+        self
+    }
+
+    /// Adds a KV throttling window.
+    pub fn with_kv_throttle(
+        mut self,
+        region: RegionId,
+        start: SimTime,
+        end: SimTime,
+        throttle_prob: f64,
+    ) -> Self {
+        assert!(end > start, "throttle window must be non-empty");
+        assert!(
+            (0.0..=1.0).contains(&throttle_prob),
+            "throttle probability must be in [0, 1]"
+        );
+        self.kv_throttles.push(KvThrottle {
+            region,
+            start,
+            end,
+            throttle_prob,
+        });
+        self
+    }
+
+    /// Adds a cold-start storm window.
+    pub fn with_cold_storm(mut self, region: RegionId, start: SimTime, end: SimTime) -> Self {
+        assert!(end > start, "storm window must be non-empty");
+        self.cold_storms.push(ColdStartStorm { region, start, end });
+        self
+    }
+
     /// Whether `region` is down at time `t`.
     pub fn region_down(&self, region: RegionId, t: SimTime) -> bool {
         self.outages
             .iter()
-            .any(|o| o.region == region && t >= o.start && t < o.end)
+            .any(|o| o.region == region && in_window(t, o.start, o.end))
+    }
+
+    /// Whether traffic between `a` and `b` is partitioned at time `t`.
+    pub fn partitioned(&self, a: RegionId, b: RegionId, t: SimTime) -> bool {
+        if a == b {
+            return false;
+        }
+        self.partitions.iter().any(|p| {
+            ((p.a == a && p.b == b) || (p.a == b && p.b == a)) && in_window(t, p.start, p.end)
+        })
+    }
+
+    /// Latency multiplier for transfers touching `region` at time `t`
+    /// (1.0 when no gray failure is active; overlapping windows take the
+    /// worst factor).
+    pub fn latency_factor(&self, region: RegionId, t: SimTime) -> f64 {
+        self.gray_failures
+            .iter()
+            .filter(|g| g.region == region && in_window(t, g.start, g.end))
+            .map(|g| g.latency_factor)
+            .fold(1.0, f64::max)
+    }
+
+    /// Latency multiplier for a transfer between two regions: the worst
+    /// gray failure on either endpoint.
+    pub fn pair_latency_factor(&self, a: RegionId, b: RegionId, t: SimTime) -> f64 {
+        self.latency_factor(a, t).max(self.latency_factor(b, t))
+    }
+
+    /// Samples whether a KV operation against a table homed in `region` is
+    /// throttled at time `t`. Draws from `rng` only while a throttle
+    /// window is active, so quiet plans leave the stream untouched.
+    pub fn kv_throttled(&self, region: RegionId, t: SimTime, rng: &mut Pcg32) -> bool {
+        let prob = self
+            .kv_throttles
+            .iter()
+            .filter(|w| w.region == region && in_window(t, w.start, w.end))
+            .map(|w| w.throttle_prob)
+            .fold(0.0, f64::max);
+        prob > 0.0 && rng.chance(prob)
+    }
+
+    /// Whether a cold-start storm forces cold starts in `region` at `t`.
+    pub fn cold_storm(&self, region: RegionId, t: SimTime) -> bool {
+        self.cold_storms
+            .iter()
+            .any(|s| s.region == region && in_window(t, s.start, s.end))
+    }
+
+    /// Whether the plan injects no faults at all.
+    pub fn is_quiet(&self) -> bool {
+        self.outages.is_empty()
+            && self.partitions.is_empty()
+            && self.gray_failures.is_empty()
+            && self.kv_throttles.is_empty()
+            && self.cold_storms.is_empty()
+            && self.deploy_failure_prob == 0.0
+            && self.message_drop_prob == 0.0
     }
 
     /// Samples whether a deployment attempt fails.
@@ -59,6 +254,91 @@ impl FaultPlan {
             caribou_telemetry::event_at(t, "fault.deploy_failure", format!("r{}", region.0), 0.0);
         }
         fails
+    }
+
+    /// Generates a seeded randomized fault campaign over `[0, duration_s)`.
+    ///
+    /// The home region is never taken down (the §6.1 fallback target must
+    /// exist for the no-invocation-lost invariant to be provable), but it
+    /// can still suffer gray failures, throttling, storms, and partitions
+    /// towards it. At least one partition, gray failure, and KV throttle
+    /// is always scheduled so every campaign exercises every fault class.
+    pub fn randomized(
+        seed: u64,
+        regions: &[RegionId],
+        home: RegionId,
+        duration_s: SimTime,
+    ) -> FaultPlan {
+        assert!(duration_s > 0.0, "campaign duration must be positive");
+        let mut rng = Pcg32::seed_stream(seed, 0xfa17);
+        let window = |rng: &mut Pcg32, min_frac: f64, max_frac: f64| -> (SimTime, SimTime) {
+            let len = duration_s * rng.uniform(min_frac, max_frac);
+            let start = rng.uniform(0.0, duration_s - len);
+            (start, start + len)
+        };
+        let others: Vec<RegionId> = regions.iter().copied().filter(|r| *r != home).collect();
+        let mut plan = FaultPlan::none();
+
+        for &r in &others {
+            if rng.chance(0.6) {
+                let (s, e) = window(&mut rng, 0.05, 0.15);
+                plan = plan.with_outage(r, s, e);
+            }
+        }
+        for _ in 0..(1 + rng.next_bounded(2)) {
+            if regions.len() < 2 {
+                break;
+            }
+            let a = regions[rng.next_index(regions.len())];
+            let b = regions[rng.next_index(regions.len())];
+            if a == b {
+                continue;
+            }
+            let (s, e) = window(&mut rng, 0.05, 0.20);
+            plan = plan.with_partition(a, b, s, e);
+        }
+        for &r in regions {
+            if rng.chance(0.35) {
+                let (s, e) = window(&mut rng, 0.10, 0.25);
+                let factor = rng.uniform(2.0, 8.0);
+                plan = plan.with_gray_failure(r, s, e, factor);
+            }
+        }
+        for &r in regions {
+            if rng.chance(0.3) {
+                let (s, e) = window(&mut rng, 0.05, 0.20);
+                let prob = rng.uniform(0.2, 0.8);
+                plan = plan.with_kv_throttle(r, s, e, prob);
+            }
+        }
+        for &r in &others {
+            if rng.chance(0.3) {
+                let (s, e) = window(&mut rng, 0.02, 0.10);
+                plan = plan.with_cold_storm(r, s, e);
+            }
+        }
+
+        // Guarantee coverage of every fault class the acceptance criteria
+        // name, regardless of what the probabilistic passes produced.
+        if plan.partitions.is_empty() {
+            if let Some(&other) = others.first() {
+                let (s, e) = window(&mut rng, 0.05, 0.20);
+                plan = plan.with_partition(home, other, s, e);
+            }
+        }
+        if plan.gray_failures.is_empty() {
+            let r = *others.first().unwrap_or(&home);
+            let (s, e) = window(&mut rng, 0.10, 0.25);
+            let factor = rng.uniform(2.0, 8.0);
+            plan = plan.with_gray_failure(r, s, e, factor);
+        }
+        if plan.kv_throttles.is_empty() {
+            let r = *others.first().unwrap_or(&home);
+            let (s, e) = window(&mut rng, 0.05, 0.20);
+            let prob = rng.uniform(0.2, 0.8);
+            plan = plan.with_kv_throttle(r, s, e, prob);
+        }
+        plan
     }
 }
 
@@ -101,5 +381,113 @@ mod tests {
     #[should_panic]
     fn empty_outage_window_rejected() {
         FaultPlan::none().with_outage(RegionId(0), 5.0, 5.0);
+    }
+
+    #[test]
+    fn partition_is_symmetric_and_windowed() {
+        let plan = FaultPlan::none().with_partition(RegionId(0), RegionId(1), 10.0, 20.0);
+        assert!(plan.partitioned(RegionId(0), RegionId(1), 15.0));
+        assert!(plan.partitioned(RegionId(1), RegionId(0), 15.0));
+        assert!(!plan.partitioned(RegionId(0), RegionId(1), 25.0));
+        assert!(!plan.partitioned(RegionId(0), RegionId(2), 15.0));
+        assert!(!plan.partitioned(RegionId(0), RegionId(0), 15.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_partition_rejected() {
+        FaultPlan::none().with_partition(RegionId(3), RegionId(3), 0.0, 1.0);
+    }
+
+    #[test]
+    fn gray_failure_inflates_latency_in_window_only() {
+        let plan = FaultPlan::none().with_gray_failure(RegionId(2), 100.0, 200.0, 4.0);
+        assert_eq!(plan.latency_factor(RegionId(2), 150.0), 4.0);
+        assert_eq!(plan.latency_factor(RegionId(2), 50.0), 1.0);
+        assert_eq!(plan.latency_factor(RegionId(1), 150.0), 1.0);
+        assert_eq!(
+            plan.pair_latency_factor(RegionId(1), RegionId(2), 150.0),
+            4.0
+        );
+    }
+
+    #[test]
+    fn overlapping_gray_failures_take_worst_factor() {
+        let plan = FaultPlan::none()
+            .with_gray_failure(RegionId(0), 0.0, 100.0, 2.0)
+            .with_gray_failure(RegionId(0), 50.0, 150.0, 6.0);
+        assert_eq!(plan.latency_factor(RegionId(0), 75.0), 6.0);
+        assert_eq!(plan.latency_factor(RegionId(0), 25.0), 2.0);
+        assert_eq!(plan.latency_factor(RegionId(0), 125.0), 6.0);
+    }
+
+    #[test]
+    fn kv_throttle_draws_only_inside_window() {
+        let plan = FaultPlan::none().with_kv_throttle(RegionId(1), 10.0, 20.0, 1.0);
+        let mut rng = Pcg32::seed(3);
+        let before = rng.clone();
+        assert!(!plan.kv_throttled(RegionId(1), 5.0, &mut rng));
+        // No draw happened outside the window: streams still aligned.
+        assert_eq!(rng.next_u64(), before.clone().next_u64());
+        assert!(plan.kv_throttled(RegionId(1), 15.0, &mut rng));
+        assert!(!plan.kv_throttled(RegionId(2), 15.0, &mut rng));
+    }
+
+    #[test]
+    fn cold_storm_windowed() {
+        let plan = FaultPlan::none().with_cold_storm(RegionId(4), 100.0, 200.0);
+        assert!(plan.cold_storm(RegionId(4), 150.0));
+        assert!(!plan.cold_storm(RegionId(4), 250.0));
+        assert!(!plan.cold_storm(RegionId(3), 150.0));
+    }
+
+    #[test]
+    fn randomized_is_deterministic_per_seed() {
+        let regions: Vec<RegionId> = (0..4).map(RegionId).collect();
+        let a = FaultPlan::randomized(42, &regions, RegionId(0), 3600.0);
+        let b = FaultPlan::randomized(42, &regions, RegionId(0), 3600.0);
+        assert_eq!(a.outages, b.outages);
+        assert_eq!(a.partitions, b.partitions);
+        assert_eq!(a.gray_failures, b.gray_failures);
+        assert_eq!(a.kv_throttles, b.kv_throttles);
+        assert_eq!(a.cold_storms, b.cold_storms);
+        let c = FaultPlan::randomized(43, &regions, RegionId(0), 3600.0);
+        assert!(
+            a.outages != c.outages
+                || a.partitions != c.partitions
+                || a.gray_failures != c.gray_failures,
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn randomized_never_takes_home_down_and_covers_every_class() {
+        let regions: Vec<RegionId> = (0..4).map(RegionId).collect();
+        for seed in 0..50 {
+            let plan = FaultPlan::randomized(seed, &regions, RegionId(0), 7200.0);
+            assert!(
+                plan.outages.iter().all(|o| o.region != RegionId(0)),
+                "seed {seed}: home must never be down"
+            );
+            assert!(!plan.partitions.is_empty(), "seed {seed}: partitions");
+            assert!(!plan.gray_failures.is_empty(), "seed {seed}: gray failures");
+            assert!(!plan.kv_throttles.is_empty(), "seed {seed}: throttles");
+            for o in &plan.outages {
+                assert!(o.start >= 0.0 && o.end <= 7200.0, "windows inside campaign");
+            }
+        }
+    }
+
+    #[test]
+    fn quiet_plan_detected() {
+        assert!(FaultPlan::none().is_quiet());
+        assert!(!FaultPlan::none()
+            .with_gray_failure(RegionId(0), 0.0, 1.0, 2.0)
+            .is_quiet());
+        assert!(!FaultPlan {
+            message_drop_prob: 0.1,
+            ..FaultPlan::none()
+        }
+        .is_quiet());
     }
 }

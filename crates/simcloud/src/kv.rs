@@ -18,10 +18,16 @@ use bytes::Bytes;
 use caribou_model::region::RegionId;
 use caribou_model::rng::Pcg32;
 
+use crate::faults::FaultPlan;
 use crate::latency::LatencyModel;
 
 /// Base service-side latency of one KV operation, seconds.
 const KV_OP_BASE_S: f64 = 0.004;
+/// Minimum extra client-observed delay when an operation is throttled
+/// (SDK retry with backoff), seconds.
+const KV_THROTTLE_RETRY_MIN_S: f64 = 0.05;
+/// Maximum extra client-observed delay when an operation is throttled.
+const KV_THROTTLE_RETRY_MAX_S: f64 = 0.2;
 
 /// Result of a KV access: the value (for reads) and the latency paid.
 #[derive(Debug, Clone)]
@@ -51,6 +57,13 @@ pub struct KvStore {
     table_home: HashMap<String, RegionId>,
     /// Per-region operation counts.
     ops: HashMap<RegionId, KvOpCounts>,
+    /// Windowed faults (gray latency, throttling) evaluated at the current
+    /// fault clock [`KvStore::now_s`]. Throttling slows operations via SDK
+    /// retries but never loses data, matching DynamoDB semantics.
+    pub faults: FaultPlan,
+    /// Simulation time used to evaluate windowed faults; positioned via
+    /// `SimCloud::set_fault_now`.
+    pub now_s: f64,
 }
 
 impl KvStore {
@@ -87,7 +100,21 @@ impl KvStore {
             latency.sample_transfer_seconds(from, home, bytes, rng)
                 + latency.sample_transfer_seconds(home, from, 256.0, rng)
         };
-        KV_OP_BASE_S + net
+        let gray = self.faults.pair_latency_factor(from, home, self.now_s);
+        let mut total = KV_OP_BASE_S + net * gray;
+        if self.faults.kv_throttled(home, self.now_s, rng) {
+            // Throttled: the SDK transparently retries, so the operation
+            // still succeeds but pays an extra round trip plus backoff.
+            // This also covers conditional-write conflicts under load —
+            // the retry path is the same.
+            total += KV_OP_BASE_S
+                + net * gray
+                + rng.uniform(KV_THROTTLE_RETRY_MIN_S, KV_THROTTLE_RETRY_MAX_S);
+            if caribou_telemetry::is_enabled() {
+                caribou_telemetry::count("fault.kv_throttle", 1);
+            }
+        }
+        total
     }
 
     fn count(&mut self, table: &str, from: RegionId, reads: u64, writes: u64) {
@@ -323,6 +350,69 @@ mod tests {
         // Accesses bill at the accessor's region when no home was set.
         kv.put("ghost", "k", Bytes::from_static(b"v"), west, &lm, &mut rng);
         assert_eq!(kv.ops(west).writes, 1);
+    }
+
+    #[test]
+    fn throttle_window_slows_ops_but_loses_nothing() {
+        let (cat, lm, mut kv, mut rng) = setup();
+        let r = cat.id_of("us-east-1").unwrap();
+        kv.create_table("t", r);
+        let n = 200;
+        let mut clean = 0.0;
+        for i in 0..n {
+            clean += kv
+                .put(
+                    "t",
+                    &format!("k{i}"),
+                    Bytes::from_static(b"v"),
+                    r,
+                    &lm,
+                    &mut rng,
+                )
+                .latency_s;
+        }
+        kv.faults = FaultPlan::none().with_kv_throttle(r, 0.0, 1e9, 1.0);
+        let mut throttled = 0.0;
+        for i in 0..n {
+            throttled += kv
+                .put(
+                    "t",
+                    &format!("k{i}"),
+                    Bytes::from_static(b"w"),
+                    r,
+                    &lm,
+                    &mut rng,
+                )
+                .latency_s;
+        }
+        assert!(
+            throttled > clean * 2.0,
+            "clean {clean} throttled {throttled}"
+        );
+        // Every write landed despite the throttling.
+        for i in 0..n {
+            assert_eq!(kv.peek("t", &format!("k{i}")).unwrap().as_ref(), b"w");
+        }
+    }
+
+    #[test]
+    fn gray_failure_inflates_kv_latency() {
+        let (cat, lm, mut kv, mut rng) = setup();
+        let east = cat.id_of("us-east-1").unwrap();
+        let west = cat.id_of("us-west-1").unwrap();
+        kv.create_table("t", east);
+        kv.put("t", "k", Bytes::from_static(b"v"), east, &lm, &mut rng);
+        let n = 200;
+        let mut clean = 0.0;
+        for _ in 0..n {
+            clean += kv.get("t", "k", west, &lm, &mut rng).latency_s;
+        }
+        kv.faults = FaultPlan::none().with_gray_failure(east, 0.0, 1e9, 6.0);
+        let mut gray = 0.0;
+        for _ in 0..n {
+            gray += kv.get("t", "k", west, &lm, &mut rng).latency_s;
+        }
+        assert!(gray > clean * 2.0, "clean {clean} gray {gray}");
     }
 
     #[test]

@@ -23,8 +23,9 @@
 //! * [`registry`] — an ECR-like container registry with crane-style
 //!   cross-region image copies;
 //! * [`iam`] — per-region role management;
-//! * [`faults`] — fault injection (region outages, deployment failures,
-//!   message drops);
+//! * [`faults`] — composable fault injection (region outages, pairwise
+//!   network partitions, gray failures, KV throttling, cold-start storms,
+//!   deployment failures, message drops), deterministic under a seed;
 //! * [`meter`] — usage metering and billing;
 //! * [`orchestration`] — transition-overhead models for Step-Functions-,
 //!   SNS-, and Caribou-style orchestration (§9.6);

@@ -5,13 +5,18 @@
 //! predecessor invokes a successor by publishing to that topic. The model
 //! captures publish overhead, cross-region transfer of the message payload,
 //! and the at-least-once delivery with subscriber acknowledgment and
-//! automatic retry the paper relies on for reliability.
+//! automatic retry the paper relies on for reliability. Retries back off
+//! with exponential growth and decorrelated jitter (AWS guidance) rather
+//! than a constant delay, and each attempt consults the active
+//! [`FaultPlan`]: a down target region or an active pairwise partition
+//! loses the attempt, and gray failures inflate the transfer latency.
 
 use std::collections::HashMap;
 
 use caribou_model::region::RegionId;
 use caribou_model::rng::Pcg32;
 
+use crate::faults::FaultPlan;
 use crate::latency::LatencyModel;
 
 /// Median service-side publish overhead, seconds (SNS publish + fan-out to
@@ -19,8 +24,10 @@ use crate::latency::LatencyModel;
 const PUBLISH_OVERHEAD_MEDIAN_S: f64 = 0.030;
 /// Log-space sigma of the publish overhead.
 const PUBLISH_OVERHEAD_SIGMA: f64 = 0.35;
-/// Delay before an unacknowledged delivery is retried, seconds.
-const RETRY_BACKOFF_S: f64 = 0.5;
+/// Minimum delay before an unacknowledged delivery is retried, seconds.
+pub const RETRY_BACKOFF_BASE_S: f64 = 0.5;
+/// Cap on any single retry backoff, seconds.
+pub const RETRY_BACKOFF_CAP_S: f64 = 8.0;
 /// Maximum delivery attempts before the message is dead-lettered.
 pub const MAX_ATTEMPTS: u32 = 5;
 
@@ -36,6 +43,17 @@ pub struct TopicKey {
     pub region: RegionId,
 }
 
+/// How a publish attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryStatus {
+    /// Acknowledged by the subscriber within [`MAX_ATTEMPTS`].
+    Delivered,
+    /// All attempts lost; the message landed in the dead-letter queue.
+    DeadLettered,
+    /// The topic does not exist; the publish call itself was rejected.
+    TopicMissing,
+}
+
 /// Outcome of delivering one message.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Delivery {
@@ -43,8 +61,15 @@ pub struct Delivery {
     pub latency_s: f64,
     /// Number of delivery attempts (1 = no retries needed).
     pub attempts: u32,
-    /// Whether delivery ultimately succeeded within [`MAX_ATTEMPTS`].
-    pub delivered: bool,
+    /// How the publish ended.
+    pub status: DeliveryStatus,
+}
+
+impl Delivery {
+    /// Whether delivery ultimately succeeded.
+    pub fn delivered(&self) -> bool {
+        self.status == DeliveryStatus::Delivered
+    }
 }
 
 /// The pub/sub service.
@@ -55,6 +80,13 @@ pub struct PubSub {
     publishes: HashMap<RegionId, u64>,
     /// Probability any single delivery attempt is lost (fault injection).
     pub drop_probability: f64,
+    /// Windowed faults consulted on every attempt (outages, partitions,
+    /// gray failures) at the current fault clock [`PubSub::now_s`].
+    pub faults: FaultPlan,
+    /// Simulation time used to evaluate windowed faults. The engine
+    /// positions this at the start of each invocation via
+    /// `SimCloud::set_fault_now`.
+    pub now_s: f64,
 }
 
 impl PubSub {
@@ -87,7 +119,10 @@ impl PubSub {
     /// simulating delivery to the topic's regional subscriber.
     ///
     /// Returns the delivery outcome; latency includes publish overhead,
-    /// cross-region payload transfer, and any retry backoffs.
+    /// cross-region payload transfer, and any retry backoffs. Publishing
+    /// to a topic that does not exist returns a
+    /// [`DeliveryStatus::TopicMissing`] outcome (the API call is rejected;
+    /// nothing is billed) instead of aborting the process.
     pub fn publish(
         &mut self,
         key: &TopicKey,
@@ -96,24 +131,34 @@ impl PubSub {
         latency: &LatencyModel,
         rng: &mut Pcg32,
     ) -> Delivery {
-        assert!(
-            self.topic_exists(key),
-            "publish to missing topic {}/{}/{}",
-            key.workflow,
-            key.stage,
-            key.region
-        );
-        *self.publishes.entry(from).or_insert(0) += 1;
         let telemetry = caribou_telemetry::is_enabled();
+        if !self.topic_exists(key) {
+            if telemetry {
+                caribou_telemetry::event("pubsub.topic_missing", &key.stage, key.region.0 as f64);
+            }
+            return Delivery {
+                latency_s: 0.0,
+                attempts: 0,
+                status: DeliveryStatus::TopicMissing,
+            };
+        }
+        *self.publishes.entry(from).or_insert(0) += 1;
         if telemetry {
             caribou_telemetry::event("pubsub.publish", &key.stage, payload_bytes);
         }
+        let gray = self
+            .faults
+            .pair_latency_factor(from, key.region, self.now_s);
         let mut total = rng.lognormal(PUBLISH_OVERHEAD_MEDIAN_S.ln(), PUBLISH_OVERHEAD_SIGMA);
         let mut attempts = 0;
+        let mut backoff = RETRY_BACKOFF_BASE_S;
         while attempts < MAX_ATTEMPTS {
             attempts += 1;
-            total += latency.sample_transfer_seconds(from, key.region, payload_bytes, rng);
-            if !rng.chance(self.drop_probability) {
+            total += latency.sample_transfer_seconds(from, key.region, payload_bytes, rng) * gray;
+            let target_down = self.faults.region_down(key.region, self.now_s);
+            let partitioned = self.faults.partitioned(from, key.region, self.now_s);
+            let lost = target_down || partitioned || rng.chance(self.drop_probability);
+            if !lost {
                 if telemetry {
                     caribou_telemetry::count("pubsub.ack", 1);
                     if attempts > 1 {
@@ -124,10 +169,24 @@ impl PubSub {
                 return Delivery {
                     latency_s: total,
                     attempts,
-                    delivered: true,
+                    status: DeliveryStatus::Delivered,
                 };
             }
-            total += RETRY_BACKOFF_S;
+            if telemetry {
+                if target_down {
+                    caribou_telemetry::count("fault.region_down_drop", 1);
+                } else if partitioned {
+                    caribou_telemetry::count("fault.partition_drop", 1);
+                }
+            }
+            if attempts < MAX_ATTEMPTS {
+                // Decorrelated jitter (AWS architecture blog): grow from the
+                // previous delay, never below the base, never above the cap.
+                backoff = rng
+                    .uniform(RETRY_BACKOFF_BASE_S, backoff * 3.0)
+                    .min(RETRY_BACKOFF_CAP_S);
+                total += backoff;
+            }
         }
         if telemetry {
             caribou_telemetry::event("pubsub.dead_letter", &key.stage, attempts as f64);
@@ -135,7 +194,7 @@ impl PubSub {
         Delivery {
             latency_s: total,
             attempts,
-            delivered: false,
+            status: DeliveryStatus::DeadLettered,
         }
     }
 
@@ -175,7 +234,8 @@ mod tests {
         let r = cat.id_of("us-east-1").unwrap();
         ps.create_topic(key(r));
         let d = ps.publish(&key(r), r, 1024.0, &lm, &mut rng);
-        assert!(d.delivered);
+        assert!(d.delivered());
+        assert_eq!(d.status, DeliveryStatus::Delivered);
         assert_eq!(d.attempts, 1);
         assert!(d.latency_s > 0.0);
     }
@@ -210,7 +270,7 @@ mod tests {
         let mut retried = 0;
         for _ in 0..200 {
             let d = ps.publish(&key(r), r, 128.0, &lm, &mut rng);
-            if d.attempts > 1 && d.delivered {
+            if d.attempts > 1 && d.delivered() {
                 retried += 1;
             }
         }
@@ -224,16 +284,101 @@ mod tests {
         ps.create_topic(key(r));
         ps.drop_probability = 1.0;
         let d = ps.publish(&key(r), r, 128.0, &lm, &mut rng);
-        assert!(!d.delivered);
+        assert!(!d.delivered());
+        assert_eq!(d.status, DeliveryStatus::DeadLettered);
         assert_eq!(d.attempts, 5);
     }
 
     #[test]
-    #[should_panic]
-    fn publish_to_missing_topic_panics() {
+    fn retry_backoff_has_jitter_and_respects_base() {
         let (cat, lm, mut ps, mut rng) = setup();
         let r = cat.id_of("us-east-1").unwrap();
-        ps.publish(&key(r), r, 128.0, &lm, &mut rng);
+        ps.create_topic(key(r));
+        ps.drop_probability = 1.0;
+        let mut latencies = Vec::new();
+        for _ in 0..50 {
+            let d = ps.publish(&key(r), r, 128.0, &lm, &mut rng);
+            // Four backoffs of at least the base delay each.
+            assert!(
+                d.latency_s >= 4.0 * RETRY_BACKOFF_BASE_S,
+                "latency {}",
+                d.latency_s
+            );
+            // Four backoffs capped, plus generous overhead slack.
+            assert!(d.latency_s < 4.0 * RETRY_BACKOFF_CAP_S + 2.0);
+            latencies.push(d.latency_s);
+        }
+        // Jitter: dead-letter latencies must not all collapse to one value.
+        let min = latencies.iter().cloned().fold(f64::MAX, f64::min);
+        let max = latencies.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max - min > 1.0, "min {min} max {max}");
+    }
+
+    #[test]
+    fn publish_to_missing_topic_returns_typed_status() {
+        let (cat, lm, mut ps, mut rng) = setup();
+        let r = cat.id_of("us-east-1").unwrap();
+        let d = ps.publish(&key(r), r, 128.0, &lm, &mut rng);
+        assert_eq!(d.status, DeliveryStatus::TopicMissing);
+        assert!(!d.delivered());
+        assert_eq!(d.attempts, 0);
+        // Rejected publishes are not billed.
+        assert_eq!(ps.total_published(), 0);
+    }
+
+    #[test]
+    fn outage_of_target_region_dead_letters() {
+        let (cat, lm, mut ps, mut rng) = setup();
+        let east = cat.id_of("us-east-1").unwrap();
+        let ca = cat.id_of("ca-central-1").unwrap();
+        ps.create_topic(key(ca));
+        ps.faults = FaultPlan::none().with_outage(ca, 100.0, 200.0);
+        ps.now_s = 150.0;
+        let d = ps.publish(&key(ca), east, 128.0, &lm, &mut rng);
+        assert_eq!(d.status, DeliveryStatus::DeadLettered);
+        assert_eq!(d.attempts, MAX_ATTEMPTS);
+        ps.now_s = 250.0;
+        let d = ps.publish(&key(ca), east, 128.0, &lm, &mut rng);
+        assert!(d.delivered());
+    }
+
+    #[test]
+    fn partition_loses_cross_pair_traffic_only() {
+        let (cat, lm, mut ps, mut rng) = setup();
+        let east = cat.id_of("us-east-1").unwrap();
+        let west = cat.id_of("us-west-1").unwrap();
+        let ca = cat.id_of("ca-central-1").unwrap();
+        ps.create_topic(key(west));
+        ps.faults = FaultPlan::none().with_partition(east, west, 0.0, 1000.0);
+        ps.now_s = 500.0;
+        let d = ps.publish(&key(west), east, 128.0, &lm, &mut rng);
+        assert_eq!(d.status, DeliveryStatus::DeadLettered);
+        // The partitioned region still accepts traffic from other peers.
+        let d = ps.publish(&key(west), ca, 128.0, &lm, &mut rng);
+        assert!(d.delivered());
+    }
+
+    #[test]
+    fn gray_failure_inflates_delivery_latency() {
+        let (cat, lm, mut ps, mut rng) = setup();
+        let east = cat.id_of("us-east-1").unwrap();
+        let west = cat.id_of("us-west-1").unwrap();
+        ps.create_topic(key(west));
+        let n = 200;
+        let mut clean = 0.0;
+        for _ in 0..n {
+            clean += ps
+                .publish(&key(west), east, 4096.0, &lm, &mut rng)
+                .latency_s;
+        }
+        ps.faults = FaultPlan::none().with_gray_failure(west, 0.0, 1e9, 5.0);
+        let mut gray = 0.0;
+        for _ in 0..n {
+            gray += ps
+                .publish(&key(west), east, 4096.0, &lm, &mut rng)
+                .latency_s;
+        }
+        assert!(gray > clean * 1.5, "clean {clean} gray {gray}");
     }
 
     #[test]

@@ -16,6 +16,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [[ "${1:-}" != "--fast" ]]; then
     echo "==> cargo test"
     cargo test --workspace -q
+
+    # Deterministic chaos smoke: a fixed-seed fault campaign (region
+    # outages, partitions, gray failures, KV throttling, cold storms)
+    # must report zero invariant violations. Exit code is non-zero on
+    # any violation.
+    echo "==> caribou chaos smoke (seed 42)"
+    cargo run -q --release -p caribou-core --bin caribou -- \
+        chaos --seed 42 --requests 200 --duration-s 7200
 fi
 
 echo "OK"

@@ -1,0 +1,236 @@
+//! Chaos-harness integration tests: randomized fault campaigns must uphold
+//! the robustness invariants for *every* seed, and the seed-42 acceptance
+//! campaign must stay green (it is also the `scripts/check.sh` smoke).
+
+use caribou_carbon::series::CarbonSeries;
+use caribou_carbon::source::TableSource;
+use caribou_core::chaos::{run_campaign, ChaosConfig};
+use caribou_exec::engine::{ExecutionEngine, WorkflowApp};
+use caribou_exec::outcome::InvocationStatus;
+use caribou_metrics::carbonmodel::{CarbonModel, TransmissionScenario};
+use caribou_model::builder::Workflow;
+use caribou_model::dist::DistSpec;
+use caribou_model::plan::DeploymentPlan;
+use caribou_model::region::RegionId;
+use caribou_model::rng::Pcg32;
+use caribou_simcloud::cloud::SimCloud;
+use caribou_simcloud::faults::FaultPlan;
+use caribou_simcloud::orchestration::Orchestrator;
+use proptest::prelude::*;
+
+fn quick_config(seed: u64, breaker: bool, drop_prob: f64) -> ChaosConfig {
+    ChaosConfig {
+        seed,
+        requests: 80,
+        duration_s: 2.0 * 3600.0,
+        breaker_enabled: breaker,
+        drop_prob,
+    }
+}
+
+#[test]
+fn seed_42_acceptance_campaign_upholds_every_invariant() {
+    // The exact campaign from the acceptance criteria:
+    // `caribou chaos --seed 42 --requests 500`.
+    let report = run_campaign(&ChaosConfig::default());
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    assert_eq!(report.requests, 500);
+    assert!(report.faults.partitions > 0, "partitions injected");
+    assert!(report.faults.gray_failures > 0, "gray failures injected");
+    assert!(report.faults.kv_throttles > 0, "KV throttling injected");
+    assert_eq!(
+        report.completed_clean + report.fell_back_home + report.failed,
+        report.requests,
+        "every request classified exactly once"
+    );
+    assert!(report.fell_back_home > 0, "faults forced failovers");
+}
+
+#[test]
+fn disabling_the_breaker_raises_tail_latency() {
+    // Same campaign, breaker on vs off: without pre-flight rerouting every
+    // request into a dead region pays the dead-letter retry tax, so the
+    // tail inflates measurably.
+    let on = run_campaign(&ChaosConfig::default());
+    let off = run_campaign(&ChaosConfig {
+        breaker_enabled: false,
+        ..ChaosConfig::default()
+    });
+    assert!(on.ok(), "violations: {:?}", on.violations);
+    assert!(off.ok(), "violations: {:?}", off.violations);
+    assert!(on.breaker_reroutes > 0);
+    assert_eq!(off.breaker_reroutes, 0);
+    assert!(
+        off.p99_latency_s > on.p99_latency_s * 1.5,
+        "breaker off p99 {:.2} s should clearly exceed breaker on p99 {:.2} s",
+        off.p99_latency_s,
+        on.p99_latency_s
+    );
+    assert!(
+        off.fell_back_home > on.fell_back_home,
+        "breaker prevents repeated mid-flight failovers"
+    );
+}
+
+/// A diamond app exercising conditional edges and a sync node.
+fn diamond_app(home: RegionId) -> WorkflowApp {
+    let mut wf = Workflow::new("diamond", "0.1");
+    let a = wf
+        .serverless_function("A")
+        .exec_time(DistSpec::Constant { value: 0.4 })
+        .register();
+    let b = wf
+        .serverless_function("B")
+        .exec_time(DistSpec::Constant { value: 0.5 })
+        .register();
+    let c = wf
+        .serverless_function("C")
+        .exec_time(DistSpec::Constant { value: 0.7 })
+        .register();
+    let d = wf
+        .serverless_function("D")
+        .exec_time(DistSpec::Constant { value: 0.3 })
+        .register();
+    wf.invoke(a, b, Some(0.6));
+    wf.invoke(a, c, None);
+    wf.invoke(b, d, None);
+    wf.invoke(c, d, None);
+    wf.get_predecessor_data(d);
+    let (dag, profile, _) = wf.extract().unwrap();
+    WorkflowApp {
+        name: "diamond".into(),
+        dag,
+        profile,
+        home,
+    }
+}
+
+fn flat_carbon(cloud: &SimCloud) -> TableSource {
+    let mut t = TableSource::new();
+    for (id, _) in cloud.regions.iter() {
+        t.insert(id, CarbonSeries::new(-400, vec![300.0; 24 * 100]));
+    }
+    t
+}
+
+/// An arbitrary fault plan over the evaluation regions — unlike
+/// [`FaultPlan::randomized`], this one may take the home region down too.
+fn arbitrary_fault_plan(seed: u64, regions: &[RegionId], duration_s: f64) -> FaultPlan {
+    let mut rng = Pcg32::seed_stream(seed, 0xbad);
+    let mut plan = FaultPlan::none();
+    for &r in regions {
+        if rng.chance(0.4) {
+            let start = rng.uniform(0.0, duration_s * 0.8);
+            plan = plan.with_outage(r, start, start + rng.uniform(60.0, duration_s * 0.3));
+        }
+        if rng.chance(0.3) {
+            let start = rng.uniform(0.0, duration_s * 0.8);
+            plan = plan.with_gray_failure(
+                r,
+                start,
+                start + rng.uniform(60.0, duration_s * 0.3),
+                rng.uniform(2.0, 6.0),
+            );
+        }
+        if rng.chance(0.3) {
+            let start = rng.uniform(0.0, duration_s * 0.8);
+            plan = plan.with_kv_throttle(
+                r,
+                start,
+                start + rng.uniform(60.0, duration_s * 0.3),
+                rng.uniform(0.2, 0.8),
+            );
+        }
+        if rng.chance(0.25) {
+            let start = rng.uniform(0.0, duration_s * 0.8);
+            plan = plan.with_cold_storm(r, start, start + rng.uniform(60.0, duration_s * 0.2));
+        }
+    }
+    if regions.len() >= 2 && rng.chance(0.5) {
+        let a = regions[rng.next_index(regions.len())];
+        let mut b = regions[rng.next_index(regions.len())];
+        if a == b {
+            b = regions[(regions.iter().position(|r| *r == a).unwrap() + 1) % regions.len()];
+        }
+        let start = rng.uniform(0.0, duration_s * 0.8);
+        plan = plan.with_partition(a, b, start, start + rng.uniform(60.0, duration_s * 0.3));
+    }
+    plan.message_drop_prob = rng.uniform(0.0, 0.05);
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The full campaign harness upholds its invariants for arbitrary
+    /// seeds, drop probabilities, and breaker settings.
+    #[test]
+    fn campaign_invariants_hold_for_arbitrary_seeds(
+        seed in any::<u64>(),
+        drop in 0.0f64..0.05,
+        breaker in any::<bool>(),
+    ) {
+        let report = run_campaign(&quick_config(seed, breaker, drop));
+        prop_assert!(report.ok(), "violations: {:?}", report.violations);
+        prop_assert_eq!(
+            report.completed_clean + report.fell_back_home + report.failed,
+            report.requests
+        );
+        if !breaker {
+            prop_assert_eq!(report.breaker_reroutes, 0);
+        }
+    }
+
+    /// Engine-level: under *arbitrary* fault plans — including ones that
+    /// take the home region down, which the campaign generator never does —
+    /// every invocation terminates in exactly one consistent state and the
+    /// usage meter never double-counts a pub/sub message.
+    #[test]
+    fn engine_never_loses_or_double_counts_an_invocation(
+        seed in any::<u64>(),
+    ) {
+        let duration_s = 2.0 * 3600.0;
+        let mut cloud = SimCloud::aws(seed);
+        let home = cloud.region("us-east-1");
+        let regions = cloud.regions.evaluation_regions();
+        let carbon = flat_carbon(&cloud);
+        let app = diamond_app(home);
+        let offload: Vec<RegionId> =
+            regions.iter().copied().filter(|r| *r != home).collect();
+        let mut plan = DeploymentPlan::uniform(4, home);
+        plan.set(caribou_model::dag::NodeId(1), offload[0]);
+        plan.set(caribou_model::dag::NodeId(2), offload[1 % offload.len()]);
+        let engine = ExecutionEngine {
+            carbon_source: &carbon,
+            carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+            orchestrator: Orchestrator::Caribou,
+        };
+        engine.provision(&mut cloud, &app, &plan);
+        cloud.set_faults(arbitrary_fault_plan(seed, &regions, duration_s));
+
+        let mut master = Pcg32::seed_stream(seed, 0xfee1);
+        for i in 0..12u64 {
+            let at_s = 100.0 + i as f64 * duration_s / 12.0;
+            let before = cloud.pubsub.total_published();
+            let mut rng = master.fork(i + 1);
+            let out = engine.invoke(&mut cloud, &app, &plan, i + 1, at_s, &mut rng);
+            // Exactly-one-of, consistent with the raw fields.
+            match out.status() {
+                InvocationStatus::Completed => {
+                    prop_assert!(out.completed && out.failovers == 0);
+                }
+                InvocationStatus::FellBackHome => {
+                    prop_assert!(out.completed && out.failovers > 0);
+                    prop_assert!(out.failed_region.is_some());
+                }
+                InvocationStatus::Failed => {
+                    prop_assert!(!out.completed);
+                }
+            }
+            // Meter == messages the pub/sub service actually accepted.
+            let billed: u64 = out.meter.sns_publishes.values().sum();
+            let accepted = cloud.pubsub.total_published() - before;
+            prop_assert_eq!(billed, accepted, "invocation {} meter drift", i);
+        }
+    }
+}
