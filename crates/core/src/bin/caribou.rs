@@ -33,7 +33,10 @@ use caribou_model::rng::Pcg32;
 use caribou_simcloud::cloud::SimCloud;
 use caribou_simcloud::orchestration::Orchestrator;
 use caribou_solver::context::SolverContext;
+use caribou_solver::engine::EvalEngine;
 use caribou_solver::hbss::HbssSolver;
+use caribou_solver::hourly::solve_hourly_with;
+use caribou_solver::pool;
 use caribou_workloads::benchmarks::{all_benchmarks, Benchmark, InputSize};
 use caribou_workloads::traces::uniform_trace;
 
@@ -46,10 +49,11 @@ USAGE:
     caribou manifest example
     caribou carbon <region> [--hours N]
     caribou plan <benchmark> [--input small|large] [--hour H] [--worst-case]
+                 [--hourly] [--workers N]
     caribou simulate <benchmark> [--input small|large] [--days D] [--per-day N] [--worst-case]
-                     [--telemetry <out.jsonl>] [--json]
+                     [--telemetry <out.jsonl>] [--workers N] [--json]
     caribou chaos [--seed N] [--requests N] [--duration-s S] [--drop P]
-                  [--no-breaker] [--json]
+                  [--no-breaker] [--seeds K] [--workers N] [--json]
     caribou trace <journal.jsonl> [--limit N]
 ";
 
@@ -88,6 +92,18 @@ fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Parses `--workers N` (default 1); results never depend on the value.
+fn workers(args: &[String]) -> Result<usize, String> {
+    match flag(args, "--workers") {
+        None => Ok(1),
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => Ok(n),
+            Ok(_) => Err("--workers: must be at least 1".into()),
+            Err(e) => Err(format!("--workers: {e}")),
+        },
+    }
 }
 
 fn input_size(args: &[String]) -> Result<InputSize, String> {
@@ -239,6 +255,43 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
         models: &models,
         mc_config: MonteCarloConfig::default(),
     };
+    if has_flag(args, "--hourly") {
+        // Full 24-hour schedule through the deterministic evaluation
+        // engine: stdout is bit-identical at any --workers value (pool and
+        // cache statistics go to stderr), which scripts/check.sh exploits
+        // to smoke-test solver determinism.
+        let engine = EvalEngine::new(7, workers(args)?);
+        let plans = solve_hourly_with(
+            &engine,
+            &HbssSolver::new(),
+            &ctx,
+            day_start,
+            0.0,
+            86_400.0,
+            &mut Pcg32::seed(7),
+        );
+        println!(
+            "hourly deployment schedule for `{}` ({} input), day starting hour {day_start}:",
+            bench.name,
+            input.label()
+        );
+        for h in 0..24 {
+            let plan = plans.plan_for_hour(h);
+            let assignment: Vec<&str> = bench
+                .dag
+                .all_nodes()
+                .map(|n| cloud.regions.name(plan.region_of(n)))
+                .collect();
+            println!("  hour {h:>2}: {}", assignment.join(", "));
+        }
+        eprintln!(
+            "cache: {} hits / {} misses over {} distinct plans",
+            engine.hit_count(),
+            engine.miss_count(),
+            engine.cache_len()
+        );
+        return Ok(());
+    }
     let outcome = HbssSolver::new().solve(&ctx, hour, &mut Pcg32::seed(7));
     println!(
         "deployment plan for `{}` ({} input) at hour {hour}:",
@@ -290,7 +343,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         SyntheticCarbonSource::aws_calibrated(20231015),
     );
     let regions = cloud.regions.evaluation_regions();
-    let config = CaribouConfig::new(regions, scenario(args));
+    let mut config = CaribouConfig::new(regions, scenario(args));
+    if flag(args, "--workers").is_some() {
+        config.workers = workers(args)?;
+    }
     let mut caribou = Caribou::new(cloud, carbon, config);
     let mut constraints = bench.constraints.clone();
     constraints.tolerances.latency = 0.10;
@@ -396,6 +452,16 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
         }
     }
     config.breaker_enabled = !has_flag(args, "--no-breaker");
+    let sweep: usize = flag(args, "--seeds")
+        .map(|v| v.parse().map_err(|e| format!("--seeds: {e}")))
+        .transpose()?
+        .unwrap_or(1);
+    if sweep == 0 {
+        return Err("--seeds: must be at least 1".into());
+    }
+    if sweep > 1 {
+        return cmd_chaos_sweep(args, config, sweep);
+    }
 
     eprintln!(
         "chaos campaign: seed {} · {} requests over {:.0} s · drop {} · breaker {}",
@@ -451,6 +517,93 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
         Err(format!(
             "{} invariant violation(s) detected",
             report.violations.len()
+        ))
+    }
+}
+
+/// `caribou chaos --seeds K`: K independent campaigns on consecutive
+/// seeds, fanned across the worker pool. Each campaign is a pure function
+/// of its config, so the sweep's output is identical at any `--workers`.
+fn cmd_chaos_sweep(
+    args: &[String],
+    base: caribou_core::ChaosConfig,
+    sweep: usize,
+) -> Result<(), String> {
+    let w = workers(args)?;
+    eprintln!(
+        "chaos sweep: seeds {}..{} · {} requests over {:.0} s each · {} worker(s)",
+        base.seed,
+        base.seed + sweep as u64 - 1,
+        base.requests,
+        base.duration_s,
+        w,
+    );
+    let (reports, _stats) = pool::map_indexed(w, sweep, |i| {
+        let mut config = base;
+        config.seed = base.seed + i as u64;
+        caribou_core::chaos::run_campaign(&config)
+    });
+
+    println!(
+        "{:<8}{:>10}{:>8}{:>10}{:>8}{:>10}{:>10}{:>12}",
+        "seed", "requests", "clean", "fallback", "failed", "reroutes", "p50 (s)", "p99 (s)"
+    );
+    let mut violations: Vec<String> = Vec::new();
+    for (i, r) in reports.iter().enumerate() {
+        let seed = base.seed + i as u64;
+        println!(
+            "{:<8}{:>10}{:>8}{:>10}{:>8}{:>10}{:>10.2}{:>12.2}",
+            seed,
+            r.requests,
+            r.completed_clean,
+            r.fell_back_home,
+            r.failed,
+            r.breaker_reroutes,
+            r.p50_latency_s,
+            r.p99_latency_s,
+        );
+        violations.extend(r.violations.iter().map(|v| format!("seed {seed}: {v}")));
+    }
+    let total_requests: u64 = reports.iter().map(|r| u64::from(r.requests)).sum();
+    let total_failed: u64 = reports.iter().map(|r| u64::from(r.failed)).sum();
+    println!(
+        "total:             {} requests, {} reported failed across {} campaigns",
+        total_requests, total_failed, sweep
+    );
+    if has_flag(args, "--json") {
+        let per_seed: Vec<serde_json::Value> = reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                serde_json::json!({
+                    "seed": base.seed + i as u64,
+                    "requests": r.requests,
+                    "completed_clean": r.completed_clean,
+                    "fell_back_home": r.fell_back_home,
+                    "failed": r.failed,
+                    "breaker_reroutes": r.breaker_reroutes,
+                    "p50_latency_s": r.p50_latency_s,
+                    "p99_latency_s": r.p99_latency_s,
+                    "violations": r.violations,
+                })
+            })
+            .collect();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::json!({ "campaigns": per_seed }))
+                .expect("sweep serializes")
+        );
+    }
+    if violations.is_empty() {
+        println!("invariants:        all upheld in every campaign");
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        Err(format!(
+            "{} invariant violation(s) detected across the sweep",
+            violations.len()
         ))
     }
 }

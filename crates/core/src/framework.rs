@@ -18,12 +18,14 @@ use caribou_model::constraints::Constraints;
 use caribou_model::manifest::DeploymentManifest;
 use caribou_model::plan::{DeploymentPlan, HourlyPlans};
 use caribou_model::region::RegionId;
-use caribou_model::rng::Pcg32;
+use caribou_model::rng::{Pcg32, SeedSplitter};
 use caribou_simcloud::cloud::SimCloud;
 use caribou_simcloud::orchestration::Orchestrator;
 use caribou_solver::context::SolverContext;
+use caribou_solver::engine::EvalEngine;
 use caribou_solver::hbss::{HbssParams, HbssSolver};
 use caribou_solver::hourly::DayAveragedSource;
+use caribou_solver::pool;
 
 use crate::error::CoreError;
 use crate::manager::{CheckMetrics, DeploymentManager, ManagerConfig, SolveDecision};
@@ -51,6 +53,10 @@ pub struct CaribouConfig {
     pub framework_region: Option<RegionId>,
     /// Master seed for all framework randomness.
     pub seed: u64,
+    /// Worker threads the solver's evaluation engine fans candidates
+    /// across. Solve results are bit-identical at any value; only
+    /// wall-clock changes.
+    pub workers: usize,
 }
 
 impl CaribouConfig {
@@ -69,6 +75,9 @@ impl CaribouConfig {
             plan_expiry_s: 2.0 * 86_400.0,
             framework_region: None,
             seed: 7,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 }
@@ -233,7 +242,7 @@ pub struct Caribou<S: CarbonDataSource> {
     inv_counter: u64,
 }
 
-impl<S: CarbonDataSource> Caribou<S> {
+impl<S: CarbonDataSource + Sync> Caribou<S> {
     /// Creates the framework.
     pub fn new(cloud: SimCloud, carbon: S, config: CaribouConfig) -> Self {
         let rng = Pcg32::seed_stream(config.seed, 0xca51b0);
@@ -508,18 +517,39 @@ impl<S: CarbonDataSource> Caribou<S> {
             };
             let expires = now_s + self.config.plan_expiry_s;
             let mut srng = self.rng.fork(0x501e ^ now_s as u64);
+            // One evaluation engine per solve: the forecast and learned
+            // models are refreshed every tick, so cached estimates must not
+            // outlive this block. The engine seed is derived from the
+            // framework seed and the tick time so solves stay reproducible
+            // while distinct ticks get distinct streams.
+            let engine_seed = SeedSplitter::new(self.config.seed)
+                .absorb(0x501e)
+                .absorb(now_s.to_bits())
+                .seed();
             match decision {
                 SolveDecision::Hourly => {
                     // One plan per hour-of-day for the next 24 hours,
-                    // indexed so the router's hour-of-day lookup finds the
+                    // fanned across the engine's worker pool. The per-step
+                    // walk rngs are pre-forked in order — exactly what the
+                    // sequential loop drew — so the schedule is
+                    // bit-identical at any worker count.
+                    let engine = EvalEngine::new(engine_seed, self.config.workers);
+                    let srngs: Vec<Pcg32> = (0..24).map(|step| srng.fork(step as u64)).collect();
+                    let (solved, stats) = pool::map_indexed(engine.workers(), 24, |step| {
+                        let abs_h = now_h + step as f64;
+                        let mut hrng = srngs[step].clone();
+                        solver
+                            .solve_with(&engine, &ctx, abs_h + 0.5, &mut hrng)
+                            .best
+                    });
+                    stats.emit();
+                    engine.flush_telemetry();
+                    // Index by hour-of-day so the router's lookup finds the
                     // right plan.
                     let mut per_hour: Vec<Option<DeploymentPlan>> = vec![None; 24];
-                    for step in 0..24 {
-                        let abs_h = now_h + step as f64;
-                        let hod = (abs_h as usize) % 24;
-                        let mut hrng = srng.fork(step as u64);
-                        let outcome = solver.solve(&ctx, abs_h + 0.5, &mut hrng);
-                        per_hour[hod] = Some(outcome.best);
+                    for (step, best) in solved.into_iter().enumerate() {
+                        let hod = ((now_h + step as f64) as usize) % 24;
+                        per_hour[hod] = Some(best);
                     }
                     let plans: Vec<DeploymentPlan> = per_hour
                         .into_iter()
@@ -542,7 +572,15 @@ impl<S: CarbonDataSource> Caribou<S> {
                         models: &models,
                         mc_config: self.config.mc,
                     };
-                    let outcome = solver.solve(&day_ctx, now_h + 12.0, &mut srng);
+                    // The day-averaged source answers the same hour keys
+                    // differently from the forecast, so the daily solve
+                    // gets its own engine rather than sharing a cache.
+                    let day_engine = EvalEngine::new(
+                        SeedSplitter::new(engine_seed).absorb(0xda11).seed(),
+                        self.config.workers,
+                    );
+                    let outcome = solver.solve_with(&day_engine, &day_ctx, now_h + 12.0, &mut srng);
+                    day_engine.flush_telemetry();
                     HourlyPlans::daily(outcome.best, now_s, expires)
                 }
                 SolveDecision::Skip => unreachable!(),

@@ -13,6 +13,54 @@ use caribou_model::region::RegionId;
 use caribou_model::rng::Pcg32;
 
 use crate::context::{SolveOutcome, SolverContext};
+use crate::engine::EvalEngine;
+
+/// Coarse search through an [`EvalEngine`]: the per-region single-region
+/// candidates are independent, so they fan across the engine's worker
+/// pool on seed-derived streams — bit-identical at any worker count.
+pub fn solve_with<S: CarbonDataSource + Sync, M: StageModels + Sync>(
+    engine: &EvalEngine,
+    ctx: &SolverContext<'_, S, M>,
+    hour: f64,
+) -> SolveOutcome {
+    let home_plan = ctx.home_plan();
+    let home_estimate = engine.evaluate(ctx, &home_plan, hour);
+    let home_metric = ctx.metric_of(&home_estimate);
+
+    let candidates: Vec<DeploymentPlan> = ctx.permitted[0]
+        .iter()
+        .copied()
+        .filter(|r| *r != ctx.home && ctx.permitted.iter().all(|set| set.contains(r)))
+        .map(|r| DeploymentPlan::uniform(ctx.dag.node_count(), r))
+        .collect();
+    let estimates = engine.evaluate_many(ctx, &candidates, hour);
+
+    let mut best_plan = home_plan.clone();
+    let mut best_metric = home_metric;
+    let mut best_estimate = home_estimate;
+    let mut feasible = vec![(home_plan, home_metric)];
+    let evaluated = 1 + candidates.len();
+    for (plan, estimate) in candidates.into_iter().zip(estimates) {
+        if ctx.violates_tolerance(&estimate, &home_estimate) {
+            continue;
+        }
+        let metric = ctx.metric_of(&estimate);
+        feasible.push((plan.clone(), metric));
+        if metric < best_metric {
+            best_metric = metric;
+            best_plan = plan;
+            best_estimate = estimate;
+        }
+    }
+    feasible.sort_by(|a, b| a.1.total_cmp(&b.1));
+    SolveOutcome {
+        best: best_plan,
+        best_estimate,
+        home_estimate,
+        evaluated,
+        feasible,
+    }
+}
 
 /// Evaluates the single-region plan for every region permitted for *all*
 /// nodes and returns the best feasible one (home when nothing qualifies).
@@ -146,6 +194,18 @@ mod tests {
         // The clean region wins under a generous tolerance.
         assert_eq!(
             outcome.best.region_of(caribou_model::dag::NodeId(0)),
+            cat.id_of("ca-central-1").unwrap()
+        );
+
+        // Engine-backed coarse solve: same candidate count and winner,
+        // bit-identical at any worker count.
+        let c1 = solve_with(&EvalEngine::new(3, 1), &ctx, 0.5);
+        let c8 = solve_with(&EvalEngine::new(3, 8), &ctx, 0.5);
+        assert_eq!(c1.evaluated, 4);
+        assert_eq!(c1.best.assignment(), c8.best.assignment());
+        assert_eq!(c1.best_estimate, c8.best_estimate);
+        assert_eq!(
+            c1.best.region_of(caribou_model::dag::NodeId(0)),
             cat.id_of("ca-central-1").unwrap()
         );
     }

@@ -1,0 +1,190 @@
+//! Deterministic parallel evaluation engine with plan-keyed estimate
+//! caching.
+//!
+//! Every candidate evaluation is a *pure function* of the engine's solve
+//! seed, the plan assignment, and the solve hour: the Monte Carlo RNG is
+//! derived by splitting the solve seed through a [`SeedSplitter`]
+//! (SplitMix-style) over those labels, never by threading a walk
+//! generator through the estimate. Purity buys three properties at once:
+//!
+//! 1. **Worker-count independence** — no evaluation consumes state
+//!    another evaluation produced, so fanning candidates across a
+//!    [`pool`] of threads returns bit-identical estimates at 1, 2, or 64
+//!    workers.
+//! 2. **Cache soundness** — a cached summary is bit-equal to what a
+//!    fresh computation would return, so a lookup can replace
+//!    [`MonteCarloConfig::batch`]-sized sampling without shifting any
+//!    solve result.
+//! 3. **Cross-solve sharing** — one engine (and its cache) is safely
+//!    shared across HBSS iterations and across the 24 hourly solves,
+//!    because the hour is part of both the key and the derived seed.
+//!
+//! The cache key is the plan assignment plus the hour bucket — the bit
+//! pattern of the solve hour. Bucketing is exact rather than floored
+//! because carbon sources may be continuous in the hour; two solves only
+//! share an entry when their estimates are provably identical.
+//!
+//! Hit/miss tallies accumulate in atomics (worker threads have no
+//! telemetry session of their own) and the coordinating thread publishes
+//! the deltas as `solver.cache.hit` / `solver.cache.miss` via
+//! [`EvalEngine::flush_telemetry`]. Under parallel misses of the same key
+//! the tallies may differ by a few counts between runs — the cached
+//! *values* never do.
+//!
+//! [`MonteCarloConfig::batch`]: caribou_metrics::montecarlo::MonteCarloConfig
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use caribou_carbon::source::CarbonDataSource;
+use caribou_metrics::montecarlo::{EstimateSummary, StageModels};
+use caribou_model::plan::DeploymentPlan;
+use caribou_model::region::RegionId;
+use caribou_model::rng::{Pcg32, SeedSplitter};
+
+use crate::context::SolverContext;
+use crate::pool;
+
+/// Domain-separation label for evaluation streams, so an engine seed
+/// never collides with other subsystems splitting the same master seed.
+const EVAL_DOMAIN: u64 = 0xca1b_0e5e_e7a1_0001;
+
+/// The deterministic parallel evaluation engine.
+///
+/// One engine instance corresponds to one logical solve (or one solve
+/// batch, like a 24-hour plan generation) against one frozen
+/// [`SolverContext`] data set. Do **not** reuse an engine after the
+/// forecast or profile behind the context changed: the cache would serve
+/// estimates of the stale data.
+pub struct EvalEngine {
+    solve_seed: u64,
+    workers: usize,
+    cache: Mutex<HashMap<(Vec<RegionId>, u64), EstimateSummary>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    flushed_hits: AtomicU64,
+    flushed_misses: AtomicU64,
+}
+
+impl EvalEngine {
+    /// Creates an engine for one solve.
+    ///
+    /// `solve_seed` determines every evaluation stream; `workers` caps
+    /// the fan-out of [`evaluate_many`](Self::evaluate_many) (1 = fully
+    /// sequential, same results).
+    pub fn new(solve_seed: u64, workers: usize) -> Self {
+        EvalEngine {
+            solve_seed,
+            workers: workers.max(1),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            flushed_hits: AtomicU64::new(0),
+            flushed_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The worker-thread cap.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The solve seed all evaluation streams derive from.
+    pub fn solve_seed(&self) -> u64 {
+        self.solve_seed
+    }
+
+    /// The derived generator for one `(plan, hour)` evaluation — a pure
+    /// function of the solve seed and those labels. Public so tests can
+    /// verify cached results against fresh uncached runs.
+    pub fn eval_rng(&self, plan: &DeploymentPlan, hour: f64) -> Pcg32 {
+        let mut sp = SeedSplitter::new(self.solve_seed)
+            .absorb(EVAL_DOMAIN)
+            .absorb(hour.to_bits());
+        for r in plan.assignment() {
+            sp = sp.absorb(r.index() as u64);
+        }
+        sp.rng()
+    }
+
+    /// Evaluates a plan at an hour through the cache.
+    ///
+    /// A hit returns the stored summary (bit-equal to recomputing); a
+    /// miss runs the Monte Carlo estimate on the derived stream and
+    /// stores it. Computation happens outside the lock so concurrent
+    /// misses don't serialize; racing workers recompute the same value
+    /// and the last insert wins harmlessly.
+    pub fn evaluate<S: CarbonDataSource, M: StageModels>(
+        &self,
+        ctx: &SolverContext<'_, S, M>,
+        plan: &DeploymentPlan,
+        hour: f64,
+    ) -> EstimateSummary {
+        let key = (plan.assignment().to_vec(), hour.to_bits());
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *hit;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut rng = self.eval_rng(plan, hour);
+        let estimate = ctx.evaluate(plan, hour, &mut rng);
+        self.cache.lock().expect("cache lock").insert(key, estimate);
+        estimate
+    }
+
+    /// Evaluates a batch of plans at one hour across the worker pool,
+    /// returning summaries in plan order. Emits pool statistics and cache
+    /// counter deltas into the caller's telemetry session.
+    pub fn evaluate_many<S: CarbonDataSource + Sync, M: StageModels + Sync>(
+        &self,
+        ctx: &SolverContext<'_, S, M>,
+        plans: &[DeploymentPlan],
+        hour: f64,
+    ) -> Vec<EstimateSummary> {
+        let (out, stats) = pool::map_indexed(self.workers, plans.len(), |i| {
+            self.evaluate(ctx, &plans[i], hour)
+        });
+        stats.emit();
+        self.flush_telemetry();
+        out
+    }
+
+    /// Cache hits so far.
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= distinct evaluations computed, absent races).
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct `(plan, hour)` entries cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+
+    /// Publishes unflushed hit/miss tallies as `solver.cache.{hit,miss}`
+    /// counters into the calling thread's telemetry session. Call from
+    /// the coordinating thread — workers accumulate, they never record.
+    pub fn flush_telemetry(&self) {
+        if !caribou_telemetry::is_enabled() {
+            return;
+        }
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        let dh = hits.saturating_sub(self.flushed_hits.swap(hits, Ordering::Relaxed));
+        let dm = misses.saturating_sub(self.flushed_misses.swap(misses, Ordering::Relaxed));
+        if dh > 0 {
+            caribou_telemetry::count("solver.cache.hit", dh);
+        }
+        if dm > 0 {
+            caribou_telemetry::count("solver.cache.miss", dm);
+        }
+        let total = hits + misses;
+        if total > 0 {
+            caribou_telemetry::gauge("solver.cache.hit_rate", hits as f64 / total as f64);
+        }
+    }
+}

@@ -13,9 +13,83 @@ use caribou_model::region::RegionId;
 use caribou_model::rng::Pcg32;
 
 use crate::context::{SolveOutcome, SolverContext};
+use crate::engine::EvalEngine;
 
 /// Upper bound on the search-space size exhaustive solving accepts.
 pub const MAX_SPACE: usize = 100_000;
+
+/// Enumerates the permitted assignments in odometer order.
+fn enumerate_plans<S: CarbonDataSource, M: StageModels>(
+    ctx: &SolverContext<'_, S, M>,
+    space: usize,
+) -> Vec<DeploymentPlan> {
+    let n = ctx.dag.node_count();
+    let mut idx = vec![0usize; n];
+    let mut plans = Vec::with_capacity(space);
+    loop {
+        let assignment: Vec<RegionId> = (0..n).map(|i| ctx.permitted[i][idx[i]]).collect();
+        plans.push(DeploymentPlan::new(assignment));
+        let mut carry = true;
+        for (i, slot) in idx.iter_mut().enumerate() {
+            if !carry {
+                break;
+            }
+            *slot += 1;
+            if *slot < ctx.permitted[i].len() {
+                carry = false;
+            } else {
+                *slot = 0;
+            }
+        }
+        if carry {
+            return plans;
+        }
+    }
+}
+
+/// Exhaustive search through an [`EvalEngine`]: the full space is
+/// enumerated up front and fanned across the engine's worker pool, each
+/// plan on its own seed-derived stream. Bit-identical at any worker
+/// count. Returns `None` when the space exceeds [`MAX_SPACE`].
+pub fn solve_with<S: CarbonDataSource + Sync, M: StageModels + Sync>(
+    engine: &EvalEngine,
+    ctx: &SolverContext<'_, S, M>,
+    hour: f64,
+) -> Option<SolveOutcome> {
+    let space = ctx.search_space_size();
+    if space > MAX_SPACE {
+        return None;
+    }
+    let home_plan = ctx.home_plan();
+    let home_estimate = engine.evaluate(ctx, &home_plan, hour);
+    let plans = enumerate_plans(ctx, space);
+    let estimates = engine.evaluate_many(ctx, &plans, hour);
+
+    let mut best_plan = home_plan;
+    let mut best_metric = ctx.metric_of(&home_estimate);
+    let mut best_estimate = home_estimate;
+    let mut feasible: Vec<(DeploymentPlan, f64)> = Vec::new();
+    for (plan, estimate) in plans.into_iter().zip(estimates) {
+        if ctx.violates_tolerance(&estimate, &home_estimate) {
+            continue;
+        }
+        let metric = ctx.metric_of(&estimate);
+        feasible.push((plan.clone(), metric));
+        if metric < best_metric {
+            best_metric = metric;
+            best_plan = plan;
+            best_estimate = estimate;
+        }
+    }
+    feasible.sort_by(|a, b| a.1.total_cmp(&b.1));
+    Some(SolveOutcome {
+        best: best_plan,
+        best_estimate,
+        home_estimate,
+        evaluated: space,
+        feasible,
+    })
+}
 
 /// Exhaustively enumerates `|R|^|N|` deployments.
 ///
@@ -169,6 +243,16 @@ mod tests {
 
         let ex = solve(&ctx, 0.5, &mut Pcg32::seed(1)).unwrap();
         assert_eq!(ex.evaluated, 16); // 4^2 assignments
+
+        // Engine-backed enumeration: same space, same optimum, and the
+        // outcome is bit-identical regardless of worker count.
+        let ex1 = solve_with(&EvalEngine::new(7, 1), &ctx, 0.5).unwrap();
+        let ex8 = solve_with(&EvalEngine::new(7, 8), &ctx, 0.5).unwrap();
+        assert_eq!(ex1.evaluated, 16);
+        assert_eq!(ex1.best.assignment(), ex8.best.assignment());
+        assert_eq!(ex1.best_estimate, ex8.best_estimate);
+        assert_eq!(ex1.best.assignment(), ex.best.assignment());
+
         let hb = HbssSolver::new().solve(&ctx, 0.5, &mut Pcg32::seed(2));
         // With a small space HBSS explores it fully; it must find a plan
         // within a small factor of the true optimum.

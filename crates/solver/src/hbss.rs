@@ -24,6 +24,7 @@ use caribou_model::region::RegionId;
 use caribou_model::rng::Pcg32;
 
 use crate::context::{SolveOutcome, SolverContext};
+use crate::engine::EvalEngine;
 
 /// HBSS hyper-parameters (Alg. 1; "determined empirically").
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,6 +78,36 @@ impl HbssSolver {
         hour: f64,
         rng: &mut Pcg32,
     ) -> SolveOutcome {
+        self.solve_impl(ctx, hour, rng, None)
+    }
+
+    /// Runs HBSS with evaluations routed through an [`EvalEngine`]: each
+    /// candidate's Monte Carlo stream derives from the engine's solve
+    /// seed instead of consuming the walk generator, and repeated
+    /// candidates are cache lookups.
+    ///
+    /// Two behavioural differences from [`solve`](Self::solve): duplicate
+    /// candidates re-enter the acceptance step (closer to the paper's
+    /// Alg. 1, which has no dedup — affordable now that re-evaluation is
+    /// a lookup), and the result depends only on `(params, ctx, hour,
+    /// rng seed, engine seed)` — never on the engine's worker count.
+    pub fn solve_with<S: CarbonDataSource, M: StageModels>(
+        &self,
+        engine: &EvalEngine,
+        ctx: &SolverContext<'_, S, M>,
+        hour: f64,
+        rng: &mut Pcg32,
+    ) -> SolveOutcome {
+        self.solve_impl(ctx, hour, rng, Some(engine))
+    }
+
+    fn solve_impl<S: CarbonDataSource, M: StageModels>(
+        &self,
+        ctx: &SolverContext<'_, S, M>,
+        hour: f64,
+        rng: &mut Pcg32,
+        engine: Option<&EvalEngine>,
+    ) -> SolveOutcome {
         let telemetry = caribou_telemetry::is_enabled();
         let _solve_span = telemetry.then(|| caribou_telemetry::wall_span("solver", "hbss.solve"));
         let p = &self.params;
@@ -108,7 +139,10 @@ impl HbssSolver {
             .collect();
 
         let home_plan = ctx.home_plan();
-        let home_estimate = ctx.evaluate(&home_plan, hour, rng);
+        let home_estimate = match engine {
+            Some(e) => e.evaluate(ctx, &home_plan, hour),
+            None => ctx.evaluate(&home_plan, hour, rng),
+        };
         let mut current_plan = home_plan.clone();
         let mut current_metric = ctx.metric_of(&home_estimate);
         let mut gamma = p.gamma;
@@ -127,23 +161,34 @@ impl HbssSolver {
         while i < alpha {
             let nd = self.gen_new_deployment(&current_plan, &ranked, p.beta, rng);
             i += 1;
-            if !seen.insert(nd.assignment().to_vec()) {
+            let first_visit = seen.insert(nd.assignment().to_vec());
+            // Without an engine, re-evaluating a duplicate would burn a
+            // full Monte Carlo run; with one it's a cache hit, so the
+            // duplicate re-enters acceptance like in the paper's Alg. 1.
+            if !first_visit && engine.is_none() {
                 continue;
             }
-            let estimate = ctx.evaluate(&nd, hour, rng);
-            evaluated += 1;
+            let estimate = match engine {
+                Some(e) => e.evaluate(ctx, &nd, hour),
+                None => ctx.evaluate(&nd, hour, rng),
+            };
+            if first_visit {
+                evaluated += 1;
+            }
             if ctx.violates_tolerance(&estimate, &home_estimate) {
-                if telemetry {
+                if telemetry && first_visit {
                     caribou_telemetry::count("solver.infeasible", 1);
                 }
                 continue;
             }
             let metric = ctx.metric_of(&estimate);
-            feasible.push((nd.clone(), metric));
-            if metric < best_metric {
-                best_metric = metric;
-                best_plan = nd.clone();
-                best_estimate = estimate;
+            if first_visit {
+                feasible.push((nd.clone(), metric));
+                if metric < best_metric {
+                    best_metric = metric;
+                    best_plan = nd.clone();
+                    best_estimate = estimate;
+                }
             }
             let accept = metric < current_metric
                 || self.stochastic_mutation(gamma, current_metric, metric, p.mutation_scale, rng);
@@ -170,6 +215,9 @@ impl HbssSolver {
             caribou_telemetry::count("solver.evaluated", evaluated as u64);
             caribou_telemetry::gauge("solver.gamma", gamma);
             caribou_telemetry::event("solver.solve", format!("h{}", hour as u64), i as f64);
+        }
+        if let Some(e) = engine {
+            e.flush_telemetry();
         }
 
         feasible.sort_by(|a, b| a.1.total_cmp(&b.1));

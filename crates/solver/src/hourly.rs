@@ -12,7 +12,9 @@ use caribou_model::region::RegionId;
 use caribou_model::rng::Pcg32;
 
 use crate::context::SolverContext;
+use crate::engine::EvalEngine;
 use crate::hbss::HbssSolver;
+use crate::pool;
 
 /// A carbon source that answers every query with the day-average of an
 /// underlying source — the signal a daily-granularity solve sees.
@@ -56,6 +58,35 @@ pub fn solve_hourly<S: CarbonDataSource, M: StageModels>(
                 .best
         })
         .collect();
+    HourlyPlans::hourly(plans, generated_at_s, expires_at_s)
+}
+
+/// Solves 24 hourly plans through an [`EvalEngine`], fanning the hours
+/// across the engine's worker pool.
+///
+/// The per-hour walk generators are pre-forked from `rng` in hour order —
+/// exactly the forks the sequential loop would draw — and every candidate
+/// evaluation derives its stream from the engine seed, so the returned
+/// schedule is bit-identical at any worker count. The engine's estimate
+/// cache is shared across all 24 solves.
+pub fn solve_hourly_with<S: CarbonDataSource + Sync, M: StageModels + Sync>(
+    engine: &EvalEngine,
+    solver: &HbssSolver,
+    ctx: &SolverContext<'_, S, M>,
+    day_start_hour: f64,
+    generated_at_s: f64,
+    expires_at_s: f64,
+    rng: &mut Pcg32,
+) -> HourlyPlans {
+    let hrngs: Vec<Pcg32> = (0..24).map(|h| rng.fork(h as u64)).collect();
+    let (plans, stats) = pool::map_indexed(engine.workers(), 24, |h| {
+        let mut hrng = hrngs[h].clone();
+        solver
+            .solve_with(engine, ctx, day_start_hour + h as f64 + 0.5, &mut hrng)
+            .best
+    });
+    stats.emit();
+    engine.flush_telemetry();
     HourlyPlans::hourly(plans, generated_at_s, expires_at_s)
 }
 
@@ -181,6 +212,28 @@ mod tests {
         assert_eq!(plans.plan_for_hour(3).region_of(NodeId(0)), west);
         assert_eq!(plans.plan_for_hour(15).region_of(NodeId(0)), east);
         assert_eq!(plans.granularity, PlanGranularity::Hourly);
+
+        // Engine-backed solve: same diurnal structure, and the schedule
+        // must be bit-identical no matter how many workers fan it out.
+        let schedule_at = |workers: usize| {
+            let engine = EvalEngine::new(99, workers);
+            let plans = solve_hourly_with(
+                &engine,
+                &solver,
+                &ctx,
+                0.0,
+                0.0,
+                86_400.0,
+                &mut Pcg32::seed(1),
+            );
+            assert!(engine.hit_count() > 0, "cache never hit");
+            plans
+        };
+        let w1 = schedule_at(1);
+        let w4 = schedule_at(4);
+        assert_eq!(w1, w4);
+        assert_eq!(w1.plan_for_hour(3).region_of(NodeId(0)), west);
+        assert_eq!(w1.plan_for_hour(15).region_of(NodeId(0)), east);
     }
 
     #[test]

@@ -16,12 +16,20 @@
 //! [`hourly`] layers 24-plan generation on top of any solver (§5.1: "24
 //! plans are generated per solve — one for each hour, given sufficient
 //! carbon budget").
+//!
+//! [`engine`] provides the deterministic parallel evaluation layer all
+//! three solvers can route through: seed-split per-candidate RNG streams,
+//! a plan-keyed estimate cache, and a scoped [`pool`] of worker threads —
+//! with solve results bit-identical at any worker count.
 
 pub mod coarse;
 pub mod context;
+pub mod engine;
 pub mod exhaustive;
 pub mod hbss;
 pub mod hourly;
+pub mod pool;
 
 pub use context::{SolveOutcome, SolverContext};
+pub use engine::EvalEngine;
 pub use hbss::{HbssParams, HbssSolver};

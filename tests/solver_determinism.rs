@@ -1,0 +1,186 @@
+//! Solver regression suite for the deterministic parallel evaluation
+//! engine: whatever the worker count, a solve is a pure function of its
+//! seeds, and every cache hit is bit-equal to the fresh computation it
+//! replaced.
+
+use caribou_carbon::series::CarbonSeries;
+use caribou_carbon::source::TableSource;
+use caribou_metrics::carbonmodel::{CarbonModel, TransmissionScenario};
+use caribou_metrics::costmodel::CostModel;
+use caribou_metrics::montecarlo::{DefaultModels, MonteCarloConfig};
+use caribou_model::builder::Workflow;
+use caribou_model::constraints::{Objective, Tolerances};
+use caribou_model::dist::DistSpec;
+use caribou_model::plan::DeploymentPlan;
+use caribou_model::region::RegionCatalog;
+use caribou_model::rng::Pcg32;
+use caribou_simcloud::compute::LambdaRuntime;
+use caribou_simcloud::latency::LatencyModel;
+use caribou_simcloud::orchestration::Orchestrator;
+use caribou_simcloud::pricing::PricingCatalog;
+use caribou_solver::context::SolverContext;
+use caribou_solver::engine::EvalEngine;
+use caribou_solver::hbss::HbssSolver;
+use caribou_solver::hourly::solve_hourly_with;
+use proptest::prelude::*;
+
+/// Worker counts every invariant is checked across.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Builds a small diurnal two-node world and hands the solver context to
+/// `f`. The context borrows a pile of locals, hence the closure shape.
+fn with_ctx<R>(f: impl FnOnce(&SolverContext<'_, TableSource, DefaultModels<'_>>) -> R) -> R {
+    let cat = RegionCatalog::aws_default();
+    let pricing = PricingCatalog::aws_default(&cat);
+    let mut runtime = LambdaRuntime::aws_default(&cat);
+    runtime.cold_start_prob = 0.0;
+    let latency = LatencyModel::from_catalog(&cat);
+    let east = cat.id_of("us-east-1").unwrap();
+    let west = cat.id_of("us-west-2").unwrap();
+    let ca = cat.id_of("ca-central-1").unwrap();
+    // Carbon with per-region diurnal structure so different hours pick
+    // different winners and the solver has real work to do.
+    let mut carbon = TableSource::new();
+    for (id, _) in cat.iter() {
+        let values: Vec<f64> = (0..24)
+            .map(|h| {
+                if id == west {
+                    if h < 12 {
+                        60.0
+                    } else {
+                        800.0
+                    }
+                } else if id == ca {
+                    120.0 + 10.0 * (h % 6) as f64
+                } else {
+                    380.0
+                }
+            })
+            .collect();
+        carbon.insert(id, CarbonSeries::new(0, values));
+    }
+    let mut wf = Workflow::new("w", "0.1");
+    let a = wf
+        .serverless_function("A")
+        .exec_time(DistSpec::Constant { value: 5.0 })
+        .register();
+    let b = wf
+        .serverless_function("B")
+        .exec_time(DistSpec::Uniform { lo: 4.0, hi: 8.0 })
+        .register();
+    wf.invoke(a, b, None)
+        .payload(DistSpec::Constant { value: 8_000.0 });
+    let (dag, profile, _) = wf.extract().unwrap();
+    let permitted = vec![vec![east, west, ca], vec![east, west, ca]];
+    let models = DefaultModels {
+        profile: &profile,
+        runtime: &runtime,
+        latency: &latency,
+        orchestrator: Orchestrator::Caribou,
+    };
+    let ctx = SolverContext {
+        dag: &dag,
+        profile: &profile,
+        permitted: &permitted,
+        home: east,
+        objective: Objective::Carbon,
+        tolerances: Tolerances {
+            latency: 0.5,
+            cost: 0.5,
+            carbon: f64::INFINITY,
+        },
+        carbon_source: &carbon,
+        carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+        cost_model: CostModel::new(&pricing),
+        models: &models,
+        mc_config: MonteCarloConfig {
+            batch: 60,
+            max_samples: 120,
+            cv_threshold: 0.1,
+        },
+    };
+    f(&ctx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The HBSS-selected plan and its estimate summary are bit-identical
+    /// at 1, 2 and 8 workers for any (engine seed, walk seed, hour).
+    #[test]
+    fn hbss_solve_is_worker_count_invariant(
+        engine_seed in any::<u64>(),
+        walk_seed in any::<u64>(),
+        hour_idx in 0u8..24,
+    ) {
+        with_ctx(|ctx| {
+            let hour = hour_idx as f64 + 0.5;
+            let solver = HbssSolver::new();
+            let solve_at = |workers: usize| {
+                let engine = EvalEngine::new(engine_seed, workers);
+                solver.solve_with(&engine, ctx, hour, &mut Pcg32::seed(walk_seed))
+            };
+            let base = solve_at(WORKER_COUNTS[0]);
+            for &w in &WORKER_COUNTS[1..] {
+                let other = solve_at(w);
+                assert_eq!(base.best.assignment(), other.best.assignment());
+                assert_eq!(base.best_estimate, other.best_estimate);
+                assert_eq!(base.home_estimate, other.home_estimate);
+                assert_eq!(base.evaluated, other.evaluated);
+            }
+        });
+    }
+
+    /// The full 24-hour schedule (the paper's per-solve unit, §5.1) is
+    /// bit-identical at any worker count, and its shared cache is used.
+    #[test]
+    fn hourly_schedule_is_worker_count_invariant(
+        engine_seed in any::<u64>(),
+        walk_seed in any::<u64>(),
+    ) {
+        with_ctx(|ctx| {
+            let solver = HbssSolver::new();
+            let solve_at = |workers: usize| {
+                let engine = EvalEngine::new(engine_seed, workers);
+                let plans = solve_hourly_with(
+                    &engine, &solver, ctx, 0.0, 0.0, 86_400.0,
+                    &mut Pcg32::seed(walk_seed),
+                );
+                (plans, engine.hit_count())
+            };
+            let (base, base_hits) = solve_at(WORKER_COUNTS[0]);
+            assert!(base_hits > 0, "estimate cache never hit");
+            for &w in &WORKER_COUNTS[1..] {
+                let (other, _) = solve_at(w);
+                assert_eq!(&base, &other);
+            }
+        });
+    }
+
+    /// Cache soundness: a cached estimate is bit-equal to a fresh
+    /// uncached evaluation on the same derived stream.
+    #[test]
+    fn cached_estimate_equals_fresh_run(
+        engine_seed in any::<u64>(),
+        region_picks in (0usize..3, 0usize..3),
+        hour_idx in 0u8..24,
+    ) {
+        with_ctx(|ctx| {
+            let hour = hour_idx as f64 + 0.5;
+            let assignment = vec![
+                ctx.permitted[0][region_picks.0],
+                ctx.permitted[1][region_picks.1],
+            ];
+            let plan = DeploymentPlan::new(assignment);
+            let engine = EvalEngine::new(engine_seed, 1);
+            let first = engine.evaluate(ctx, &plan, hour);
+            let cached = engine.evaluate(ctx, &plan, hour);
+            assert_eq!(engine.miss_count(), 1);
+            assert_eq!(engine.hit_count(), 1);
+            // Fresh run outside the engine, on the same derived stream.
+            let fresh = ctx.evaluate(&plan, hour, &mut engine.eval_rng(&plan, hour));
+            assert_eq!(first, cached);
+            assert_eq!(first, fresh);
+        });
+    }
+}
