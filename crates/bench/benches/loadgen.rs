@@ -1,0 +1,122 @@
+//! Sustained-load throughput benchmark and guard for `caribou loadgen`.
+//!
+//! The criterion group measures the end-to-end data plane (arrival
+//! generation + simulated cloud + execution engine with pooled scratch)
+//! in invocations per second. The guard at the end enforces the harness
+//! contract:
+//!
+//! * the merged report is bit-identical at 1 and 2 workers;
+//! * the `loadgen.invocations` counter and warm-scratch
+//!   `engine.alloc_per_invocation` gauge land where the buffer-pooling
+//!   scheme says they must;
+//! * measured single-worker throughput stays within 2x of the committed
+//!   `BENCH_loadgen.json` baseline (and above an absolute floor), so a
+//!   data-plane allocation regression fails the bench run.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use caribou_core::loadgen::{run_loadgen, LoadgenConfig};
+use caribou_metrics::carbonmodel::TransmissionScenario;
+use caribou_workloads::arrivals::ArrivalProcess;
+use caribou_workloads::benchmarks::{text2speech_censoring, InputSize};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+
+/// Absolute floor (invocations/second, release build, 1 worker) under
+/// which the data plane has regressed badly on any plausible machine.
+const THROUGHPUT_FLOOR: f64 = 5_000.0;
+
+fn config(n: usize, workers: usize) -> LoadgenConfig {
+    LoadgenConfig {
+        invocations: n,
+        seed: 42,
+        workers,
+        arrivals: ArrivalProcess::Poisson { rate_per_s: 100.0 },
+        scenario: TransmissionScenario::BEST,
+    }
+}
+
+fn bench_loadgen(c: &mut Criterion) {
+    let bench = text2speech_censoring(InputSize::Small);
+    let mut group = c.benchmark_group("loadgen");
+    group.sample_size(10);
+    for arrival in ["poisson", "diurnal", "bursty"] {
+        group.bench_function(BenchmarkId::new("5k", arrival), |b| {
+            let mut cfg = config(5_000, 1);
+            cfg.arrivals = ArrivalProcess::parse(arrival, 100.0).unwrap();
+            b.iter(|| black_box(run_loadgen(&bench, &cfg).unwrap().completed));
+        });
+    }
+    group.finish();
+}
+
+/// Hard guard on the loadgen contract plus the committed throughput
+/// baseline.
+fn guard_loadgen() {
+    let bench = text2speech_censoring(InputSize::Small);
+
+    // Bit-identical merges at any worker count.
+    let one = run_loadgen(&bench, &config(20_000, 1)).unwrap();
+    let two = run_loadgen(&bench, &config(20_000, 2)).unwrap();
+    assert_eq!(one.latencies_s.len(), two.latencies_s.len());
+    for (a, b) in one.latencies_s.iter().zip(&two.latencies_s) {
+        assert_eq!(a.to_bits(), b.to_bits(), "worker count changed a latency");
+    }
+    assert_eq!(one.completed, two.completed);
+    assert_eq!(one.exec_carbon_g.to_bits(), two.exec_carbon_g.to_bits());
+    assert_eq!(one.cost_usd.to_bits(), two.cost_usd.to_bits());
+
+    // Telemetry: invocation counter moves, warm scratch allocates only the
+    // two caller-owned log-record vectors per invocation.
+    caribou_telemetry::enable(Box::new(caribou_telemetry::MemorySink::default()));
+    run_loadgen(&bench, &config(5_000, 1)).unwrap();
+    let finished = caribou_telemetry::finish().expect("session active");
+    assert_eq!(finished.recorder.counter("loadgen.invocations"), 5_000);
+    assert_eq!(
+        finished.recorder.gauges["engine.alloc_per_invocation"], 2.0,
+        "buffer pooling stopped holding: warm invocations grew pooled buffers"
+    );
+
+    // Throughput: best of 3 single-worker 50k runs.
+    let cfg = config(50_000, 1);
+    let mut best_s = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        black_box(run_loadgen(&bench, &cfg).unwrap().completed);
+        best_s = best_s.min(start.elapsed().as_secs_f64());
+    }
+    let throughput = 50_000.0 / best_s;
+    println!("loadgen/guard: {throughput:.0} inv/s (1 worker, 50k invocations, best of 3)");
+    assert!(
+        throughput >= THROUGHPUT_FLOOR,
+        "loadgen throughput {throughput:.0} inv/s below floor {THROUGHPUT_FLOOR:.0}"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_loadgen.json");
+    if let Some(committed) = read_baseline(path) {
+        println!("loadgen/guard: committed baseline {committed:.0} inv/s");
+        assert!(
+            throughput >= committed / 2.0,
+            "loadgen throughput {throughput:.0} inv/s fell below half the committed baseline {committed:.0}"
+        );
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"invocations_per_s_1w\": {throughput:.0},\n  \"invocations\": 50000,\n  \"cores\": {cores}\n}}\n"
+    );
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("loadgen/guard: could not write {path}: {e}");
+    }
+}
+
+fn read_baseline(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let value: serde_json::Value = serde_json::from_str(&text).ok()?;
+    value.get("invocations_per_s_1w")?.as_f64()
+}
+
+criterion_group!(benches, bench_loadgen);
+
+fn main() {
+    benches();
+    guard_loadgen();
+}

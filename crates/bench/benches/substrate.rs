@@ -58,7 +58,7 @@ fn bench_kv_atomic_update(c: &mut Criterion) {
 fn bench_holt_winters_fit(c: &mut Criterion) {
     let synth = SyntheticCarbonSource::aws_calibrated(3);
     let data: Vec<f64> = (0..168)
-        .map(|h| synth.zone_intensity("US-CAL-CISO", h as f64 + 0.5))
+        .map(|h| synth.zone_intensity("US-CAL-CISO", h as f64 + 0.5).unwrap())
         .collect();
     c.bench_function("substrate/holt_winters_fit_week", |b| {
         b.iter(|| HoltWinters::fit(&data, 24));
@@ -75,7 +75,7 @@ fn bench_synth_intensity(c: &mut Criterion) {
         let mut h = 0.0f64;
         b.iter(|| {
             h += 0.37;
-            synth.zone_intensity("US-MIDA-PJM", h)
+            synth.zone_intensity("US-MIDA-PJM", h).unwrap()
         });
     });
 }

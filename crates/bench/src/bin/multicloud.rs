@@ -46,8 +46,9 @@ fn env() -> Env {
     let carbon = RegionalSource::new(
         &cloud.regions,
         SyntheticCarbonSource::aws_calibrated(20231015),
-    );
-    let home = cloud.region("us-east-1");
+    )
+    .expect("the multi-cloud catalog's grid zones are all calibrated");
+    let home = cloud.region("us-east-1").unwrap();
     Env {
         cloud,
         carbon,
@@ -131,7 +132,11 @@ fn main() {
         "northamerica-northeast1",
     ]
     .iter()
-    .map(|n| env.cloud.region(n))
+    .map(|n| {
+        env.cloud
+            .region(n)
+            .expect("multicloud catalog includes every listed region")
+    })
     .collect();
 
     let tolerances = Tolerances {

@@ -48,9 +48,10 @@ impl ExpEnv {
         let carbon = RegionalSource::new(
             &cloud.regions,
             SyntheticCarbonSource::aws_calibrated(20231015),
-        );
+        )
+        .expect("the default catalog's grid zones are all calibrated");
         let regions = cloud.regions.evaluation_regions();
-        let home = cloud.region("us-east-1");
+        let home = cloud.region("us-east-1").unwrap();
         ExpEnv {
             cloud,
             carbon,
@@ -59,9 +60,11 @@ impl ExpEnv {
         }
     }
 
-    /// Region id by name.
+    /// Region id by name; experiment setup uses fixed catalog names.
     pub fn region(&self, name: &str) -> RegionId {
-        self.cloud.region(name)
+        self.cloud
+            .region(name)
+            .expect("experiment regions come from the default catalog")
     }
 
     /// Region catalog.

@@ -1,0 +1,110 @@
+//! Typed errors for carbon data sources.
+//!
+//! Historically the carbon sources aborted the process on uncovered
+//! regions or unknown grid zones; user-reachable paths (CLI region
+//! arguments, CSV drop-in directories) now surface these as values so
+//! callers can report one-line errors instead of backtraces.
+
+use caribou_model::region::RegionId;
+
+/// What went wrong while resolving or loading carbon-intensity data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CarbonError {
+    /// No carbon series covers the region.
+    UncoveredRegion {
+        /// The region without data.
+        region: RegionId,
+    },
+    /// The synthetic source has no profile for the grid zone.
+    UnknownZone {
+        /// The unresolvable zone name.
+        zone: String,
+    },
+    /// The forecast was not fitted for the region.
+    ForecastNotCovered {
+        /// The region outside the fitted set.
+        region: RegionId,
+    },
+    /// A carbon data file or directory could not be read.
+    Io {
+        /// Offending path.
+        path: String,
+        /// Underlying I/O message.
+        message: String,
+    },
+    /// A carbon CSV failed to parse.
+    Parse {
+        /// Offending path.
+        path: String,
+        /// Parser message.
+        message: String,
+    },
+    /// A CSV file name does not resolve to a catalog region.
+    UnknownRegionName {
+        /// The unresolvable file stem.
+        name: String,
+    },
+    /// A directory contained no region CSVs.
+    Empty {
+        /// The directory scanned.
+        path: String,
+    },
+}
+
+impl std::fmt::Display for CarbonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CarbonError::UncoveredRegion { region } => {
+                write!(f, "no carbon series for region {region}")
+            }
+            CarbonError::UnknownZone { zone } => write!(f, "unknown grid zone `{zone}`"),
+            CarbonError::ForecastNotCovered { region } => {
+                write!(f, "region {region} not covered by forecast")
+            }
+            CarbonError::Io { path, message } => write!(f, "{path}: {message}"),
+            CarbonError::Parse { path, message } => write!(f, "{path}: {message}"),
+            CarbonError::UnknownRegionName { name } => write!(f, "unknown region `{name}`"),
+            CarbonError::Empty { path } => write!(f, "{path}: no region CSV files found"),
+        }
+    }
+}
+
+impl std::error::Error for CarbonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_line() {
+        let cases = [
+            CarbonError::UncoveredRegion {
+                region: RegionId(3),
+            },
+            CarbonError::UnknownZone {
+                zone: "XX-NOWHERE".into(),
+            },
+            CarbonError::ForecastNotCovered {
+                region: RegionId(1),
+            },
+            CarbonError::Io {
+                path: "/tmp/x".into(),
+                message: "denied".into(),
+            },
+            CarbonError::Parse {
+                path: "a.csv".into(),
+                message: "bad float".into(),
+            },
+            CarbonError::UnknownRegionName {
+                name: "atlantis-1".into(),
+            },
+            CarbonError::Empty {
+                path: "/tmp/dir".into(),
+            },
+        ];
+        for e in cases {
+            let s = e.to_string();
+            assert!(!s.is_empty() && !s.contains('\n'), "{s:?}");
+        }
+    }
+}

@@ -21,6 +21,7 @@
 //! Time is measured in fractional hours since the simulation epoch, which
 //! experiments anchor at 2023-10-15 00:00 UTC.
 
+pub mod error;
 pub mod forecast;
 pub mod marginal;
 pub mod route;
@@ -28,6 +29,7 @@ pub mod series;
 pub mod source;
 pub mod synth;
 
+pub use error::CarbonError;
 pub use forecast::HoltWinters;
 pub use marginal::MarginalSource;
 pub use series::CarbonSeries;

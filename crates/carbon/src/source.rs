@@ -12,9 +12,10 @@ use std::collections::HashMap;
 
 use caribou_model::region::{RegionCatalog, RegionId};
 
+use crate::error::CarbonError;
 use crate::forecast::HoltWinters;
 use crate::series::CarbonSeries;
-use crate::synth::SyntheticCarbonSource;
+use crate::synth::{GridProfile, SyntheticCarbonSource};
 
 /// Provides grid average carbon intensity (ACI, §7.1) per region and hour.
 pub trait CarbonDataSource {
@@ -44,16 +45,31 @@ impl<S: CarbonDataSource + ?Sized> CarbonDataSource for &S {
 #[derive(Debug, Clone)]
 pub struct RegionalSource {
     zones: Vec<String>,
+    profiles: Vec<GridProfile>,
     synth: SyntheticCarbonSource,
 }
 
 impl RegionalSource {
-    /// Builds the adapter for a catalog.
-    pub fn new(catalog: &RegionCatalog, synth: SyntheticCarbonSource) -> Self {
-        RegionalSource {
-            zones: catalog.iter().map(|(_, s)| s.grid_zone.clone()).collect(),
+    /// Builds the adapter for a catalog, validating that every catalog
+    /// region's grid zone is covered by the synthetic source. Resolving
+    /// all zone profiles here makes the hot [`CarbonDataSource`] path
+    /// infallible and lookup-free.
+    pub fn new(catalog: &RegionCatalog, synth: SyntheticCarbonSource) -> Result<Self, CarbonError> {
+        let zones: Vec<String> = catalog.iter().map(|(_, s)| s.grid_zone.clone()).collect();
+        let profiles = zones
+            .iter()
+            .map(|z| {
+                synth
+                    .profile(z)
+                    .cloned()
+                    .ok_or_else(|| CarbonError::UnknownZone { zone: z.clone() })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RegionalSource {
+            zones,
+            profiles,
             synth,
-        }
+        })
     }
 
     /// The grid zone backing a region.
@@ -64,7 +80,9 @@ impl RegionalSource {
 
 impl CarbonDataSource for RegionalSource {
     fn intensity(&self, region: RegionId, hour: f64) -> f64 {
-        self.synth.zone_intensity(&self.zones[region.index()], hour)
+        let i = region.index();
+        self.synth
+            .profile_intensity(&self.profiles[i], &self.zones[i], hour)
     }
 }
 
@@ -95,32 +113,61 @@ impl TableSource {
     /// the drop-in path for real Electricity Maps extracts. Files whose
     /// stem does not resolve against the catalog are reported as errors;
     /// regions without a file are simply absent from the source.
-    pub fn from_csv_dir(dir: &std::path::Path, catalog: &RegionCatalog) -> Result<Self, String> {
+    pub fn from_csv_dir(
+        dir: &std::path::Path,
+        catalog: &RegionCatalog,
+    ) -> Result<Self, CarbonError> {
         let mut out = TableSource::new();
-        let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        let entries = std::fs::read_dir(dir).map_err(|e| CarbonError::Io {
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        })?;
         for entry in entries {
-            let entry = entry.map_err(|e| e.to_string())?;
+            let entry = entry.map_err(|e| CarbonError::Io {
+                path: dir.display().to_string(),
+                message: e.to_string(),
+            })?;
             let path = entry.path();
             if path.extension().and_then(|e| e.to_str()) != Some("csv") {
                 continue;
             }
-            let stem = path
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .ok_or_else(|| format!("{}: unreadable file name", path.display()))?;
+            let stem =
+                path.file_stem()
+                    .and_then(|s| s.to_str())
+                    .ok_or_else(|| CarbonError::Parse {
+                        path: path.display().to_string(),
+                        message: "unreadable file name".into(),
+                    })?;
             let region = catalog
                 .id_of(stem)
-                .ok_or_else(|| format!("{}: unknown region `{stem}`", path.display()))?;
-            let csv =
-                std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-            let series =
-                CarbonSeries::from_csv(&csv).map_err(|e| format!("{}: {e}", path.display()))?;
+                .ok_or_else(|| CarbonError::UnknownRegionName { name: stem.into() })?;
+            let csv = std::fs::read_to_string(&path).map_err(|e| CarbonError::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+            let series = CarbonSeries::from_csv(&csv).map_err(|e| CarbonError::Parse {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
             out.insert(region, series);
         }
         if out.series.is_empty() {
-            return Err(format!("{}: no region CSV files found", dir.display()));
+            return Err(CarbonError::Empty {
+                path: dir.display().to_string(),
+            });
         }
         Ok(out)
+    }
+
+    /// Intensity for a region, or a typed error if the region has no
+    /// series. User-facing callers (the CLI's CSV drop-in path) should
+    /// prefer this over the trait method.
+    pub fn try_intensity(&self, region: RegionId, hour: f64) -> Result<f64, CarbonError> {
+        let s = self
+            .series
+            .get(&region)
+            .ok_or(CarbonError::UncoveredRegion { region })?;
+        Ok(s.at(hour).unwrap_or_else(|| s.mean()))
     }
 
     /// Regions covered by this source.
@@ -132,12 +179,19 @@ impl TableSource {
 }
 
 impl CarbonDataSource for TableSource {
+    /// Covered regions answer from their series; an uncovered region is a
+    /// caller bug (validate with [`TableSource::try_intensity`] first), so
+    /// debug builds assert and release builds fall back deterministically
+    /// to the mean of all series means rather than aborting the process.
     fn intensity(&self, region: RegionId, hour: f64) -> f64 {
-        let s = self
-            .series
-            .get(&region)
-            .unwrap_or_else(|| panic!("no carbon series for region {region}"));
-        s.at(hour).unwrap_or_else(|| s.mean())
+        match self.try_intensity(region, hour) {
+            Ok(v) => v,
+            Err(e) => {
+                debug_assert!(false, "{e}");
+                let n = self.series.len().max(1) as f64;
+                self.series.values().map(|s| s.mean()).sum::<f64>() / n
+            }
+        }
     }
 }
 
@@ -195,25 +249,41 @@ impl<'a, S: CarbonDataSource> ForecastingSource<'a, S> {
     pub fn history_hours(&self) -> usize {
         self.history_hours
     }
-}
 
-impl<S: CarbonDataSource> CarbonDataSource for ForecastingSource<'_, S> {
-    fn intensity(&self, region: RegionId, hour: f64) -> f64 {
+    /// Intensity for a region, or a typed error for a future query on a
+    /// region outside the fitted set.
+    pub fn try_intensity(&self, region: RegionId, hour: f64) -> Result<f64, CarbonError> {
         if hour < self.trained_at_hour {
             // The past is known.
-            return self.actual.intensity(region, hour);
+            return Ok(self.actual.intensity(region, hour));
         }
         let steps = (hour - self.trained_at_hour).floor() as usize;
         let f = self
             .forecasts
             .get(&region)
-            .unwrap_or_else(|| panic!("region {region} not covered by forecast"));
+            .ok_or(CarbonError::ForecastNotCovered { region })?;
         let idx = steps.min(f.len().saturating_sub(1));
-        f.get(idx).copied().unwrap_or_else(|| {
+        Ok(f.get(idx).copied().unwrap_or_else(|| {
             // Horizon exhausted with an empty forecast: fall back to the
             // actual source's long-run behaviour at the trained hour.
             self.actual.intensity(region, self.trained_at_hour)
-        })
+        }))
+    }
+}
+
+impl<S: CarbonDataSource> CarbonDataSource for ForecastingSource<'_, S> {
+    /// Querying outside the fitted region set is a caller bug (the solver
+    /// only evaluates permitted regions); debug builds assert and release
+    /// builds fall back deterministically to the actual source instead of
+    /// aborting the process.
+    fn intensity(&self, region: RegionId, hour: f64) -> f64 {
+        match self.try_intensity(region, hour) {
+            Ok(v) => v,
+            Err(e) => {
+                debug_assert!(false, "{e}");
+                self.actual.intensity(region, hour)
+            }
+        }
     }
 }
 
@@ -224,8 +294,17 @@ mod tests {
 
     fn regional() -> (RegionCatalog, RegionalSource) {
         let cat = RegionCatalog::aws_default();
-        let src = RegionalSource::new(&cat, SyntheticCarbonSource::aws_calibrated(3));
+        let src = RegionalSource::new(&cat, SyntheticCarbonSource::aws_calibrated(3)).unwrap();
         (cat, src)
+    }
+
+    #[test]
+    fn regional_source_rejects_uncovered_zone() {
+        let cat = RegionCatalog::aws_default();
+        // A synthetic source with no profiles covers no catalog zone.
+        let empty = SyntheticCarbonSource::new(Default::default(), 1);
+        let err = RegionalSource::new(&cat, empty).unwrap_err();
+        assert!(matches!(err, CarbonError::UnknownZone { .. }), "{err:?}");
     }
 
     #[test]
@@ -261,10 +340,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn table_source_missing_region_panics() {
+    fn table_source_missing_region_is_a_typed_error() {
         let t = TableSource::new();
-        t.intensity(RegionId(5), 0.0);
+        let err = t.try_intensity(RegionId(5), 0.0).unwrap_err();
+        assert_eq!(
+            err,
+            CarbonError::UncoveredRegion {
+                region: RegionId(5)
+            }
+        );
+        assert!(err.to_string().contains("no carbon series"));
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn table_source_missing_region_release_fallback_is_mean_of_means() {
+        let mut t = TableSource::new();
+        t.insert(RegionId(0), CarbonSeries::new(0, vec![100.0, 200.0]));
+        t.insert(RegionId(1), CarbonSeries::new(0, vec![300.0]));
+        // (150 + 300) / 2
+        assert_eq!(t.intensity(RegionId(9), 0.0), 225.0);
     }
 
     #[test]
@@ -295,7 +390,13 @@ mod tests {
         )
         .unwrap();
         let err = TableSource::from_csv_dir(&dir, &cat).unwrap_err();
-        assert!(err.contains("unknown region"), "{err}");
+        assert_eq!(
+            err,
+            CarbonError::UnknownRegionName {
+                name: "atlantis-1".into()
+            }
+        );
+        assert!(err.to_string().contains("unknown region"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -334,6 +435,20 @@ mod tests {
         }
         mape /= 24.0;
         assert!(mape < 0.25, "MAPE {mape}");
+    }
+
+    #[test]
+    fn forecast_uncovered_region_is_a_typed_error() {
+        let (cat, src) = regional();
+        let r = cat.id_of("us-east-1").unwrap();
+        let other = cat.id_of("ca-central-1").unwrap();
+        let f = ForecastingSource::fit(&src, &[r], 24.0 * 10.0, 24);
+        // Past queries are answered from the actual source even for
+        // regions outside the fitted set.
+        assert!(f.try_intensity(other, 1.0).is_ok());
+        let err = f.try_intensity(other, 24.0 * 10.0 + 1.0).unwrap_err();
+        assert_eq!(err, CarbonError::ForecastNotCovered { region: other });
+        assert!(err.to_string().contains("not covered"));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::collections::HashMap;
 use caribou_model::rng::Pcg32;
 use serde::{Deserialize, Serialize};
 
+use crate::error::CarbonError;
 use crate::series::CarbonSeries;
 
 /// Shape and level parameters for one electrical grid.
@@ -262,17 +263,23 @@ impl SyntheticCarbonSource {
     }
 
     /// Carbon intensity of a zone at fractional `hour` since the epoch,
-    /// gCO₂eq/kWh.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an unknown zone; callers resolve zones via the region
-    /// catalog, whose zones are all present in the calibrated profile set.
-    pub fn zone_intensity(&self, zone: &str, hour: f64) -> f64 {
+    /// gCO₂eq/kWh. Unknown zones return the typed
+    /// [`CarbonError::UnknownZone`] — callers resolving zones from user
+    /// input surface it; adapters that validated coverage up front use
+    /// [`SyntheticCarbonSource::profile_intensity`] on the hot path.
+    pub fn zone_intensity(&self, zone: &str, hour: f64) -> Result<f64, CarbonError> {
         let p = self
             .profiles
             .get(zone)
-            .unwrap_or_else(|| panic!("unknown grid zone `{zone}`"));
+            .ok_or_else(|| CarbonError::UnknownZone { zone: zone.into() })?;
+        Ok(self.profile_intensity(p, zone, hour))
+    }
+
+    /// Intensity for an already-resolved profile: the infallible hot path
+    /// behind [`SyntheticCarbonSource::zone_intensity`]. The `zone` name
+    /// only seeds the deterministic noise stream, so profile and name must
+    /// come from the same resolution.
+    pub fn profile_intensity(&self, p: &GridProfile, zone: &str, hour: f64) -> f64 {
         let local = hour + p.utc_offset;
         let local_hod = local.rem_euclid(24.0);
 
@@ -304,11 +311,20 @@ impl SyntheticCarbonSource {
     }
 
     /// Materializes an hourly series for a zone.
-    pub fn zone_series(&self, zone: &str, start_hour: i64, hours: usize) -> CarbonSeries {
+    pub fn zone_series(
+        &self,
+        zone: &str,
+        start_hour: i64,
+        hours: usize,
+    ) -> Result<CarbonSeries, CarbonError> {
+        let p = self
+            .profiles
+            .get(zone)
+            .ok_or_else(|| CarbonError::UnknownZone { zone: zone.into() })?;
         let values = (0..hours)
-            .map(|i| self.zone_intensity(zone, (start_hour + i as i64) as f64 + 0.5))
+            .map(|i| self.profile_intensity(p, zone, (start_hour + i as i64) as f64 + 0.5))
             .collect();
-        CarbonSeries::new(start_hour, values)
+        Ok(CarbonSeries::new(start_hour, values))
     }
 }
 
@@ -323,7 +339,7 @@ mod tests {
     }
 
     fn mean_over(src: &SyntheticCarbonSource, zone: &str, hours: usize) -> f64 {
-        src.zone_series(zone, 0, hours).mean()
+        src.zone_series(zone, 0, hours).unwrap().mean()
     }
 
     #[test]
@@ -361,8 +377,12 @@ mod tests {
         let mut night = 0.0;
         for d in 0..7 {
             // Local 13:00 is UTC 21:00; local 02:00 is UTC 10:00.
-            day += s.zone_intensity("US-CAL-CISO", d as f64 * 24.0 + 21.0);
-            night += s.zone_intensity("US-CAL-CISO", d as f64 * 24.0 + 10.0);
+            day += s
+                .zone_intensity("US-CAL-CISO", d as f64 * 24.0 + 21.0)
+                .unwrap();
+            night += s
+                .zone_intensity("US-CAL-CISO", d as f64 * 24.0 + 10.0)
+                .unwrap();
         }
         assert!(night > day * 1.3, "day {day} night {night}");
     }
@@ -370,7 +390,7 @@ mod tests {
     #[test]
     fn quebec_is_flat() {
         let s = source();
-        let series = s.zone_series("CA-QC", 0, WEEK_H);
+        let series = s.zone_series("CA-QC", 0, WEEK_H).unwrap();
         let rel_spread = (series.max() - series.min()) / series.mean();
         assert!(rel_spread < 0.6, "spread {rel_spread}");
     }
@@ -381,8 +401,8 @@ mod tests {
         let b = SyntheticCarbonSource::aws_calibrated(7);
         for h in 0..100 {
             assert_eq!(
-                a.zone_intensity("US-MIDA-PJM", h as f64),
-                b.zone_intensity("US-MIDA-PJM", h as f64)
+                a.zone_intensity("US-MIDA-PJM", h as f64).unwrap(),
+                b.zone_intensity("US-MIDA-PJM", h as f64).unwrap()
             );
         }
     }
@@ -391,8 +411,8 @@ mod tests {
     fn different_seed_changes_noise_not_mean() {
         let a = SyntheticCarbonSource::aws_calibrated(7);
         let b = SyntheticCarbonSource::aws_calibrated(8);
-        let va = a.zone_intensity("US-MIDA-PJM", 10.0);
-        let vb = b.zone_intensity("US-MIDA-PJM", 10.0);
+        let va = a.zone_intensity("US-MIDA-PJM", 10.0).unwrap();
+        let vb = b.zone_intensity("US-MIDA-PJM", 10.0).unwrap();
         assert_ne!(va, vb);
         let ma = mean_over(&a, "US-MIDA-PJM", 8 * WEEK_H);
         let mb = mean_over(&b, "US-MIDA-PJM", 8 * WEEK_H);
@@ -404,7 +424,7 @@ mod tests {
         let s = source();
         for zone in ["US-MIDA-PJM", "US-CAL-CISO", "CA-QC", "IE", "BR-CS"] {
             for h in 0..WEEK_H {
-                assert!(s.zone_intensity(zone, h as f64) > 0.0);
+                assert!(s.zone_intensity(zone, h as f64).unwrap() > 0.0);
             }
         }
     }
@@ -419,16 +439,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn unknown_zone_panics() {
-        source().zone_intensity("XX-NOWHERE", 0.0);
+    fn unknown_zone_is_a_typed_error() {
+        let err = source().zone_intensity("XX-NOWHERE", 0.0).unwrap_err();
+        assert_eq!(
+            err,
+            CarbonError::UnknownZone {
+                zone: "XX-NOWHERE".into()
+            }
+        );
+        assert!(err.to_string().contains("XX-NOWHERE"));
+        assert!(source().zone_series("XX-NOWHERE", 0, 4).is_err());
     }
 
     #[test]
     fn diurnal_pattern_repeats_daily() {
         // Autocorrelation at lag 24 h should be clearly positive for PJM.
         let s = source();
-        let series = s.zone_series("US-MIDA-PJM", 0, 14 * 24);
+        let series = s.zone_series("US-MIDA-PJM", 0, 14 * 24).unwrap();
         let v = &series.values;
         let mean = series.mean();
         let mut num = 0.0;

@@ -20,9 +20,11 @@
 
 use std::process::ExitCode;
 
+use caribou_carbon::error::CarbonError;
 use caribou_carbon::source::{CarbonDataSource, ForecastingSource, RegionalSource};
 use caribou_carbon::synth::SyntheticCarbonSource;
 use caribou_core::framework::{Caribou, CaribouConfig};
+use caribou_core::loadgen::{run_loadgen, LoadgenConfig};
 use caribou_exec::engine::WorkflowApp;
 use caribou_metrics::carbonmodel::{CarbonModel, TransmissionScenario};
 use caribou_metrics::costmodel::CostModel;
@@ -37,6 +39,7 @@ use caribou_solver::engine::EvalEngine;
 use caribou_solver::hbss::HbssSolver;
 use caribou_solver::hourly::solve_hourly_with;
 use caribou_solver::pool;
+use caribou_workloads::arrivals::ArrivalProcess;
 use caribou_workloads::benchmarks::{all_benchmarks, Benchmark, InputSize};
 use caribou_workloads::traces::uniform_trace;
 
@@ -48,14 +51,52 @@ USAGE:
     caribou manifest validate <file.json>
     caribou manifest example
     caribou carbon <region> [--hours N]
+    caribou carbon --zone <grid-zone> [--hours N]
     caribou plan <benchmark> [--input small|large] [--hour H] [--worst-case]
                  [--hourly] [--workers N]
     caribou simulate <benchmark> [--input small|large] [--days D] [--per-day N] [--worst-case]
                      [--telemetry <out.jsonl>] [--workers N] [--json]
+    caribou loadgen <benchmark> [--invocations N] [--seed S] [--workers N]
+                    [--arrival poisson|diurnal|bursty] [--rate PER_S]
+                    [--input small|large] [--worst-case] [--telemetry <out.jsonl>]
     caribou chaos [--seed N] [--requests N] [--duration-s S] [--drop P]
                   [--no-breaker] [--seeds K] [--workers N] [--json]
     caribou trace <journal.jsonl> [--limit N]
 ";
+
+/// A CLI failure: a one-line message plus the process exit code.
+///
+/// Bad input data (unknown regions or grid zones, unreadable carbon CSVs)
+/// exits 2, distinguishing it from usage errors and simulation failures
+/// (exit 1) so scripts can react differently.
+struct CliError {
+    message: String,
+    exit: u8,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError { message, exit: 1 }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError {
+            message: message.to_string(),
+            exit: 1,
+        }
+    }
+}
+
+impl From<CarbonError> for CliError {
+    fn from(e: CarbonError) -> Self {
+        CliError {
+            message: e.to_string(),
+            exit: 2,
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,19 +106,20 @@ fn main() -> ExitCode {
         Some("carbon") => cmd_carbon(&args[1..]),
         Some("plan") => cmd_plan(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}").into()),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message);
+            ExitCode::from(e.exit)
         }
     }
 }
@@ -136,7 +178,7 @@ fn find_benchmark(name: &str, input: InputSize) -> Result<Benchmark, String> {
         .ok_or_else(|| format!("unknown benchmark `{name}` (try `caribou benchmarks`)"))
 }
 
-fn cmd_benchmarks() -> Result<(), String> {
+fn cmd_benchmarks() -> Result<(), CliError> {
     println!(
         "{:<24}{:<24}{:>7}{:>7}{:>6}{:>6}",
         "name", "id", "nodes", "edges", "sync", "cond"
@@ -159,7 +201,7 @@ fn cmd_benchmarks() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_manifest(args: &[String]) -> Result<(), String> {
+fn cmd_manifest(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
         Some("example") => {
             println!(
@@ -186,17 +228,31 @@ fn cmd_manifest(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn cmd_carbon(args: &[String]) -> Result<(), String> {
-    let region_name = args
-        .first()
-        .ok_or("usage: caribou carbon <region> [--hours N]")?;
+fn cmd_carbon(args: &[String]) -> Result<(), CliError> {
     let hours: usize = flag(args, "--hours")
         .map(|v| v.parse().map_err(|e| format!("--hours: {e}")))
         .transpose()?
         .unwrap_or(48);
+    let synth = SyntheticCarbonSource::aws_calibrated(20231015);
+    if let Some(zone) = flag(args, "--zone") {
+        println!("hour  gCO2eq/kWh   (grid zone {zone})");
+        for h in 0..hours {
+            let v = synth.zone_intensity(zone, h as f64 + 0.5)?;
+            let bar = "#".repeat((v / 12.0) as usize);
+            println!("{h:>4}  {v:>10.1}   {bar}");
+        }
+        return Ok(());
+    }
+    let region_name = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("usage: caribou carbon <region> [--hours N], or --zone <grid-zone>")?;
     let catalog = caribou_model::region::RegionCatalog::aws_default();
-    let region = catalog.resolve(region_name).map_err(|e| e.to_string())?;
-    let source = RegionalSource::new(&catalog, SyntheticCarbonSource::aws_calibrated(20231015));
+    let region = catalog.resolve(region_name).map_err(|e| CliError {
+        message: e.to_string(),
+        exit: 2,
+    })?;
+    let source = RegionalSource::new(&catalog, synth)?;
     println!(
         "hour  gCO2eq/kWh   ({}: grid {})",
         region_name,
@@ -210,7 +266,7 @@ fn cmd_carbon(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_plan(args: &[String]) -> Result<(), String> {
+fn cmd_plan(args: &[String]) -> Result<(), CliError> {
     let name = args
         .first()
         .ok_or("usage: caribou plan <benchmark> [...]")?;
@@ -225,8 +281,8 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
     let carbon = RegionalSource::new(
         &cloud.regions,
         SyntheticCarbonSource::aws_calibrated(20231015),
-    );
-    let home = cloud.region("us-east-1");
+    )?;
+    let home = cloud.region("us-east-1").map_err(|e| e.to_string())?;
     let regions = cloud.regions.evaluation_regions();
     let mut constraints = bench.constraints.clone();
     constraints.tolerances.latency = 0.10;
@@ -322,7 +378,7 @@ fn cmd_plan(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_simulate(args: &[String]) -> Result<(), String> {
+fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
     let name = args
         .first()
         .ok_or("usage: caribou simulate <benchmark> [...]")?;
@@ -341,7 +397,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let carbon = RegionalSource::new(
         &cloud.regions,
         SyntheticCarbonSource::aws_calibrated(20231015),
-    );
+    )?;
     let regions = cloud.regions.evaluation_regions();
     let mut config = CaribouConfig::new(regions, scenario(args));
     if flag(args, "--workers").is_some() {
@@ -353,7 +409,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     constraints.tolerances.cost = 1.0;
     let app = WorkflowApp {
         name: bench.dag.name().to_string(),
-        home: caribou.cloud.region("us-east-1"),
+        home: caribou
+            .cloud
+            .region("us-east-1")
+            .map_err(|e| e.to_string())?,
         dag: bench.dag.clone(),
         profile: bench.profile.clone(),
     };
@@ -434,7 +493,101 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_chaos(args: &[String]) -> Result<(), String> {
+fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
+    let name = args
+        .first()
+        .ok_or("usage: caribou loadgen <benchmark> [...]")?;
+    let input = input_size(args)?;
+    let bench = find_benchmark(name, input)?;
+    let invocations: usize = flag(args, "--invocations")
+        .map(|v| v.parse().map_err(|e| format!("--invocations: {e}")))
+        .transpose()?
+        .unwrap_or(100_000);
+    if invocations == 0 {
+        return Err("--invocations: must be at least 1".into());
+    }
+    let seed: u64 = flag(args, "--seed")
+        .map(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let rate: f64 = flag(args, "--rate")
+        .map(|v| v.parse().map_err(|e| format!("--rate: {e}")))
+        .transpose()?
+        .unwrap_or(100.0);
+    let arrivals = ArrivalProcess::parse(flag(args, "--arrival").unwrap_or("poisson"), rate)?;
+    let config = LoadgenConfig {
+        invocations,
+        seed,
+        workers: workers(args)?,
+        arrivals,
+        scenario: scenario(args),
+    };
+    let telemetry_path = flag(args, "--telemetry");
+    if let Some(path) = telemetry_path {
+        let sink = caribou_telemetry::JsonlSink::create(path)
+            .map_err(|e| format!("--telemetry {path}: {e}"))?;
+        caribou_telemetry::enable(Box::new(sink));
+    }
+    eprintln!(
+        "loadgen: {} x {invocations} invocations, seed {seed}, {} worker(s)...",
+        bench.dag.name(),
+        config.workers
+    );
+    let wall = std::time::Instant::now();
+    let report = run_loadgen(&bench, &config)?;
+    let wall_s = wall.elapsed().as_secs_f64();
+    if telemetry_path.is_some() {
+        caribou_telemetry::finish();
+    }
+
+    // The deterministic summary goes to stdout: identical at any worker
+    // count, so CI can diff a 1-worker run against an N-worker run.
+    let sorted = report.sorted_latencies();
+    println!("benchmark:    {}", bench.dag.name());
+    println!("arrival:      {:?}", config.arrivals);
+    println!("invocations:  {}", report.latencies_s.len());
+    println!(
+        "completed:    {} ({:.2}%)",
+        report.completed,
+        report.completed as f64 / report.latencies_s.len() as f64 * 100.0
+    );
+    println!("failovers:    {}", report.failovers);
+    println!("sim span:     {:.1} s", report.span_s);
+    println!(
+        "latency:      {:.4} s mean / {:.4} s p50 / {:.4} s p95 / {:.4} s p99 / {:.4} s max",
+        report.mean_latency_s(),
+        report.latency_quantile(&sorted, 0.50),
+        report.latency_quantile(&sorted, 0.95),
+        report.latency_quantile(&sorted, 0.99),
+        sorted.last().copied().unwrap_or(0.0)
+    );
+    println!(
+        "carbon:       {:.3} g exec + {:.3} g transmission",
+        report.exec_carbon_g, report.trans_carbon_g
+    );
+    println!("cost:         ${:.4}", report.cost_usd);
+
+    // Perf goes to stderr: wall-clock dependent, excluded from the diff.
+    let throughput = report.latencies_s.len() as f64 / wall_s;
+    eprintln!(
+        "wall: {wall_s:.2} s, throughput: {throughput:.0} inv/s, pool utilization: {:.0}%",
+        report.pool.utilization() * 100.0
+    );
+    match peak_rss_kb() {
+        Some(kb) => eprintln!("peak rss: {:.1} MB", kb as f64 / 1024.0),
+        None => eprintln!("peak rss: unavailable"),
+    }
+    Ok(())
+}
+
+/// Peak resident set size of this process in KiB, from /proc (Linux).
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
     let mut config = caribou_core::ChaosConfig::default();
     if let Some(v) = flag(args, "--seed") {
         config.seed = v.parse().map_err(|e| format!("--seed: {e}"))?;
@@ -517,7 +670,8 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
         Err(format!(
             "{} invariant violation(s) detected",
             report.violations.len()
-        ))
+        )
+        .into())
     }
 }
 
@@ -528,7 +682,7 @@ fn cmd_chaos_sweep(
     args: &[String],
     base: caribou_core::ChaosConfig,
     sweep: usize,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let w = workers(args)?;
     eprintln!(
         "chaos sweep: seeds {}..{} · {} requests over {:.0} s each · {} worker(s)",
@@ -604,11 +758,12 @@ fn cmd_chaos_sweep(
         Err(format!(
             "{} invariant violation(s) detected across the sweep",
             violations.len()
-        ))
+        )
+        .into())
     }
 }
 
-fn cmd_trace(args: &[String]) -> Result<(), String> {
+fn cmd_trace(args: &[String]) -> Result<(), CliError> {
     let path = args
         .first()
         .ok_or("usage: caribou trace <journal.jsonl> [--limit N]")?;
@@ -619,7 +774,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let lines = caribou_telemetry::replay::parse_journal(&text);
     if lines.is_empty() {
-        return Err(format!("{path}: no telemetry records found"));
+        return Err(format!("{path}: no telemetry records found").into());
     }
     print!(
         "{}",

@@ -152,7 +152,9 @@ fn chaos_app(home: RegionId) -> WorkflowApp {
 /// Runs one seeded chaos campaign and returns its report.
 pub fn run_campaign(config: &ChaosConfig) -> ChaosReport {
     let mut cloud = SimCloud::aws(config.seed);
-    let home = cloud.region("us-east-1");
+    let home = cloud
+        .region("us-east-1")
+        .expect("default AWS catalog includes us-east-1");
     let regions = cloud.regions.evaluation_regions();
 
     // Flat carbon: the campaign studies robustness, not carbon.

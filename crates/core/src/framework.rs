@@ -676,7 +676,7 @@ mod tests {
             name: "heavy".into(),
             dag,
             profile,
-            home: cloud.region("us-east-1"),
+            home: cloud.region("us-east-1").unwrap(),
         }
     }
 
@@ -857,7 +857,7 @@ mod tests {
         let app = compute_heavy_app(&fw.cloud);
         let manifest = DeploymentManifest::new("heavy", "0.1", "us-east-1");
         let idx = fw.deploy(app, &manifest, tolerant_constraints(2)).unwrap();
-        let ca = fw.cloud.region("ca-central-1");
+        let ca = fw.cloud.region("ca-central-1").unwrap();
         // Install an offload plan directly, then take the region down.
         let plans = HourlyPlans::daily(DeploymentPlan::uniform(2, ca), 0.0, 1e9);
         Migrator::rollout(&mut fw.cloud, &mut fw.workflows[idx].dep, plans, 0.0).unwrap();

@@ -20,7 +20,10 @@
 //!   learning, solving, migrating, and accounting as it goes;
 //! * [`chaos`] — a seeded randomized fault-campaign harness checking the
 //!   framework's robustness invariants (no invocation lost, routing stays
-//!   deployable, metering stays honest) under composed fault classes.
+//!   deployable, metering stays honest) under composed fault classes;
+//! * [`loadgen`] — the sustained-load harness driving a benchmark DAG
+//!   with seeded open-loop arrivals, sharded across the worker pool with
+//!   bit-identical results at any worker count.
 //!
 //! # Quickstart
 //!
@@ -30,6 +33,7 @@
 pub mod chaos;
 pub mod error;
 pub mod framework;
+pub mod loadgen;
 pub mod manager;
 pub mod migrator;
 pub mod tokens;
@@ -38,6 +42,7 @@ pub mod utility;
 pub use chaos::{ChaosConfig, ChaosReport};
 pub use error::CoreError;
 pub use framework::{Caribou, CaribouConfig, RunReport};
+pub use loadgen::{run_loadgen, LoadReport, LoadgenConfig};
 pub use manager::DeploymentManager;
 pub use migrator::{MigrationReport, Migrator};
 pub use tokens::TokenBucket;

@@ -1,0 +1,282 @@
+//! The sustained-load harness behind `caribou loadgen`.
+//!
+//! Drives a benchmark DAG with N open-loop invocations end-to-end through
+//! the simulated cloud and the execution engine, sharded across the
+//! worker pool in fixed-size chunks so the merged result is bit-identical
+//! at any worker count:
+//!
+//! * arrival times are generated once, up front, from the seeded
+//!   [`ArrivalProcess`] — they are data, not per-worker state;
+//! * invocations are split into [`CHUNK_INVOCATIONS`]-sized chunks; the
+//!   chunk boundaries depend only on N, never on the worker count;
+//! * each chunk runs against its own freshly seeded [`SimCloud`] (seed
+//!   derived from the run seed and the chunk index) with a chunk-local
+//!   RNG stream per invocation, so a chunk's outcomes are a pure function
+//!   of `(seed, chunk index)`;
+//! * chunk results are concatenated and folded in chunk order.
+//!
+//! Each chunk reuses one [`InvocationScratch`] across its invocations, so
+//! the steady-state data plane allocates only the per-invocation log
+//! records (see `engine.alloc_per_invocation`).
+
+use caribou_carbon::source::RegionalSource;
+use caribou_carbon::synth::SyntheticCarbonSource;
+use caribou_carbon::CarbonError;
+use caribou_exec::engine::{ExecutionEngine, InvocationScratch, WorkflowApp};
+use caribou_metrics::carbonmodel::{CarbonModel, TransmissionScenario};
+use caribou_model::plan::DeploymentPlan;
+use caribou_model::rng::{mix64, Pcg32};
+use caribou_simcloud::cloud::SimCloud;
+use caribou_simcloud::orchestration::Orchestrator;
+use caribou_solver::pool::{self, PoolStats};
+use caribou_workloads::arrivals::ArrivalProcess;
+use caribou_workloads::benchmarks::Benchmark;
+
+/// Fixed shard size: chunk boundaries (and therefore results) depend only
+/// on the invocation count, never on the worker count.
+pub const CHUNK_INVOCATIONS: usize = 8192;
+
+/// Configuration for one sustained-load run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Number of invocations to run.
+    pub invocations: usize,
+    /// Root seed: arrivals, per-chunk clouds, and per-invocation RNG
+    /// streams all derive from it.
+    pub seed: u64,
+    /// Worker threads for chunk execution (1 = inline).
+    pub workers: usize,
+    /// Open-loop arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Transmission scenario for carbon accounting.
+    pub scenario: TransmissionScenario,
+}
+
+/// Per-run results: per-invocation sim-time latencies (invocation order)
+/// plus folded aggregates.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// End-to-end sim-time latency of each invocation, in invocation
+    /// (arrival) order.
+    pub latencies_s: Vec<f64>,
+    /// Invocations that completed every live node.
+    pub completed: u64,
+    /// Total mid-flight failovers.
+    pub failovers: u64,
+    /// Total execution carbon, grams.
+    pub exec_carbon_g: f64,
+    /// Total transmission carbon, grams.
+    pub trans_carbon_g: f64,
+    /// Total request cost, USD.
+    pub cost_usd: f64,
+    /// Sim-time span of the arrival sequence, seconds.
+    pub span_s: f64,
+    /// Pooled-buffer growth events summed over all chunks (the
+    /// steady-state allocation telemetry; one small constant per chunk).
+    pub scratch_allocs: u64,
+    /// Worker-pool statistics for the chunk map.
+    pub pool: PoolStats,
+}
+
+impl LoadReport {
+    /// Nearest-rank quantile of the latency distribution, `q` in [0, 1].
+    pub fn latency_quantile(&self, sorted: &[f64], q: f64) -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Latencies sorted ascending, for quantile queries.
+    pub fn sorted_latencies(&self) -> Vec<f64> {
+        let mut v = self.latencies_s.clone();
+        v.sort_by(f64::total_cmp);
+        v
+    }
+
+    /// Mean end-to-end latency, seconds.
+    pub fn mean_latency_s(&self) -> f64 {
+        if self.latencies_s.is_empty() {
+            return 0.0;
+        }
+        self.latencies_s.iter().sum::<f64>() / self.latencies_s.len() as f64
+    }
+}
+
+#[derive(Debug, Default)]
+struct ChunkOut {
+    latencies_s: Vec<f64>,
+    completed: u64,
+    failovers: u64,
+    exec_carbon_g: f64,
+    trans_carbon_g: f64,
+    cost_usd: f64,
+    scratch_allocs: u64,
+}
+
+/// Runs the sustained-load harness and returns the merged report.
+///
+/// The report is a pure function of `(config.invocations, config.seed,
+/// config.arrivals, config.scenario, bench)` — the worker count changes
+/// only wall-clock time, never a single bit of the result.
+pub fn run_loadgen(bench: &Benchmark, config: &LoadgenConfig) -> Result<LoadReport, CarbonError> {
+    // One template cloud resolves the home region and validates the
+    // carbon calibration once; per-chunk clouds share its catalog shape.
+    let template = SimCloud::aws(config.seed);
+    let home = template
+        .region("us-east-1")
+        .expect("the default catalog includes us-east-1");
+    let carbon = RegionalSource::new(
+        &template.regions,
+        SyntheticCarbonSource::aws_calibrated(20231015),
+    )?;
+    let app = WorkflowApp {
+        name: bench.dag.name().to_string(),
+        dag: bench.dag.clone(),
+        profile: bench.profile.clone(),
+        home,
+    };
+    let plan = DeploymentPlan::uniform(app.dag.node_count(), home);
+    let engine = ExecutionEngine {
+        carbon_source: &carbon,
+        carbon_model: CarbonModel::new(config.scenario),
+        orchestrator: Orchestrator::Caribou,
+    };
+
+    let n = config.invocations;
+    let arrivals = config
+        .arrivals
+        .generate(n, &mut Pcg32::seed_stream(config.seed, 0xA11));
+    let span_s = arrivals.last().copied().unwrap_or(0.0);
+
+    let chunks = n.div_ceil(CHUNK_INVOCATIONS);
+    let run_chunk = |chunk: usize| -> ChunkOut {
+        let lo = chunk * CHUNK_INVOCATIONS;
+        let hi = (lo + CHUNK_INVOCATIONS).min(n);
+        // The chunk's cloud seed depends only on (run seed, chunk index):
+        // worker threads never share mutable simulation state.
+        let mut cloud = SimCloud::aws(mix64(config.seed ^ (chunk as u64).wrapping_mul(0x9E37)));
+        engine.provision(&mut cloud, &app, &plan);
+        let mut scratch = InvocationScratch::new();
+        let mut out = ChunkOut {
+            latencies_s: Vec::with_capacity(hi - lo),
+            ..ChunkOut::default()
+        };
+        for (g, &arrival) in arrivals.iter().enumerate().take(hi).skip(lo) {
+            let mut rng = Pcg32::seed_stream(config.seed, 1 + g as u64);
+            let o = engine.invoke_with_scratch(
+                &mut cloud,
+                &app,
+                &plan,
+                g as u64,
+                arrival,
+                &mut rng,
+                &mut scratch,
+            );
+            out.latencies_s.push(o.e2e_latency_s);
+            out.completed += u64::from(o.completed);
+            out.failovers += u64::from(o.failovers);
+            out.exec_carbon_g += o.exec_carbon_g;
+            out.trans_carbon_g += o.trans_carbon_g;
+            out.cost_usd += o.cost_usd;
+        }
+        out.scratch_allocs = scratch.allocs();
+        out
+    };
+
+    let (outs, stats) = pool::map_indexed(config.workers, chunks, run_chunk);
+
+    let mut report = LoadReport {
+        latencies_s: Vec::with_capacity(n),
+        completed: 0,
+        failovers: 0,
+        exec_carbon_g: 0.0,
+        trans_carbon_g: 0.0,
+        cost_usd: 0.0,
+        span_s,
+        scratch_allocs: 0,
+        pool: stats,
+    };
+    // Fold in chunk order: f64 summation order is part of the
+    // bit-reproducibility contract.
+    for c in outs {
+        report.latencies_s.extend_from_slice(&c.latencies_s);
+        report.completed += c.completed;
+        report.failovers += c.failovers;
+        report.exec_carbon_g += c.exec_carbon_g;
+        report.trans_carbon_g += c.trans_carbon_g;
+        report.cost_usd += c.cost_usd;
+        report.scratch_allocs += c.scratch_allocs;
+    }
+    if caribou_telemetry::is_enabled() {
+        caribou_telemetry::count("loadgen.invocations", report.latencies_s.len() as u64);
+        caribou_telemetry::count("loadgen.chunks", chunks as u64);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caribou_workloads::benchmarks::{text2speech_censoring, InputSize};
+
+    fn config(n: usize, workers: usize) -> LoadgenConfig {
+        LoadgenConfig {
+            invocations: n,
+            seed: 42,
+            workers,
+            arrivals: ArrivalProcess::Poisson { rate_per_s: 5.0 },
+            scenario: TransmissionScenario::BEST,
+        }
+    }
+
+    #[test]
+    fn report_is_worker_count_invariant() {
+        let bench = text2speech_censoring(InputSize::Small);
+        let a = run_loadgen(&bench, &config(300, 1)).unwrap();
+        let b = run_loadgen(&bench, &config(300, 3)).unwrap();
+        assert_eq!(a.latencies_s.len(), 300);
+        for (x, y) in a.latencies_s.iter().zip(&b.latencies_s) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.failovers, b.failovers);
+        assert_eq!(a.exec_carbon_g.to_bits(), b.exec_carbon_g.to_bits());
+        assert_eq!(a.trans_carbon_g.to_bits(), b.trans_carbon_g.to_bits());
+        assert_eq!(a.cost_usd.to_bits(), b.cost_usd.to_bits());
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let r = LoadReport {
+            latencies_s: vec![4.0, 1.0, 3.0, 2.0],
+            completed: 4,
+            failovers: 0,
+            exec_carbon_g: 0.0,
+            trans_carbon_g: 0.0,
+            cost_usd: 0.0,
+            span_s: 0.0,
+            scratch_allocs: 0,
+            pool: PoolStats::default(),
+        };
+        let sorted = r.sorted_latencies();
+        assert_eq!(r.latency_quantile(&sorted, 0.5), 2.0);
+        assert_eq!(r.latency_quantile(&sorted, 0.99), 4.0);
+        assert_eq!(r.latency_quantile(&sorted, 0.0), 1.0);
+        assert_eq!(r.mean_latency_s(), 2.5);
+    }
+
+    #[test]
+    fn loadgen_counts_invocations_in_telemetry() {
+        caribou_telemetry::enable(Box::new(caribou_telemetry::NullSink));
+        let bench = text2speech_censoring(InputSize::Small);
+        run_loadgen(&bench, &config(50, 1)).unwrap();
+        let finished = caribou_telemetry::finish().expect("session active");
+        assert_eq!(finished.recorder.counter("loadgen.invocations"), 50);
+        assert_eq!(finished.recorder.counter("loadgen.chunks"), 1);
+        // The pooled engine path ran: warm steady state allocates only the
+        // caller-owned log records.
+        assert_eq!(finished.recorder.gauges["engine.alloc_per_invocation"], 2.0);
+    }
+}

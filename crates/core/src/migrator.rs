@@ -191,7 +191,7 @@ mod tests {
             name: "wf".into(),
             dag,
             profile,
-            home: cloud.region("us-east-1"),
+            home: cloud.region("us-east-1").unwrap(),
         };
         let manifest = DeploymentManifest::new("wf", "0.1", "us-east-1");
         DeploymentUtility::deploy_initial(cloud, app, &manifest).unwrap()
@@ -211,7 +211,7 @@ mod tests {
     fn rollout_deploys_and_activates() {
         let mut cloud = SimCloud::aws(1);
         let mut wf = deployed(&mut cloud);
-        let ca = cloud.region("ca-central-1");
+        let ca = cloud.region("ca-central-1").unwrap();
         let report = Migrator::rollout(&mut cloud, &mut wf, plans_using(ca, 1e9), 10.0).unwrap();
         assert!(report.activated);
         assert_eq!(report.newly_deployed, vec![ca]);
@@ -226,7 +226,7 @@ mod tests {
     fn second_rollout_to_same_region_copies_nothing() {
         let mut cloud = SimCloud::aws(2);
         let mut wf = deployed(&mut cloud);
-        let ca = cloud.region("ca-central-1");
+        let ca = cloud.region("ca-central-1").unwrap();
         Migrator::rollout(&mut cloud, &mut wf, plans_using(ca, 1e9), 10.0).unwrap();
         let report = Migrator::rollout(&mut cloud, &mut wf, plans_using(ca, 2e9), 20.0).unwrap();
         assert!(report.activated);
@@ -238,7 +238,7 @@ mod tests {
     fn failed_rollout_falls_back_home_and_retains_pending() {
         let mut cloud = SimCloud::aws(3);
         let mut wf = deployed(&mut cloud);
-        let ca = cloud.region("ca-central-1");
+        let ca = cloud.region("ca-central-1").unwrap();
         cloud.set_faults(FaultPlan::none().with_outage(ca, 0.0, 1000.0));
         let err = Migrator::rollout(&mut cloud, &mut wf, plans_using(ca, 1e9), 10.0);
         assert!(matches!(err, Err(CoreError::DeploymentFailed { .. })));
@@ -254,7 +254,7 @@ mod tests {
     fn expired_pending_plan_is_dropped() {
         let mut cloud = SimCloud::aws(4);
         let mut wf = deployed(&mut cloud);
-        let ca = cloud.region("ca-central-1");
+        let ca = cloud.region("ca-central-1").unwrap();
         cloud.set_faults(FaultPlan::none().with_outage(ca, 0.0, 1000.0));
         let _ = Migrator::rollout(&mut cloud, &mut wf, plans_using(ca, 500.0), 10.0);
         assert!(wf.pending.is_some());
@@ -280,8 +280,8 @@ mod tests {
     fn failed_rollout_reports_partial_progress() {
         let mut cloud = SimCloud::aws(6);
         let mut wf = deployed(&mut cloud);
-        let west = cloud.region("us-west-1");
-        let ca = cloud.region("ca-central-1");
+        let west = cloud.region("us-west-1").unwrap();
+        let ca = cloud.region("ca-central-1").unwrap();
         // regions_used() is sorted, so us-west-1 (2) deploys before
         // ca-central-1 (4) — and only the latter is down.
         cloud.set_faults(FaultPlan::none().with_outage(ca, 0.0, 1000.0));
@@ -303,8 +303,8 @@ mod tests {
     fn retry_after_partial_failure_does_not_recopy_images() {
         let mut cloud = SimCloud::aws(7);
         let mut wf = deployed(&mut cloud);
-        let west = cloud.region("us-west-1");
-        let ca = cloud.region("ca-central-1");
+        let west = cloud.region("us-west-1").unwrap();
+        let ca = cloud.region("ca-central-1").unwrap();
         cloud.set_faults(FaultPlan::none().with_outage(ca, 0.0, 1000.0));
         let _ = Migrator::rollout(&mut cloud, &mut wf, plans_split(west, ca, 1e9), 10.0);
         // Outage over: the retry deploys only the region that failed.
@@ -321,7 +321,7 @@ mod tests {
         caribou_telemetry::enable(Box::new(caribou_telemetry::MemorySink::default()));
         let mut cloud = SimCloud::aws(8);
         let mut wf = deployed(&mut cloud);
-        let ca = cloud.region("ca-central-1");
+        let ca = cloud.region("ca-central-1").unwrap();
         cloud.set_faults(FaultPlan::none().with_outage(ca, 0.0, 1000.0));
         let _ = Migrator::rollout(&mut cloud, &mut wf, plans_using(ca, 500.0), 10.0);
         assert!(Migrator::retry_pending(&mut cloud, &mut wf, 2000.0).is_none());

@@ -148,7 +148,7 @@ mod tests {
             name: "wf".into(),
             dag,
             profile,
-            home: cloud.region("us-east-1"),
+            home: cloud.region("us-east-1").unwrap(),
         }
     }
 

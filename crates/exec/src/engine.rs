@@ -23,6 +23,8 @@ use caribou_simcloud::meter::UsageMeter;
 use caribou_simcloud::orchestration::Orchestrator;
 use caribou_simcloud::pubsub::{Delivery, DeliveryStatus, TopicKey};
 
+use std::fmt::Write as _;
+
 use crate::outcome::ExecutionOutcome;
 
 /// A deployable workflow application: DAG, profile, and home region.
@@ -72,6 +74,103 @@ impl EdgeState {
     }
 }
 
+/// Zero bytes backing simulated small-payload KV items: the engine only
+/// models payload *sizes*, so every invocation can share one static
+/// buffer instead of allocating a fresh `Vec` per intermediate write.
+static ZERO_PAYLOAD: [u8; 4096] = [0u8; 4096];
+
+/// Reusable per-invocation buffers.
+///
+/// One invocation needs a handful of DAG-sized vectors, an event queue,
+/// and scratch strings for topic names and KV keys. Allocating them fresh
+/// for every invocation dominates the allocation profile under sustained
+/// load (`caribou loadgen`), so callers that execute many invocations
+/// hold one `InvocationScratch` and pass it to
+/// [`ExecutionEngine::invoke_with_scratch`]; buffers are cleared, not
+/// dropped, between invocations. [`ExecutionEngine::invoke`] builds a
+/// throwaway scratch to keep the one-shot API unchanged.
+#[derive(Debug)]
+pub struct InvocationScratch {
+    overrides: Vec<Option<RegionId>>,
+    edge_state: Vec<EdgeState>,
+    node_started: Vec<bool>,
+    node_dead: Vec<bool>,
+    finish: Vec<f64>,
+    queue: EventQueue<NodeId>,
+    batch: Vec<NodeId>,
+    topic: TopicKey,
+    key: String,
+    table: String,
+    allocs: u64,
+    invocations: u64,
+}
+
+impl Default for InvocationScratch {
+    fn default() -> Self {
+        InvocationScratch {
+            overrides: Vec::new(),
+            edge_state: Vec::new(),
+            node_started: Vec::new(),
+            node_dead: Vec::new(),
+            finish: Vec::new(),
+            queue: EventQueue::new(),
+            batch: Vec::new(),
+            topic: TopicKey {
+                workflow: String::new(),
+                stage: String::new(),
+                region: RegionId(0),
+            },
+            key: String::new(),
+            table: String::new(),
+            allocs: 0,
+            invocations: 0,
+        }
+    }
+}
+
+impl InvocationScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the buffers for a workflow of `nodes`/`edges` size and
+    /// returns how many of the pooled vectors had to (re)allocate — zero
+    /// once the scratch is warm for a workflow shape.
+    fn prepare(&mut self, nodes: usize, edges: usize) -> u64 {
+        fn refill<T: Clone>(v: &mut Vec<T>, len: usize, val: T, grew: &mut u64) {
+            let cap = v.capacity();
+            v.clear();
+            v.resize(len, val);
+            if v.capacity() != cap {
+                *grew += 1;
+            }
+        }
+        let mut grew = 0u64;
+        refill(&mut self.overrides, nodes, None, &mut grew);
+        refill(&mut self.edge_state, edges, EdgeState::Undecided, &mut grew);
+        refill(&mut self.node_started, nodes, false, &mut grew);
+        refill(&mut self.node_dead, nodes, false, &mut grew);
+        refill(&mut self.finish, nodes, 0.0, &mut grew);
+        self.queue.clear();
+        self.batch.clear();
+        self.invocations += 1;
+        self.allocs += grew;
+        grew
+    }
+
+    /// Pooled-buffer growth events since creation. Warm steady state
+    /// grows nothing, so this stays at the first invocation's count.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Invocations served by this scratch.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+}
+
 struct InvocationCtx<'c, 'a, S: CarbonDataSource> {
     engine: &'c ExecutionEngine<'a, S>,
     cloud: &'c mut SimCloud,
@@ -85,19 +184,14 @@ struct InvocationCtx<'c, 'a, S: CarbonDataSource> {
     exec_carbon: f64,
     trans_carbon: f64,
     completed: bool,
-    /// Per-node region override installed by mid-flight failover (§6.1):
-    /// when set, the node runs in that region instead of the plan's.
-    overrides: Vec<Option<RegionId>>,
     /// Number of nodes re-routed to the home deployment this invocation.
     failovers: u32,
     /// First region observed failing (outage, partition, or dead-letter
     /// target); feeds the router's per-region circuit breaker.
     failed_region: Option<RegionId>,
-    edge_state: Vec<EdgeState>,
-    node_started: Vec<bool>,
-    node_dead: Vec<bool>,
-    finish: Vec<f64>,
-    queue: EventQueue<NodeId>,
+    /// Pooled buffers (region overrides, edge/node state, event queue,
+    /// topic/key strings), prepared by the caller.
+    scratch: &'c mut InvocationScratch,
     node_records: Vec<NodeRecord>,
     edge_records: Vec<EdgeRecord>,
 }
@@ -127,6 +221,10 @@ impl<S: CarbonDataSource> ExecutionEngine<'_, S> {
 
     /// Executes one invocation under `plan` starting at simulation time
     /// `at_s`, returning the outcome and its log.
+    ///
+    /// Builds throwaway scratch buffers; callers running many invocations
+    /// should hold an [`InvocationScratch`] and use
+    /// [`ExecutionEngine::invoke_with_scratch`] instead.
     pub fn invoke(
         &self,
         cloud: &mut SimCloud,
@@ -136,6 +234,24 @@ impl<S: CarbonDataSource> ExecutionEngine<'_, S> {
         at_s: f64,
         rng: &mut Pcg32,
     ) -> ExecutionOutcome {
+        let mut scratch = InvocationScratch::new();
+        self.invoke_with_scratch(cloud, app, plan, inv_id, at_s, rng, &mut scratch)
+    }
+
+    /// [`ExecutionEngine::invoke`] with caller-pooled buffers: identical
+    /// results, but the per-invocation vectors, event queue, and
+    /// topic/key strings are reused across calls instead of reallocated.
+    #[allow(clippy::too_many_arguments)]
+    pub fn invoke_with_scratch(
+        &self,
+        cloud: &mut SimCloud,
+        app: &WorkflowApp,
+        plan: &DeploymentPlan,
+        inv_id: u64,
+        at_s: f64,
+        rng: &mut Pcg32,
+        scratch: &mut InvocationScratch,
+    ) -> ExecutionOutcome {
         assert_eq!(
             plan.len(),
             app.dag.node_count(),
@@ -143,6 +259,7 @@ impl<S: CarbonDataSource> ExecutionEngine<'_, S> {
         );
         let hour = at_s / 3600.0;
         let n = app.dag.node_count();
+        let grew = scratch.prepare(n, app.dag.edge_count());
         // Windowed faults (partitions, gray failures, throttles) are
         // evaluated at the invocation's start time.
         cloud.set_fault_now(at_s);
@@ -159,14 +276,9 @@ impl<S: CarbonDataSource> ExecutionEngine<'_, S> {
             exec_carbon: 0.0,
             trans_carbon: 0.0,
             completed: true,
-            overrides: vec![None; n],
             failovers: 0,
             failed_region: None,
-            edge_state: vec![EdgeState::Undecided; app.dag.edge_count()],
-            node_started: vec![false; n],
-            node_dead: vec![false; n],
-            finish: vec![0.0; n],
-            queue: EventQueue::new(),
+            scratch,
             node_records: Vec::with_capacity(n),
             edge_records: Vec::with_capacity(app.dag.edge_count()),
         };
@@ -180,6 +292,10 @@ impl<S: CarbonDataSource> ExecutionEngine<'_, S> {
         if caribou_telemetry::is_enabled() {
             caribou_telemetry::event_at(at_s, "exec.invocation", &app.name, e2e);
             caribou_telemetry::span_at("invocation", &app.name, at_s, e2e, inv_id, "invocation");
+            // The two log-record vectors are handed to the caller, so they
+            // are inherently fresh; everything else comes from the scratch.
+            caribou_telemetry::count("engine.scratch_allocs", grew);
+            caribou_telemetry::gauge("engine.alloc_per_invocation", (grew + 2) as f64);
             if !ctx.completed {
                 caribou_telemetry::count("exec.incomplete", 1);
             }
@@ -214,26 +330,32 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
     /// Effective region of a node: the failover override when one was
     /// installed, otherwise the plan's assignment.
     fn region_of(&self, node: NodeId) -> RegionId {
-        self.overrides[node.index()].unwrap_or_else(|| self.plan.region_of(node))
+        self.scratch.overrides[node.index()].unwrap_or_else(|| self.plan.region_of(node))
     }
 
-    fn topic(&self, node: NodeId) -> TopicKey {
-        TopicKey {
-            workflow: self.app.name.clone(),
-            stage: self.app.dag.node(node).name.clone(),
-            region: self.region_of(node),
-        }
+    /// Rebuilds the pooled topic key for `node` in place: same value a
+    /// fresh `TopicKey` would have, no workflow/stage string allocations.
+    fn set_topic(&mut self, node: NodeId) {
+        let region = self.region_of(node);
+        let topic = &mut self.scratch.topic;
+        topic.workflow.clear();
+        topic.workflow.push_str(&self.app.name);
+        topic.stage.clear();
+        topic.stage.push_str(&self.app.dag.node(node).name);
+        topic.region = region;
     }
 
     /// Publishes the invocation message for `node` from `from`, metering
     /// the publish (rejected topic-missing calls are not billed).
     fn publish_to(&mut self, node: NodeId, from: RegionId, payload_bytes: f64) -> Delivery {
-        let topic = self.topic(node);
-        let lm = latency_clone(self.cloud);
-        let delivery = self
-            .cloud
-            .pubsub
-            .publish(&topic, from, payload_bytes, &lm, self.rng);
+        self.set_topic(node);
+        let delivery = self.cloud.pubsub.publish(
+            &self.scratch.topic,
+            from,
+            payload_bytes,
+            &self.cloud.latency,
+            self.rng,
+        );
         if delivery.status != DeliveryStatus::TopicMissing {
             self.meter.record_sns(from);
         }
@@ -260,7 +382,7 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
         if self.region_of(node) == home || self.cloud.faults.region_down(home, self.at_s + t) {
             return None;
         }
-        self.overrides[node.index()] = Some(home);
+        self.scratch.overrides[node.index()] = Some(home);
         let delivery = self.publish_to(node, from, payload_bytes);
         if delivery.delivered() {
             self.failovers += 1;
@@ -323,26 +445,35 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
             // home-region metadata table (§6.2: "the initial node ...
             // fetches the current DP from the distributed key-value
             // store"); downstream nodes receive it piggybacked.
-            let lm = latency_clone(self.cloud);
+            self.scratch.key.clear();
+            let _ = write!(self.scratch.key, "plan:{}", self.app.name);
             let access = self.cloud.kv.get(
                 "caribou-meta",
-                &format!("plan:{}", self.app.name),
+                &self.scratch.key,
                 start_region,
-                &lm,
+                &self.cloud.latency,
                 self.rng,
             );
             self.meter.record_kv(start_region, 1, 0);
             t0 += access.latency_s;
         }
 
-        self.queue.push(t0, start);
-        while let Some((t, node)) = self.queue.pop() {
-            self.execute_node(node, t);
+        self.scratch.queue.push(t0, start);
+        // Drain the queue a tick at a time: `pop_batch` hands back every
+        // node scheduled at the earliest simulation time (in insertion
+        // order, matching one-at-a-time pops), amortizing heap traffic
+        // for fan-out stages that land on the same tick.
+        let mut batch = std::mem::take(&mut self.scratch.batch);
+        while let Some(t) = self.scratch.queue.pop_batch(&mut batch) {
+            for &node in &batch {
+                self.execute_node(node, t);
+            }
         }
+        self.scratch.batch = batch;
     }
 
     fn execute_node(&mut self, node: NodeId, mut t: f64) {
-        if std::mem::replace(&mut self.node_started[node.index()], true) {
+        if std::mem::replace(&mut self.scratch.node_started[node.index()], true) {
             return;
         }
         let mut region = self.region_of(node);
@@ -404,8 +535,8 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
         // External data stays at (or close to) the home region; offloaded
         // stages pay the round trip in latency, egress, and carbon (§9.1).
         if region != self.app.home && p.external_data_bytes > 0.0 {
-            let lm = latency_clone(self.cloud);
             let half = p.external_data_bytes / 2.0;
+            let lm = &self.cloud.latency;
             duration += lm.sample_transfer_seconds(region, self.app.home, half, self.rng)
                 + lm.sample_transfer_seconds(self.app.home, region, half, self.rng);
             self.account_transfer(region, self.app.home, half);
@@ -420,7 +551,7 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
             p.cpu_utilization,
             intensity,
         );
-        self.finish[node.index()] = t + duration;
+        self.scratch.finish[node.index()] = t + duration;
         self.node_records.push(NodeRecord {
             node: node.0,
             region,
@@ -442,9 +573,9 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
         }
 
         // Decide and dispatch every outgoing edge.
-        let finish = self.finish[node.index()];
-        let out: Vec<EdgeId> = self.app.dag.out_edges(node).to_vec();
-        for eid in out {
+        let finish = self.scratch.finish[node.index()];
+        for i in 0..self.app.dag.out_edges(node).len() {
+            let eid = self.app.dag.out_edges(node)[i];
             let conditional = self.app.dag.edge(eid).conditional;
             let prob = self.app.profile.edges[eid.index()].probability;
             let taken = if conditional {
@@ -459,7 +590,7 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
     /// Records an edge decision, dispatching the successor invocation or
     /// the skip propagation of §4.
     fn decide_edge(&mut self, eid: EdgeId, taken: bool, t: f64, decider_region: RegionId) {
-        if self.edge_state[eid.index()].is_decided() {
+        if self.scratch.edge_state[eid.index()].is_decided() {
             return;
         }
         let edge = *self.app.dag.edge(eid);
@@ -472,7 +603,6 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
                 .payload_bytes
                 .sample(self.rng);
             let from_region = self.region_of(edge.from);
-            let lm = latency_clone(self.cloud);
 
             // Intermediate data goes to the successor region's storage:
             // the KV table for small payloads, the blob store (with a KV
@@ -487,7 +617,7 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
                 // the invocation message is sent by whichever writer's
                 // annotation lands last (handled in `check_sync`).
                 let decision_t = self.sync_annotate(succ, true, after_write, from_region);
-                self.edge_state[eid.index()] = EdgeState::Decided {
+                self.scratch.edge_state[eid.index()] = EdgeState::Decided {
                     taken: true,
                     at: decision_t,
                     writer: from_region,
@@ -518,7 +648,12 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
                 // First-party orchestration: direct state transition, no
                 // SNS hop.
                 after_write
-                    + lm.sample_transfer_seconds(from_region, succ_region, payload, self.rng)
+                    + self.cloud.latency.sample_transfer_seconds(
+                        from_region,
+                        succ_region,
+                        payload,
+                        self.rng,
+                    )
             } else {
                 // The invocation message itself is small: the data went
                 // through the KV store; the message carries the DP and
@@ -532,7 +667,7 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
                         Some(fo) => after_write + delivery.latency_s + fo.latency_s,
                         None => {
                             self.completed = false;
-                            self.edge_state[eid.index()] = EdgeState::Decided {
+                            self.scratch.edge_state[eid.index()] = EdgeState::Decided {
                                 taken: false,
                                 at: t,
                                 writer: from_region,
@@ -555,7 +690,7 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
             };
 
             let to_region = self.region_of(succ);
-            self.edge_state[eid.index()] = EdgeState::Decided {
+            self.scratch.edge_state[eid.index()] = EdgeState::Decided {
                 taken: true,
                 at: arrival,
                 writer: from_region,
@@ -581,7 +716,7 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
             // The successor's wrapper reads the intermediate data (stored
             // at the originally planned region even after a failover).
             let read_latency = self.load_intermediate(eid, succ_region, to_region);
-            self.queue.push(arrival + read_latency, succ);
+            self.scratch.queue.push(arrival + read_latency, succ);
         } else {
             let from_region = self.region_of(edge.from);
             let decision_t = if is_sync {
@@ -589,7 +724,7 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
             } else {
                 t
             };
-            self.edge_state[eid.index()] = EdgeState::Decided {
+            self.scratch.edge_state[eid.index()] = EdgeState::Decided {
                 taken: false,
                 at: decision_t,
                 writer: decider_region,
@@ -621,32 +756,37 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
         from: RegionId,
         succ_region: RegionId,
     ) -> f64 {
-        let key = format!("inv{}:e{}", self.inv_id, eid.0);
-        let table = format!("caribou-data@{}", succ_region.0);
-        let lm = latency_clone(self.cloud);
+        self.scratch.key.clear();
+        let _ = write!(self.scratch.key, "inv{}:e{}", self.inv_id, eid.0);
+        self.scratch.table.clear();
+        let _ = write!(self.scratch.table, "caribou-data@{}", succ_region.0);
         if payload > caribou_simcloud::blob::BLOB_THRESHOLD_BYTES {
-            let blob = self
-                .cloud
-                .blob
-                .put(succ_region, key.clone(), payload, from, &lm, self.rng);
+            let blob = self.cloud.blob.put(
+                succ_region,
+                self.scratch.key.clone(),
+                payload,
+                from,
+                &self.cloud.latency,
+                self.rng,
+            );
             self.meter.record_blob(succ_region, 0, 1);
             let reference = self.cloud.kv.put(
-                &table,
-                &key,
+                &self.scratch.table,
+                &self.scratch.key,
                 bytes::Bytes::from_static(b"blobref"),
                 from,
-                &lm,
+                &self.cloud.latency,
                 self.rng,
             );
             self.meter.record_kv(succ_region, 0, 1);
             blob.latency_s.max(reference.latency_s)
         } else {
             let write = self.cloud.kv.put(
-                &table,
-                &key,
-                bytes::Bytes::from(vec![0u8; payload.min(4096.0) as usize]),
+                &self.scratch.table,
+                &self.scratch.key,
+                bytes::Bytes::from_static(&ZERO_PAYLOAD[..payload.min(4096.0) as usize]),
                 from,
-                &lm,
+                &self.cloud.latency,
                 self.rng,
             );
             self.meter.record_kv(succ_region, 0, 1);
@@ -660,19 +800,27 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
     /// successor actually runs — they differ after a failover, which then
     /// pays the cross-region read. Returns the read latency.
     fn load_intermediate(&mut self, eid: EdgeId, storage: RegionId, reader: RegionId) -> f64 {
-        let key = format!("inv{}:e{}", self.inv_id, eid.0);
-        let lm = latency_clone(self.cloud);
-        if let Some(blob) = self.cloud.blob.get(storage, &key, reader, &lm, self.rng) {
+        self.scratch.key.clear();
+        let _ = write!(self.scratch.key, "inv{}:e{}", self.inv_id, eid.0);
+        if let Some(blob) = self.cloud.blob.get(
+            storage,
+            &self.scratch.key,
+            reader,
+            &self.cloud.latency,
+            self.rng,
+        ) {
             self.meter.record_blob(storage, 1, 0);
             // The wrapper first read the KV reference.
             self.meter.record_kv(storage, 1, 0);
             return blob.latency_s;
         }
+        self.scratch.table.clear();
+        let _ = write!(self.scratch.table, "caribou-data@{}", storage.0);
         let read = self.cloud.kv.get(
-            &format!("caribou-data@{}", storage.0),
-            &key,
+            &self.scratch.table,
+            &self.scratch.key,
             reader,
-            &lm,
+            &self.cloud.latency,
             self.rng,
         );
         self.meter.record_kv(storage, 1, 0);
@@ -684,19 +832,24 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
     /// completed.
     fn sync_annotate(&mut self, succ: NodeId, taken: bool, t: f64, writer_region: RegionId) -> f64 {
         let succ_region = self.region_of(succ);
-        let sync_table = format!("caribou-sync@{}", succ_region.0);
-        let key = format!("inv{}:n{}", self.inv_id, succ.0);
-        let lm = latency_clone(self.cloud);
-        let update =
-            self.cloud
-                .kv
-                .atomic_update(&sync_table, &key, writer_region, &lm, self.rng, |prev| {
-                    let mut s = prev
-                        .map(|b| String::from_utf8_lossy(b).into_owned())
-                        .unwrap_or_default();
-                    s.push(if taken { '1' } else { '0' });
-                    bytes::Bytes::from(s)
-                });
+        self.scratch.table.clear();
+        let _ = write!(self.scratch.table, "caribou-sync@{}", succ_region.0);
+        self.scratch.key.clear();
+        let _ = write!(self.scratch.key, "inv{}:n{}", self.inv_id, succ.0);
+        let update = self.cloud.kv.atomic_update(
+            &self.scratch.table,
+            &self.scratch.key,
+            writer_region,
+            &self.cloud.latency,
+            self.rng,
+            |prev| {
+                let mut s = prev
+                    .map(|b| String::from_utf8_lossy(b).into_owned())
+                    .unwrap_or_default();
+                s.push(if taken { '1' } else { '0' });
+                bytes::Bytes::from(s)
+            },
+        );
         self.meter.record_kv(succ_region, 1, 1);
         t + update.latency_s
     }
@@ -714,7 +867,7 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
         let in_edges = self.app.dag.in_edges(succ);
         if !in_edges
             .iter()
-            .all(|e| self.edge_state[e.index()].is_decided())
+            .all(|e| self.scratch.edge_state[e.index()].is_decided())
         {
             if telemetry {
                 caribou_telemetry::count("sync.condition_pending", 1);
@@ -725,7 +878,7 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
         let mut last_at = 0.0f64;
         let mut last_writer = self.region_of(succ);
         for e in in_edges {
-            if let EdgeState::Decided { taken, at, writer } = self.edge_state[e.index()] {
+            if let EdgeState::Decided { taken, at, writer } = self.scratch.edge_state[e.index()] {
                 any_taken |= taken;
                 if at >= last_at {
                     last_at = at;
@@ -770,39 +923,31 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
         // storage; after a failover the reads cross regions.
         let reader = self.region_of(succ);
         let mut read_latency: f64 = 0.0;
-        let taken_edges: Vec<EdgeId> = in_edges
-            .iter()
-            .copied()
-            .filter(|e| self.edge_state[e.index()].is_taken())
-            .collect();
-        for e in taken_edges {
-            read_latency = read_latency.max(self.load_intermediate(e, succ_region, reader));
+        for i in 0..self.app.dag.in_edges(succ).len() {
+            let e = self.app.dag.in_edges(succ)[i];
+            if self.scratch.edge_state[e.index()].is_taken() {
+                read_latency = read_latency.max(self.load_intermediate(e, succ_region, reader));
+            }
         }
-        self.queue.push(start_t + read_latency, succ);
+        self.scratch.queue.push(start_t + read_latency, succ);
     }
 
     /// Cascades death: a node none of whose incoming edges fired marks all
     /// of its outgoing edges as not taken (the §4 skip-propagation rule),
     /// which may complete downstream synchronization conditions.
     fn mark_node_dead_downstream(&mut self, node: NodeId, t: f64) {
-        if std::mem::replace(&mut self.node_dead[node.index()], true) {
+        if std::mem::replace(&mut self.scratch.node_dead[node.index()], true) {
             return;
         }
         if caribou_telemetry::is_enabled() {
             caribou_telemetry::count("exec.skip_propagation", 1);
         }
         let region = self.region_of(node);
-        let out: Vec<EdgeId> = self.app.dag.out_edges(node).to_vec();
-        for eid in out {
+        for i in 0..self.app.dag.out_edges(node).len() {
+            let eid = self.app.dag.out_edges(node)[i];
             self.decide_edge(eid, false, t, region);
         }
     }
-}
-
-/// The latency model is read-only but lives inside the mutable cloud;
-/// clone it out to sidestep simultaneous borrows (it is a small value).
-fn latency_clone(cloud: &SimCloud) -> caribou_simcloud::latency::LatencyModel {
-    cloud.latency.clone()
 }
 
 #[cfg(test)]
@@ -845,7 +990,7 @@ mod tests {
             name: "chain".into(),
             dag,
             profile,
-            home: cloud.region("us-east-1"),
+            home: cloud.region("us-east-1").unwrap(),
         }
     }
 
@@ -877,7 +1022,7 @@ mod tests {
             name: "join".into(),
             dag,
             profile,
-            home: cloud.region("us-east-1"),
+            home: cloud.region("us-east-1").unwrap(),
         }
     }
 
@@ -921,7 +1066,7 @@ mod tests {
     fn offloaded_stage_runs_in_its_plan_region() {
         let mut cloud = SimCloud::aws(2);
         let app = chain_app(&cloud);
-        let ca = cloud.region("ca-central-1");
+        let ca = cloud.region("ca-central-1").unwrap();
         let mut plan = DeploymentPlan::uniform(2, app.home);
         plan.set(NodeId(1), ca);
         let out = run(&mut cloud, &app, &plan, 2);
@@ -979,7 +1124,7 @@ mod tests {
             name: "cascade".into(),
             dag,
             profile,
-            home: cloud.region("us-east-1"),
+            home: cloud.region("us-east-1").unwrap(),
         };
         let plan = DeploymentPlan::uniform(3, app.home);
         let out = run(&mut cloud, &app, &plan, 5);
@@ -992,7 +1137,7 @@ mod tests {
     fn region_outage_fails_over_to_home() {
         let mut cloud = SimCloud::aws(6);
         let app = chain_app(&cloud);
-        let ca = cloud.region("ca-central-1");
+        let ca = cloud.region("ca-central-1").unwrap();
         cloud.set_faults(caribou_simcloud::faults::FaultPlan::none().with_outage(ca, 0.0, 1e9));
         let mut plan = DeploymentPlan::uniform(2, app.home);
         plan.set(NodeId(1), ca);
@@ -1026,7 +1171,7 @@ mod tests {
     fn partition_mid_workflow_fails_over_to_home() {
         let mut cloud = SimCloud::aws(25);
         let app = chain_app(&cloud);
-        let ca = cloud.region("ca-central-1");
+        let ca = cloud.region("ca-central-1").unwrap();
         let home = app.home;
         // Home and ca cannot talk; ca itself is healthy. The A→B hop
         // dead-letters and B re-routes home.
@@ -1051,7 +1196,7 @@ mod tests {
         let mut cloud = SimCloud::aws(26);
         cloud.compute.cold_start_prob = 0.0;
         let app = sync_app(&cloud, None);
-        let ca = cloud.region("ca-central-1");
+        let ca = cloud.region("ca-central-1").unwrap();
         cloud.set_faults(caribou_simcloud::faults::FaultPlan::none().with_outage(ca, 0.0, 1e9));
         let mut plan = DeploymentPlan::uniform(4, app.home);
         plan.set(NodeId(3), ca);
@@ -1193,7 +1338,7 @@ mod tests {
             name: "big".into(),
             dag,
             profile,
-            home: cloud.region("us-east-1"),
+            home: cloud.region("us-east-1").unwrap(),
         };
         let plan = DeploymentPlan::uniform(2, app.home);
         let out = run(&mut cloud, &app, &plan, 20);
@@ -1262,5 +1407,127 @@ mod tests {
         // read+write), plus data writes/reads and the plan fetch.
         assert!(after.writes - before.writes >= 2 + 3);
         assert!(after.reads - before.reads > 2);
+    }
+
+    #[test]
+    fn pooled_scratch_matches_one_shot_invoke() {
+        // Same seeds through the pooled and the one-shot entry points must
+        // produce bit-identical outcomes: the loadgen's determinism (and
+        // its 1-vs-N-worker diff) rests on this.
+        let mut fresh_cloud = SimCloud::aws(11);
+        let mut pooled_cloud = SimCloud::aws(11);
+        let app = sync_app(&fresh_cloud, Some(0.5));
+        let plan = DeploymentPlan::uniform(4, app.home);
+        let carbon = carbon_table(&fresh_cloud);
+        let engine = ExecutionEngine {
+            carbon_source: &carbon,
+            carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+            orchestrator: Orchestrator::Caribou,
+        };
+        engine.provision(&mut fresh_cloud, &app, &plan);
+        engine.provision(&mut pooled_cloud, &app, &plan);
+        let mut scratch = InvocationScratch::new();
+        for inv in 0..20u64 {
+            let at = 50.0 + inv as f64 * 30.0;
+            let a = engine.invoke(
+                &mut fresh_cloud,
+                &app,
+                &plan,
+                inv,
+                at,
+                &mut Pcg32::seed(inv ^ 0xC0FFEE),
+            );
+            let b = engine.invoke_with_scratch(
+                &mut pooled_cloud,
+                &app,
+                &plan,
+                inv,
+                at,
+                &mut Pcg32::seed(inv ^ 0xC0FFEE),
+                &mut scratch,
+            );
+            assert_eq!(a.e2e_latency_s.to_bits(), b.e2e_latency_s.to_bits());
+            assert_eq!(a.cost_usd.to_bits(), b.cost_usd.to_bits());
+            assert_eq!(a.exec_carbon_g.to_bits(), b.exec_carbon_g.to_bits());
+            assert_eq!(a.trans_carbon_g.to_bits(), b.trans_carbon_g.to_bits());
+            assert_eq!(a.completed, b.completed);
+            assert_eq!(a.log.nodes, b.log.nodes);
+            assert_eq!(a.log.edges, b.log.edges);
+        }
+        assert_eq!(scratch.invocations(), 20);
+    }
+
+    #[test]
+    fn warm_scratch_stops_growing_buffers() {
+        let mut cloud = SimCloud::aws(12);
+        let app = sync_app(&cloud, None);
+        let plan = DeploymentPlan::uniform(4, app.home);
+        let carbon = carbon_table(&cloud);
+        let engine = ExecutionEngine {
+            carbon_source: &carbon,
+            carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+            orchestrator: Orchestrator::Caribou,
+        };
+        engine.provision(&mut cloud, &app, &plan);
+        let mut rng = Pcg32::seed(99);
+        let mut scratch = InvocationScratch::new();
+        engine.invoke_with_scratch(&mut cloud, &app, &plan, 0, 10.0, &mut rng, &mut scratch);
+        let cold = scratch.allocs();
+        assert!(cold >= 1, "first invocation must size the buffers");
+        for inv in 1..50u64 {
+            engine.invoke_with_scratch(
+                &mut cloud,
+                &app,
+                &plan,
+                inv,
+                10.0 + inv as f64 * 20.0,
+                &mut rng,
+                &mut scratch,
+            );
+        }
+        // Warm steady state reuses every pooled buffer.
+        assert_eq!(scratch.allocs(), cold);
+        assert_eq!(scratch.invocations(), 50);
+    }
+
+    #[test]
+    fn alloc_gauge_reports_warm_steady_state() {
+        caribou_telemetry::enable(Box::new(caribou_telemetry::NullSink));
+        let mut cloud = SimCloud::aws(13);
+        let app = chain_app(&cloud);
+        let plan = DeploymentPlan::uniform(2, app.home);
+        let carbon = carbon_table(&cloud);
+        let engine = ExecutionEngine {
+            carbon_source: &carbon,
+            carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+            orchestrator: Orchestrator::Caribou,
+        };
+        engine.provision(&mut cloud, &app, &plan);
+        let mut rng = Pcg32::seed(7);
+        let mut scratch = InvocationScratch::new();
+        for inv in 0..10u64 {
+            engine.invoke_with_scratch(
+                &mut cloud,
+                &app,
+                &plan,
+                inv,
+                5.0 + inv as f64 * 15.0,
+                &mut rng,
+                &mut scratch,
+            );
+        }
+        let finished = caribou_telemetry::finish().expect("session active");
+        let rec = &finished.recorder;
+        // The gauge holds the last invocation's value: warm steady state
+        // allocates only the two caller-owned log-record vectors.
+        assert_eq!(rec.gauges["engine.alloc_per_invocation"], 2.0);
+        // Pooled-buffer growth all happened on the first invocation; the
+        // counter stops moving once the scratch is warm.
+        let cold_growth = rec.counter("engine.scratch_allocs");
+        assert!(cold_growth >= 1, "first invocation must size the buffers");
+        assert!(
+            cold_growth <= 7,
+            "warm invocations must not grow pooled buffers (saw {cold_growth})"
+        );
     }
 }

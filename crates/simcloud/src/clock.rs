@@ -136,7 +136,25 @@ impl<T> EventQueue<T> {
     }
 
     /// Schedules `payload` at time `t`.
+    ///
+    /// # Invariant
+    ///
+    /// Event times must be finite: the heap orders entries with
+    /// `f64::total_cmp`, under which NaN sorts *after* every number — a
+    /// NaN-timed event would sink to the back of the queue and silently
+    /// reorder the simulation instead of failing. Debug builds assert;
+    /// release builds saturate NaN and `+inf` to `f64::MAX` and `-inf` to
+    /// `f64::MIN`, keeping the ordering total and deterministic.
     pub fn push(&mut self, t: SimTime, payload: T) {
+        debug_assert!(t.is_finite(), "non-finite event time {t}");
+        let t = if t.is_finite() {
+            t
+        } else if t == f64::NEG_INFINITY {
+            f64::MIN
+        } else {
+            // NaN and +inf both clamp to the far future.
+            f64::MAX
+        };
         self.heap.push(HeapEntry {
             time: t,
             seq: self.seq,
@@ -148,6 +166,31 @@ impl<T> EventQueue<T> {
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
         self.heap.pop().map(|e| (e.time, e.payload))
+    }
+
+    /// Drains every event scheduled at exactly the earliest pending time
+    /// into `batch` (in insertion order), returning that time. Same-tick
+    /// fan-outs are delivered with one heap inspection per event instead
+    /// of interleaved peek/pop cycles, and the caller reuses `batch`
+    /// across ticks, so the consumer loop allocates nothing.
+    pub fn pop_batch(&mut self, batch: &mut Vec<T>) -> Option<SimTime> {
+        batch.clear();
+        let t = self.peek_time()?;
+        while let Some(head) = self.heap.peek() {
+            if head.time != t {
+                break;
+            }
+            batch.push(self.heap.pop().expect("peeked entry exists").payload);
+        }
+        Some(t)
+    }
+
+    /// Empties the queue, retaining its allocation for reuse. The
+    /// insertion-order counter restarts, so a cleared queue behaves
+    /// exactly like a fresh one.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
     }
 
     /// Time of the earliest event without removing it.
@@ -226,6 +269,55 @@ mod tests {
         q.push(2.0, 2);
         assert_eq!(q.peek_time(), Some(2.0));
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn queue_pop_batch_groups_same_tick() {
+        let mut q = EventQueue::new();
+        q.push(2.0, "late");
+        q.push(1.0, "a");
+        q.push(1.0, "b");
+        q.push(1.0, "c");
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), Some(1.0));
+        assert_eq!(batch, vec!["a", "b", "c"], "insertion order preserved");
+        assert_eq!(q.pop_batch(&mut batch), Some(2.0));
+        assert_eq!(batch, vec!["late"]);
+        assert_eq!(q.pop_batch(&mut batch), None);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn queue_clear_retains_capacity_and_resets_order() {
+        let mut q = EventQueue::new();
+        q.push(1.0, "a");
+        q.push(2.0, "b");
+        q.clear();
+        assert!(q.is_empty());
+        q.push(5.0, "x");
+        q.push(5.0, "y");
+        assert_eq!(q.pop(), Some((5.0, "x")), "seq restarted");
+        assert_eq!(q.pop(), Some((5.0, "y")));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "non-finite event time"))]
+    fn queue_rejects_non_finite_times() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, "nan");
+        // Release builds clamp instead of scrambling the ordering: the
+        // NaN-timed event saturates to the far future and pops last.
+        q.push(1.0, "now");
+        q.push(f64::INFINITY, "inf");
+        q.push(f64::NEG_INFINITY, "ninf");
+        assert_eq!(q.pop().unwrap().1, "ninf");
+        assert_eq!(q.pop().unwrap().1, "now");
+        let last_two: Vec<&str> = [q.pop().unwrap(), q.pop().unwrap()]
+            .iter()
+            .map(|(_, p)| *p)
+            .collect();
+        assert_eq!(last_two, vec!["nan", "inf"], "clamped ties keep seq order");
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -104,14 +104,13 @@ impl SimCloud {
         self.kv.now_s = now_s;
     }
 
-    /// Resolves a region name.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the name is unknown; experiment setup code uses this
-    /// for fixed, known-good names.
-    pub fn region(&self, name: &str) -> RegionId {
-        self.regions.resolve(name).unwrap_or_else(|e| panic!("{e}"))
+    /// Resolves a region name against the catalog, returning the typed
+    /// [`ModelError::UnknownRegion`](caribou_model::error::ModelError)
+    /// for names the catalog does not know. Callers holding fixed,
+    /// known-good names (tests, experiment setup) unwrap; anything fed
+    /// from user input propagates the error.
+    pub fn region(&self, name: &str) -> Result<RegionId, caribou_model::error::ModelError> {
+        self.regions.resolve(name)
     }
 }
 
@@ -123,8 +122,8 @@ mod tests {
     fn aws_cloud_constructs_consistently() {
         let cloud = SimCloud::aws(42);
         assert!(cloud.regions.len() >= 6);
-        let east = cloud.region("us-east-1");
-        let west = cloud.region("us-west-1");
+        let east = cloud.region("us-east-1").unwrap();
+        let west = cloud.region("us-west-1").unwrap();
         assert!(cloud.latency.rtt(east, west) > 0.02);
         assert!(cloud.pricing.region(east).lambda_gb_second > 0.0);
     }
@@ -142,7 +141,7 @@ mod tests {
     #[test]
     fn fault_plan_and_clock_propagate_to_services() {
         let mut cloud = SimCloud::aws(1);
-        let ca = cloud.region("ca-central-1");
+        let ca = cloud.region("ca-central-1").unwrap();
         cloud.set_faults(FaultPlan::none().with_outage(ca, 10.0, 20.0));
         cloud.set_fault_now(15.0);
         assert!(cloud.pubsub.faults.region_down(ca, cloud.pubsub.now_s));
@@ -152,9 +151,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn unknown_region_panics() {
+    fn unknown_region_is_a_typed_error() {
         let cloud = SimCloud::aws(1);
-        cloud.region("atlantis-1");
+        let err = cloud.region("atlantis-1").unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                caribou_model::error::ModelError::UnknownRegion { name } if name == "atlantis-1"
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("atlantis-1"));
     }
 }

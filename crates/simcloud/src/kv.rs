@@ -64,12 +64,24 @@ pub struct KvStore {
     /// Simulation time used to evaluate windowed faults; positioned via
     /// `SimCloud::set_fault_now`.
     pub now_s: f64,
+    /// Reusable `(table, key)` lookup buffer: point reads and overwrites
+    /// of existing keys allocate nothing (the map only ever owns a key
+    /// string for first-time inserts).
+    lookup: (String, String),
 }
 
 impl KvStore {
     /// Creates an empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rewrites the reusable lookup buffer to `(table, key)`.
+    fn set_lookup(&mut self, table: &str, key: &str) {
+        self.lookup.0.clear();
+        self.lookup.0.push_str(table);
+        self.lookup.1.clear();
+        self.lookup.1.push_str(key);
     }
 
     /// Creates (or re-homes) a table in `home` region.
@@ -137,10 +149,8 @@ impl KvStore {
         latency: &LatencyModel,
         rng: &mut Pcg32,
     ) -> KvAccess {
-        let value = self
-            .data
-            .get(&(table.to_string(), key.to_string()))
-            .cloned();
+        self.set_lookup(table, key);
+        let value = self.data.get(&self.lookup).cloned();
         let size = value.as_ref().map(|v| v.len() as f64).unwrap_or(128.0);
         let latency_s = self.op_latency(table, from, latency, size, rng);
         self.count(table, from, 1, 0);
@@ -158,8 +168,13 @@ impl KvStore {
         rng: &mut Pcg32,
     ) -> KvAccess {
         let latency_s = self.op_latency(table, from, latency, value.len() as f64, rng);
-        self.data
-            .insert((table.to_string(), key.to_string()), value);
+        self.set_lookup(table, key);
+        if let Some(slot) = self.data.get_mut(&self.lookup) {
+            *slot = value;
+        } else {
+            self.data
+                .insert((table.to_string(), key.to_string()), value);
+        }
         self.count(table, from, 0, 1);
         KvAccess {
             value: None,
@@ -189,8 +204,8 @@ impl KvStore {
         rng: &mut Pcg32,
         f: impl FnOnce(Option<&Bytes>) -> Bytes,
     ) -> KvAccess {
-        let entry_key = (table.to_string(), key.to_string());
-        let prev = self.data.get(&entry_key);
+        self.set_lookup(table, key);
+        let prev = self.data.get(&self.lookup);
         if caribou_telemetry::is_enabled() {
             // A read-modify-write over an existing annotation means another
             // writer got there first — the contended case of §4.
@@ -201,7 +216,12 @@ impl KvStore {
         }
         let new = f(prev);
         let size = new.len() as f64;
-        self.data.insert(entry_key, new.clone());
+        if let Some(slot) = self.data.get_mut(&self.lookup) {
+            *slot = new.clone();
+        } else {
+            self.data
+                .insert((table.to_string(), key.to_string()), new.clone());
+        }
         let latency_s = self.op_latency(table, from, latency, size, rng);
         self.count(table, from, 1, 1);
         KvAccess {
@@ -214,13 +234,13 @@ impl KvStore {
     /// whether the write happened (DynamoDB `attribute_not_exists`).
     pub fn put_if_absent(&mut self, table: &str, key: &str, value: Bytes, from: RegionId) -> bool {
         self.count(table, from, 1, 1);
-        let entry_key = (table.to_string(), key.to_string());
-        if let std::collections::hash_map::Entry::Vacant(e) = self.data.entry(entry_key) {
-            e.insert(value);
-            true
-        } else {
-            false
+        self.set_lookup(table, key);
+        if self.data.contains_key(&self.lookup) {
+            return false;
         }
+        self.data
+            .insert((table.to_string(), key.to_string()), value);
+        true
     }
 
     /// Read without latency/billing simulation (framework-internal

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Execution statistics of one pool run, reported by the coordinator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PoolStats {
     /// Worker threads used (1 = ran inline on the caller).
     pub workers: usize,

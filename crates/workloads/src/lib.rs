@@ -17,10 +17,14 @@
 //! [`traces`] provides the uniform invocation pattern used for the
 //! trade-off studies and an Azure-Functions-2021-shaped diurnal trace used
 //! for the continuous evaluations (§9.1 Workload Invocation and Traffic).
+//! [`arrivals`] provides the seeded open-loop arrival processes (Poisson,
+//! diurnal, bursty) behind the `caribou loadgen` sustained-load harness.
 
+pub mod arrivals;
 pub mod benchmarks;
 pub mod traces;
 
+pub use arrivals::ArrivalProcess;
 pub use benchmarks::{
     all_benchmarks, dna_visualization, image_processing, rag_data_ingestion, text2speech_censoring,
     video_analytics, Benchmark, InputSize,

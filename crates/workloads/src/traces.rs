@@ -35,7 +35,7 @@ pub fn uniform_trace(start_s: f64, end_s: f64, per_day: f64) -> Vec<f64> {
 
 /// Relative diurnal rate multiplier (mean 1.0 over a day) shaped like the
 /// Azure Functions 2021 trace: peak in business hours, trough overnight.
-fn diurnal_rate(hour_of_day: f64) -> f64 {
+pub fn diurnal_rate(hour_of_day: f64) -> f64 {
     // Two-harmonic fit; constants chosen to give a ~3:1 peak-to-trough
     // ratio with the peak near 15:00 UTC.
     let w = std::f64::consts::TAU / 24.0;

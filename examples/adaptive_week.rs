@@ -22,7 +22,8 @@ use caribou_workloads::traces::azure_trace;
 
 fn main() {
     let cloud = SimCloud::aws(21);
-    let carbon = RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(21));
+    let carbon =
+        RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(21)).unwrap();
     let regions = cloud.regions.evaluation_regions();
     let mut config = CaribouConfig::new(regions, TransmissionScenario::BEST);
     config.seed = 21;
@@ -34,7 +35,7 @@ fn main() {
     constraints.tolerances.cost = 1.0;
     let app = WorkflowApp {
         name: bench.dag.name().to_string(),
-        home: caribou.cloud.region("us-east-1"),
+        home: caribou.cloud.region("us-east-1").unwrap(),
         dag: bench.dag.clone(),
         profile: bench.profile.clone(),
     };

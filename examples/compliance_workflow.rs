@@ -26,8 +26,9 @@ use caribou_workloads::benchmarks::{text2speech_censoring, InputSize};
 
 fn main() {
     let cloud = SimCloud::aws(7);
-    let carbon = RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(7));
-    let home = cloud.region("us-east-1");
+    let carbon =
+        RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(7)).unwrap();
+    let home = cloud.region("us-east-1").unwrap();
     let regions = cloud.regions.evaluation_regions();
 
     let bench = text2speech_censoring(InputSize::Small);

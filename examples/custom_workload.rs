@@ -84,8 +84,9 @@ fn main() {
     );
 
     let mut cloud = SimCloud::aws(5);
-    let carbon = RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(5));
-    let home = cloud.region("us-east-1");
+    let carbon =
+        RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(5)).unwrap();
+    let home = cloud.region("us-east-1").unwrap();
     let regions = cloud.regions.evaluation_regions();
     let permitted = constraints
         .permitted_regions(&dag, &regions, &cloud.regions, home)

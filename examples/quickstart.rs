@@ -45,7 +45,8 @@ fn main() {
 
     // 2. Stand up the simulated cloud and calibrated carbon data.
     let cloud = SimCloud::aws(42);
-    let carbon = RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(42));
+    let carbon =
+        RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(42)).unwrap();
     let regions = cloud.regions.evaluation_regions();
     let config = CaribouConfig::new(regions, TransmissionScenario::BEST);
     let mut caribou = Caribou::new(cloud, carbon, config);
@@ -55,7 +56,7 @@ fn main() {
     constraints.tolerances.latency = 0.25;
     let app = WorkflowApp {
         name: dag.name().to_string(),
-        home: caribou.cloud.region("us-east-1"),
+        home: caribou.cloud.region("us-east-1").unwrap(),
         dag,
         profile,
     };

@@ -85,7 +85,7 @@ fn main() {
     constraints.tolerances.cost = 1.0;
     let app = WorkflowApp {
         name: bench.dag.name().to_string(),
-        home: caribou.cloud.region("us-east-1"),
+        home: caribou.cloud.region("us-east-1").unwrap(),
         dag: bench.dag.clone(),
         profile: bench.profile.clone(),
     };

@@ -41,6 +41,36 @@ if [[ "${1:-}" != "--fast" ]]; then
     # machines with >=4 cores — a >=2x 4-worker speedup.
     echo "==> solver bench guard"
     cargo bench -q -p caribou-bench --bench solver -- --test
+
+    # Deterministic loadgen smoke: a 50k-invocation sustained-load run
+    # must print a bit-identical summary whether the chunks execute on 1
+    # or 2 workers.
+    echo "==> caribou loadgen smoke (50k invocations, 1 vs 2 workers)"
+    cargo run -q --release -p caribou-core --bin caribou -- \
+        loadgen text2speech --invocations 50000 --seed 42 --workers 1 \
+        >/tmp/caribou-loadgen-1w.txt
+    cargo run -q --release -p caribou-core --bin caribou -- \
+        loadgen text2speech --invocations 50000 --seed 42 --workers 2 \
+        >/tmp/caribou-loadgen-2w.txt
+    diff /tmp/caribou-loadgen-1w.txt /tmp/caribou-loadgen-2w.txt
+    rm -f /tmp/caribou-loadgen-1w.txt /tmp/caribou-loadgen-2w.txt
+
+    # Loadgen bench guard: worker-count-invariant merges, the pooled
+    # engine's allocation telemetry (engine.alloc_per_invocation == 2 at
+    # steady state), and throughput at or above the committed
+    # BENCH_loadgen.json baseline (with 2x slack for slower hosts).
+    echo "==> loadgen bench guard"
+    cargo bench -q -p caribou-bench --bench loadgen -- --test
 fi
+
+# Panic-free user-input surface: the formerly panicking resolution paths
+# must stay panic!-free (they return typed ModelError/CarbonError now).
+echo "==> panic grep gate"
+for f in crates/simcloud/src/cloud.rs crates/carbon/src/source.rs crates/carbon/src/synth.rs; do
+    if grep -n 'panic!' "$f"; then
+        echo "error: panic! reintroduced in $f" >&2
+        exit 1
+    fi
+done
 
 echo "OK"

@@ -1,0 +1,133 @@
+//! Measures the engine's real per-invocation allocation count with a
+//! counting global allocator and asserts the buffer-pooling win: the
+//! pooled `invoke_with_scratch` path must allocate measurably less than
+//! the fresh-buffer `invoke` path.
+//!
+//! This file holds exactly one test: the counter is process-global, so
+//! any sibling test running concurrently would pollute the deltas.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use caribou_carbon::series::CarbonSeries;
+use caribou_carbon::source::TableSource;
+use caribou_exec::engine::{ExecutionEngine, InvocationScratch, WorkflowApp};
+use caribou_metrics::carbonmodel::{CarbonModel, TransmissionScenario};
+use caribou_model::plan::DeploymentPlan;
+use caribou_model::rng::Pcg32;
+use caribou_simcloud::cloud::SimCloud;
+use caribou_simcloud::orchestration::Orchestrator;
+use caribou_workloads::benchmarks::{text2speech_censoring, InputSize};
+
+struct CountingAllocator;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocs() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn pooled_scratch_reduces_allocations_per_invocation() {
+    let mut cloud = SimCloud::aws(5);
+    let bench = text2speech_censoring(InputSize::Small);
+    let app = WorkflowApp {
+        name: bench.dag.name().to_string(),
+        home: cloud.region("us-east-1").unwrap(),
+        dag: bench.dag.clone(),
+        profile: bench.profile.clone(),
+    };
+    let plan = DeploymentPlan::uniform(app.dag.node_count(), app.home);
+    let mut carbon = TableSource::new();
+    for (id, _) in cloud.regions.iter() {
+        carbon.insert(id, CarbonSeries::new(0, vec![300.0; 24 * 8]));
+    }
+    let engine = ExecutionEngine {
+        carbon_source: &carbon,
+        carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+        orchestrator: Orchestrator::Caribou,
+    };
+    engine.provision(&mut cloud, &app, &plan);
+
+    const ROUNDS: u64 = 200;
+    let mut scratch = InvocationScratch::new();
+    // Warm both paths (KV tables, warm pool, the scratch itself) so the
+    // measured window sees steady state only.
+    for inv in 0..20u64 {
+        let mut rng = Pcg32::seed(inv);
+        engine.invoke(&mut cloud, &app, &plan, inv, inv as f64 * 40.0, &mut rng);
+        let mut rng = Pcg32::seed(inv);
+        engine.invoke_with_scratch(
+            &mut cloud,
+            &app,
+            &plan,
+            inv,
+            1e5 + inv as f64 * 40.0,
+            &mut rng,
+            &mut scratch,
+        );
+    }
+
+    let before_fresh = allocs();
+    for inv in 0..ROUNDS {
+        let mut rng = Pcg32::seed(1000 + inv);
+        engine.invoke(
+            &mut cloud,
+            &app,
+            &plan,
+            1000 + inv,
+            2e5 + inv as f64 * 40.0,
+            &mut rng,
+        );
+    }
+    let fresh = allocs() - before_fresh;
+
+    let before_pooled = allocs();
+    for inv in 0..ROUNDS {
+        let mut rng = Pcg32::seed(1000 + inv);
+        engine.invoke_with_scratch(
+            &mut cloud,
+            &app,
+            &plan,
+            1000 + inv,
+            3e5 + inv as f64 * 40.0,
+            &mut rng,
+            &mut scratch,
+        );
+    }
+    let pooled = allocs() - before_pooled;
+
+    let fresh_per_inv = fresh as f64 / ROUNDS as f64;
+    let pooled_per_inv = pooled as f64 / ROUNDS as f64;
+    eprintln!(
+        "alloc_budget: fresh {fresh_per_inv:.1} allocs/invocation, \
+         pooled {pooled_per_inv:.1} allocs/invocation"
+    );
+    // The pooled path cannot reach zero — KV writes insert owned keys per
+    // invocation and the invocation log is handed to the caller — but the
+    // per-invocation buffer churn (ctx vectors, event queue, topic/key
+    // strings, payload buffers) must be gone.
+    assert!(
+        pooled_per_inv < 0.75 * fresh_per_inv,
+        "pooling saved too little: fresh {fresh_per_inv:.1} vs pooled {pooled_per_inv:.1}"
+    );
+}

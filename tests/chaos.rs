@@ -191,7 +191,7 @@ proptest! {
     ) {
         let duration_s = 2.0 * 3600.0;
         let mut cloud = SimCloud::aws(seed);
-        let home = cloud.region("us-east-1");
+        let home = cloud.region("us-east-1").unwrap();
         let regions = cloud.regions.evaluation_regions();
         let carbon = flat_carbon(&cloud);
         let app = diamond_app(home);

@@ -15,7 +15,8 @@ use caribou_workloads::traces::uniform_trace;
 
 fn run_with_constraints(constraints: Constraints, seed: u64) -> (Caribou<RegionalSource>, usize) {
     let cloud = SimCloud::aws(seed);
-    let carbon = RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(seed));
+    let carbon =
+        RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(seed)).unwrap();
     let regions = cloud.regions.evaluation_regions();
     let mut config = CaribouConfig::new(regions, TransmissionScenario::BEST);
     config.mc = MonteCarloConfig {
@@ -29,7 +30,7 @@ fn run_with_constraints(constraints: Constraints, seed: u64) -> (Caribou<Regiona
     let bench = text2speech_censoring(InputSize::Small);
     let app = WorkflowApp {
         name: bench.dag.name().to_string(),
-        home: caribou.cloud.region("us-east-1"),
+        home: caribou.cloud.region("us-east-1").unwrap(),
         dag: bench.dag.clone(),
         profile: bench.profile.clone(),
     };
@@ -85,7 +86,7 @@ fn workflow_level_residency_restricts_all_nodes() {
     constraints.workflow = RegionFilter::countries(["US"]);
 
     let (caribou, idx) = run_with_constraints(constraints, 301);
-    let ca = caribou.cloud.region("ca-central-1");
+    let ca = caribou.cloud.region("ca-central-1").unwrap();
     let state = caribou.workflow(idx);
     if let Some(plans) = state.router.active_plans() {
         for h in 0..24 {
@@ -113,7 +114,7 @@ fn node_filter_supersedes_workflow_filter_in_deployed_plans() {
     constraints.per_node[t2s.index()] = Some(RegionFilter::any());
 
     let (caribou, idx) = run_with_constraints(constraints, 302);
-    let ca = caribou.cloud.region("ca-central-1");
+    let ca = caribou.cloud.region("ca-central-1").unwrap();
     let state = caribou.workflow(idx);
     let plans = state
         .router

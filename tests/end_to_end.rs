@@ -35,7 +35,7 @@ fn deploy_benchmark(caribou: &mut Caribou<RegionalSource>, bench: &Benchmark) ->
     constraints.tolerances.cost = 1.0;
     let app = WorkflowApp {
         name: bench.dag.name().to_string(),
-        home: caribou.cloud.region("us-east-1"),
+        home: caribou.cloud.region("us-east-1").unwrap(),
         dag: bench.dag.clone(),
         profile: bench.profile.clone(),
     };
@@ -50,7 +50,8 @@ fn every_benchmark_runs_through_the_framework() {
     for bench in all_benchmarks(InputSize::Small) {
         let cloud = SimCloud::aws(100);
         let carbon =
-            RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(100));
+            RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(100))
+                .unwrap();
         let regions = cloud.regions.evaluation_regions();
         let mut caribou = Caribou::new(cloud, carbon, fast_config(regions));
         let idx = deploy_benchmark(&mut caribou, &bench);
@@ -73,7 +74,8 @@ fn every_benchmark_runs_through_the_framework() {
 fn compute_heavy_benchmark_shifts_and_saves_carbon() {
     let bench = caribou_workloads::benchmarks::video_analytics(InputSize::Small);
     let cloud = SimCloud::aws(101);
-    let carbon = RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(101));
+    let carbon =
+        RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(101)).unwrap();
     let regions = cloud.regions.evaluation_regions();
     let mut caribou = Caribou::new(cloud, carbon, fast_config(regions));
     let idx = deploy_benchmark(&mut caribou, &bench);
@@ -81,7 +83,7 @@ fn compute_heavy_benchmark_shifts_and_saves_carbon() {
     let report = caribou.run_trace(idx, &trace);
     assert!(!report.dp_generations.is_empty(), "plans were solved");
 
-    let home = caribou.cloud.region("us-east-1");
+    let home = caribou.cloud.region("us-east-1").unwrap();
     let offloaded = report
         .samples
         .iter()
@@ -115,7 +117,8 @@ fn compute_heavy_benchmark_shifts_and_saves_carbon() {
 fn migrations_copy_images_and_create_topics() {
     let bench = caribou_workloads::benchmarks::text2speech_censoring(InputSize::Small);
     let cloud = SimCloud::aws(102);
-    let carbon = RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(102));
+    let carbon =
+        RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(102)).unwrap();
     let regions = cloud.regions.evaluation_regions();
     let mut caribou = Caribou::new(cloud, carbon, fast_config(regions));
     let idx = deploy_benchmark(&mut caribou, &bench);
@@ -129,7 +132,7 @@ fn migrations_copy_images_and_create_topics() {
         report.migration_egress_bytes > 0.0,
         "crane copies charged egress"
     );
-    let ca = caribou.cloud.region("ca-central-1");
+    let ca = caribou.cloud.region("ca-central-1").unwrap();
     assert!(
         caribou
             .cloud
@@ -144,7 +147,8 @@ fn migrations_copy_images_and_create_topics() {
 fn azure_trace_week_is_stable_for_large_inputs() {
     let bench = caribou_workloads::benchmarks::rag_data_ingestion(InputSize::Large);
     let cloud = SimCloud::aws(103);
-    let carbon = RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(103));
+    let carbon =
+        RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(103)).unwrap();
     let regions = cloud.regions.evaluation_regions();
     let mut caribou = Caribou::new(cloud, carbon, fast_config(regions));
     let idx = deploy_benchmark(&mut caribou, &bench);
@@ -162,7 +166,8 @@ fn run_is_deterministic_per_seed() {
         let bench = caribou_workloads::benchmarks::dna_visualization(InputSize::Small);
         let cloud = SimCloud::aws(104);
         let carbon =
-            RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(104));
+            RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(104))
+                .unwrap();
         let regions = cloud.regions.evaluation_regions();
         let mut caribou = Caribou::new(cloud, carbon, fast_config(regions));
         let idx = deploy_benchmark(&mut caribou, &bench);
@@ -180,7 +185,8 @@ fn run_is_deterministic_per_seed() {
 fn manager_cadence_relaxes_when_plans_stabilize() {
     let bench = caribou_workloads::benchmarks::text2speech_censoring(InputSize::Small);
     let cloud = SimCloud::aws(105);
-    let carbon = RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(105));
+    let carbon =
+        RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(105)).unwrap();
     let regions = cloud.regions.evaluation_regions();
     let mut config = fast_config(regions);
     config.manager = ManagerConfig::default();

@@ -37,7 +37,7 @@ fn two_stage_app(cloud: &SimCloud) -> WorkflowApp {
         name: "wf".into(),
         dag,
         profile,
-        home: cloud.region("us-east-1"),
+        home: cloud.region("us-east-1").unwrap(),
     }
 }
 
@@ -47,7 +47,7 @@ fn outage_during_migration_falls_back_home_then_retries() {
     let app = two_stage_app(&cloud);
     let manifest = DeploymentManifest::new("wf", "0.1", "us-east-1");
     let mut dep = DeploymentUtility::deploy_initial(&mut cloud, app, &manifest).unwrap();
-    let ca = cloud.region("ca-central-1");
+    let ca = cloud.region("ca-central-1").unwrap();
     cloud.set_faults(FaultPlan::none().with_outage(ca, 0.0, 5_000.0));
 
     let plans = HourlyPlans::hourly(
@@ -83,7 +83,8 @@ fn message_loss_is_absorbed_by_retries() {
     });
     let app = two_stage_app(&cloud);
     let plan = DeploymentPlan::uniform(2, app.home);
-    let carbon = RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(201));
+    let carbon =
+        RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(201)).unwrap();
     let engine = ExecutionEngine {
         carbon_source: &carbon,
         carbon_model: CarbonModel::new(TransmissionScenario::BEST),
@@ -116,7 +117,8 @@ fn message_loss_is_absorbed_by_retries() {
 #[test]
 fn framework_run_survives_transient_outage_of_offload_region() {
     let cloud = SimCloud::aws(202);
-    let carbon = RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(202));
+    let carbon =
+        RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(202)).unwrap();
     let regions = cloud.regions.evaluation_regions();
     let mut config = CaribouConfig::new(regions, TransmissionScenario::BEST);
     config.mc = MonteCarloConfig {
@@ -129,7 +131,7 @@ fn framework_run_survives_transient_outage_of_offload_region() {
     // The clean region is down for the first day and a half: the first
     // solve's rollout fails, traffic stays home, and the retry succeeds
     // once the region recovers.
-    let ca = caribou.cloud.region("ca-central-1");
+    let ca = caribou.cloud.region("ca-central-1").unwrap();
     caribou
         .cloud
         .set_faults(FaultPlan::none().with_outage(ca, 0.0, 1.3 * 86_400.0));

@@ -39,7 +39,7 @@ fn conditional_probabilities_are_learned_from_executions() {
         name: "wf".into(),
         dag: dag.clone(),
         profile: profile.clone(),
-        home: cloud.region("us-east-1"),
+        home: cloud.region("us-east-1").unwrap(),
     };
     let plan = DeploymentPlan::uniform(2, app.home);
     let carbon = flat_carbon(&cloud);
@@ -95,7 +95,7 @@ fn execution_distributions_are_learned_from_executions() {
         name: "wf".into(),
         dag: dag.clone(),
         profile: real_profile,
-        home: cloud.region("us-east-1"),
+        home: cloud.region("us-east-1").unwrap(),
     };
     let plan = DeploymentPlan::uniform(2, app.home);
     let carbon = flat_carbon(&cloud);
@@ -166,11 +166,11 @@ fn custom_region_is_first_class() {
         },
     );
     let synth = SyntheticCarbonSource::new(profiles, 1);
-    assert!(synth.zone_intensity("SE", 12.0) > 0.0);
+    assert!(synth.zone_intensity("SE", 12.0).unwrap() > 0.0);
 
     let cloud = SimCloud::with_catalog(catalog, 502);
     // Latency and pricing cover the new region out of the box.
-    let east = cloud.region("us-east-1");
+    let east = cloud.region("us-east-1").unwrap();
     assert!(
         cloud.latency.rtt(east, new_region) > 0.05,
         "transatlantic RTT"

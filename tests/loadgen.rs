@@ -1,0 +1,93 @@
+//! Integration tests for the `caribou loadgen` sustained-load harness:
+//! shard merging must preserve per-invocation outcomes bit-for-bit
+//! against a 1-worker run, for any invocation count, seed, worker count,
+//! and arrival process.
+
+use caribou_core::loadgen::{run_loadgen, LoadReport, LoadgenConfig};
+use caribou_metrics::carbonmodel::TransmissionScenario;
+use caribou_workloads::arrivals::ArrivalProcess;
+use caribou_workloads::benchmarks::{image_processing, text2speech_censoring, InputSize};
+use proptest::prelude::*;
+
+fn run(n: usize, seed: u64, workers: usize, arrivals: ArrivalProcess) -> LoadReport {
+    let bench = text2speech_censoring(InputSize::Small);
+    run_loadgen(
+        &bench,
+        &LoadgenConfig {
+            invocations: n,
+            seed,
+            workers,
+            arrivals,
+            scenario: TransmissionScenario::BEST,
+        },
+    )
+    .expect("default catalog is calibrated")
+}
+
+fn assert_identical(a: &LoadReport, b: &LoadReport) {
+    assert_eq!(a.latencies_s.len(), b.latencies_s.len());
+    for (i, (x, y)) in a.latencies_s.iter().zip(&b.latencies_s).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "latency diverged at invocation {i}"
+        );
+    }
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.failovers, b.failovers);
+    assert_eq!(a.exec_carbon_g.to_bits(), b.exec_carbon_g.to_bits());
+    assert_eq!(a.trans_carbon_g.to_bits(), b.trans_carbon_g.to_bits());
+    assert_eq!(a.cost_usd.to_bits(), b.cost_usd.to_bits());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sharding across any worker count merges to exactly the 1-worker
+    /// per-invocation outcomes.
+    #[test]
+    fn shard_merge_preserves_outcomes(
+        n in 1usize..400,
+        seed in any::<u64>(),
+        workers in 2usize..6,
+        arrival_idx in 0usize..3,
+    ) {
+        let arrivals = match arrival_idx {
+            0 => ArrivalProcess::Poisson { rate_per_s: 20.0 },
+            1 => ArrivalProcess::Diurnal { rate_per_s: 20.0 },
+            _ => ArrivalProcess::Bursty { rate_per_s: 20.0 },
+        };
+        let sequential = run(n, seed, 1, arrivals);
+        let sharded = run(n, seed, workers, arrivals);
+        assert_identical(&sequential, &sharded);
+    }
+}
+
+/// The fan-out benchmark crosses a chunk boundary without disturbing the
+/// merge order.
+#[test]
+fn chunk_boundary_is_seamless() {
+    let bench = image_processing(InputSize::Small);
+    let n = caribou_core::loadgen::CHUNK_INVOCATIONS + 37;
+    let config = |workers| LoadgenConfig {
+        invocations: n,
+        seed: 7,
+        workers,
+        arrivals: ArrivalProcess::Poisson { rate_per_s: 50.0 },
+        scenario: TransmissionScenario::BEST,
+    };
+    let a = run_loadgen(&bench, &config(1)).unwrap();
+    let b = run_loadgen(&bench, &config(4)).unwrap();
+    assert_eq!(a.latencies_s.len(), n);
+    assert_identical(&a, &b);
+    assert_eq!(a.completed, n as u64);
+}
+
+/// Arrival times are part of the contract: a different seed must change
+/// the report (sanity check that determinism is not degeneracy).
+#[test]
+fn different_seeds_differ() {
+    let a = run(200, 1, 1, ArrivalProcess::Poisson { rate_per_s: 20.0 });
+    let b = run(200, 2, 1, ArrivalProcess::Poisson { rate_per_s: 20.0 });
+    assert_ne!(a.latencies_s, b.latencies_s);
+}

@@ -28,8 +28,8 @@ fn multi_cloud_catalog_is_complete() {
     }
     // Latency, pricing, and compute cover the new regions.
     let cloud = SimCloud::with_catalog(cat, 1);
-    let gcp_qc = cloud.region("northamerica-northeast1");
-    let aws_east = cloud.region("us-east-1");
+    let gcp_qc = cloud.region("northamerica-northeast1").unwrap();
+    let aws_east = cloud.region("us-east-1").unwrap();
     assert!(cloud.latency.rtt(aws_east, gcp_qc) > 0.005);
     assert!(cloud.pricing.region(gcp_qc).lambda_gb_second > 0.0);
 }
@@ -37,7 +37,7 @@ fn multi_cloud_catalog_is_complete() {
 #[test]
 fn same_grid_regions_share_intensity_across_providers() {
     let cat = RegionCatalog::multi_cloud();
-    let src = RegionalSource::new(&cat, SyntheticCarbonSource::aws_calibrated(2));
+    let src = RegionalSource::new(&cat, SyntheticCarbonSource::aws_calibrated(2)).unwrap();
     // AWS us-west-2 and GCP us-west1 both sit on the Pacific Northwest
     // grid; AWS ca-central-1 and GCP northamerica-northeast1 on Québec's.
     let pairs = [

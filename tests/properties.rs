@@ -131,7 +131,7 @@ proptest! {
             name: "random".into(),
             dag: wf.dag.clone(),
             profile: wf.profile.clone(),
-            home: cloud.region("us-east-1"),
+            home: cloud.region("us-east-1").unwrap(),
         };
         let plan = random_plan(&wf.dag, &regions, seed);
         let engine = ExecutionEngine {
@@ -194,7 +194,7 @@ proptest! {
         cloud.compute.cold_start_prob = 0.0;
         let carbon = flat_carbon(&cloud);
         let regions = cloud.regions.evaluation_regions();
-        let home = cloud.region("us-east-1");
+        let home = cloud.region("us-east-1").unwrap();
         let plan = random_plan(&wf.dag, &regions, seed.wrapping_add(1));
         let models = DefaultModels {
             profile: &wf.profile,
@@ -292,9 +292,9 @@ proptest! {
         use caribou_carbon::synth::SyntheticCarbonSource;
         let s = SyntheticCarbonSource::aws_calibrated(seed);
         for zone in ["US-MIDA-PJM", "US-CAL-CISO", "US-NW-PACW", "CA-QC"] {
-            let v = s.zone_intensity(zone, hour);
+            let v = s.zone_intensity(zone, hour).unwrap();
             prop_assert!(v > 0.0 && v.is_finite());
-            prop_assert_eq!(v, s.zone_intensity(zone, hour));
+            prop_assert_eq!(v, s.zone_intensity(zone, hour).unwrap());
         }
     }
 

@@ -33,7 +33,8 @@ fn fast_config(regions: Vec<caribou_model::region::RegionId>) -> CaribouConfig {
 fn quickstart_run(seed: u64, horizon_s: f64) -> caribou_core::framework::RunReport {
     let bench: Benchmark = text2speech_censoring(InputSize::Small);
     let cloud = SimCloud::aws(seed);
-    let carbon = RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(seed));
+    let carbon =
+        RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(seed)).unwrap();
     let regions = cloud.regions.evaluation_regions();
     let mut caribou = Caribou::new(cloud, carbon, fast_config(regions));
     let mut constraints = bench.constraints.clone();
@@ -41,7 +42,7 @@ fn quickstart_run(seed: u64, horizon_s: f64) -> caribou_core::framework::RunRepo
     constraints.tolerances.cost = 1.0;
     let app = WorkflowApp {
         name: bench.dag.name().to_string(),
-        home: caribou.cloud.region("us-east-1"),
+        home: caribou.cloud.region("us-east-1").unwrap(),
         dag: bench.dag.clone(),
         profile: bench.profile.clone(),
     };
