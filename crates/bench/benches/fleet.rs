@@ -1,0 +1,187 @@
+//! Fleet re-plan throughput benchmark and guard for `caribou fleet`.
+//!
+//! The criterion group measures multi-tenant solving (HBSS over the
+//! shared cross-app estimate cache) in app·hours per second, cold- and
+//! warm-cache. The guard at the end enforces the fleet contract:
+//!
+//! * full-fleet schedules are bit-identical at 1 and 4 workers;
+//! * the cold solve's cross-app cache hit rate clears a floor (species
+//!   sharing is load-bearing, not incidental);
+//! * a warm re-solve adds no cache misses (every estimate is reused);
+//! * incremental re-solve after a single-hour revision matches the
+//!   from-scratch schedule while re-solving strictly fewer cells;
+//! * measured single-worker throughput stays within 2x of the committed
+//!   `BENCH_fleet.json` baseline (and above an absolute floor).
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use caribou_core::fleet::{
+    replan_incremental, solve_fleet, FleetConfig, FleetEnv, PerturbOp, Perturbation,
+};
+use caribou_solver::engine::EstimateCache;
+use caribou_workloads::fleet::{generate_fleet, FleetApp};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+
+/// Absolute floor (app·hours/second, release build, 1 worker) under which
+/// fleet solving has regressed badly on any plausible machine.
+const THROUGHPUT_FLOOR: f64 = 100.0;
+
+/// Minimum cold-cache cross-app hit rate: HBSS revisits plus species
+/// sharing must reuse at least this fraction of estimate lookups.
+const COLD_HIT_RATE_FLOOR: f64 = 0.30;
+
+fn config(apps: usize, hours: usize, workers: usize) -> FleetConfig {
+    FleetConfig {
+        apps,
+        hours,
+        workers,
+        seed: 42,
+        ..FleetConfig::default()
+    }
+}
+
+fn fixture(cfg: &FleetConfig) -> (FleetEnv, Vec<FleetApp>) {
+    let env = FleetEnv::new(cfg.seed, cfg.hours);
+    let apps = generate_fleet(cfg.seed, cfg.apps, &env.universe);
+    (env, apps)
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+    let cfg = config(24, 6, 1);
+    let (env, apps) = fixture(&cfg);
+    group.bench_function(BenchmarkId::new("solve", "24x6_cold"), |b| {
+        b.iter(|| {
+            let cache = EstimateCache::shared(cfg.cache_capacity);
+            black_box(solve_fleet(&apps, &env, &cfg, &cache).schedule.digest())
+        });
+    });
+    let warm: Arc<EstimateCache> = EstimateCache::shared(cfg.cache_capacity);
+    solve_fleet(&apps, &env, &cfg, &warm);
+    group.bench_function(BenchmarkId::new("solve", "24x6_warm"), |b| {
+        b.iter(|| black_box(solve_fleet(&apps, &env, &cfg, &warm).schedule.digest()));
+    });
+    group.finish();
+}
+
+/// Hard guard on the fleet contract plus the committed throughput
+/// baseline.
+fn guard_fleet() {
+    let cfg1 = config(32, 8, 1);
+    let (env, apps) = fixture(&cfg1);
+
+    // Bit-identical schedules at 1 and 4 workers, over separate caches.
+    let cache1 = EstimateCache::shared(cfg1.cache_capacity);
+    let r1 = solve_fleet(&apps, &env, &cfg1, &cache1);
+    let cfg4 = config(32, 8, 4);
+    let cache4 = EstimateCache::shared(cfg4.cache_capacity);
+    let r4 = solve_fleet(&apps, &env, &cfg4, &cache4);
+    assert_eq!(
+        r1.schedule, r4.schedule,
+        "worker count changed the fleet schedule"
+    );
+    assert_eq!(r1.schedule.digest(), r4.schedule.digest());
+
+    // Cold cross-app hit rate: species sharing must be doing real work.
+    let (hits, misses) = (cache1.hit_count() as f64, cache1.miss_count() as f64);
+    let cold_rate = hits / (hits + misses).max(1.0);
+    println!("fleet/guard: cold hit rate {:.1}%", cold_rate * 100.0);
+    assert!(
+        cold_rate >= COLD_HIT_RATE_FLOOR,
+        "cold cache hit rate {cold_rate:.3} below floor {COLD_HIT_RATE_FLOOR}"
+    );
+
+    // Warm re-solve: identical schedule, zero new misses.
+    let misses_before = cache1.miss_count();
+    let warm = solve_fleet(&apps, &env, &cfg1, &cache1);
+    assert_eq!(warm.schedule, r1.schedule, "warm re-solve diverged");
+    assert_eq!(
+        cache1.miss_count(),
+        misses_before,
+        "warm re-solve recomputed cached estimates"
+    );
+
+    // Incremental equivalence: revise one (hour, region), re-solve only
+    // the dirty cells, match from-scratch bit-for-bit.
+    let perturbs = vec![Perturbation {
+        hour: 3,
+        region: Some(env.universe[2]),
+        op: PerturbOp::Scale(2.0),
+    }];
+    let mut revised = FleetEnv::new(cfg1.seed, cfg1.hours);
+    revised.apply_perturbations(&perturbs);
+    let inc = replan_incremental(&apps, &revised, &cfg1, &cache1, &r1.schedule, &perturbs);
+    let scratch = solve_fleet(
+        &apps,
+        &revised,
+        &cfg1,
+        &EstimateCache::shared(cfg1.cache_capacity),
+    );
+    assert_eq!(
+        inc.schedule, scratch.schedule,
+        "incremental != from-scratch"
+    );
+    assert!(
+        inc.solved_cells < cfg1.apps * cfg1.hours,
+        "incremental re-solve did not shrink the solve set"
+    );
+
+    // Throughput: best of 3 cold single-worker solves.
+    let mut best_s = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let cache = EstimateCache::shared(cfg1.cache_capacity);
+        black_box(solve_fleet(&apps, &env, &cfg1, &cache).schedule.digest());
+        best_s = best_s.min(start.elapsed().as_secs_f64());
+    }
+    let throughput = (cfg1.apps * cfg1.hours) as f64 / best_s;
+    println!(
+        "fleet/guard: {throughput:.0} app-hours/s (1 worker, {}x{} cold, best of 3)",
+        cfg1.apps, cfg1.hours
+    );
+    assert!(
+        throughput >= THROUGHPUT_FLOOR,
+        "fleet throughput {throughput:.0} app-hours/s below floor {THROUGHPUT_FLOOR:.0}"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    if let Some((committed_tp, committed_rate)) = read_baseline(path) {
+        println!(
+            "fleet/guard: committed baseline {committed_tp:.0} app-hours/s, {:.1}% hit rate",
+            committed_rate * 100.0
+        );
+        assert!(
+            throughput >= committed_tp / 2.0,
+            "fleet throughput {throughput:.0} fell below half the committed baseline {committed_tp:.0}"
+        );
+        assert!(
+            cold_rate >= committed_rate - 0.10,
+            "cold hit rate {cold_rate:.3} fell more than 10pp below committed {committed_rate:.3}"
+        );
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"app_hours_per_s_1w\": {throughput:.0},\n  \"cold_hit_rate\": {cold_rate:.3},\n  \"cores\": {cores}\n}}\n"
+    );
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("fleet/guard: could not write {path}: {e}");
+    }
+}
+
+fn read_baseline(path: &str) -> Option<(f64, f64)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let value: serde_json::Value = serde_json::from_str(&text).ok()?;
+    Some((
+        value.get("app_hours_per_s_1w")?.as_f64()?,
+        value.get("cold_hit_rate")?.as_f64()?,
+    ))
+}
+
+criterion_group!(benches, bench_fleet);
+
+fn main() {
+    benches();
+    guard_fleet();
+}

@@ -11,6 +11,8 @@
 //!                  [--telemetry out.jsonl]  # run the full framework loop
 //! caribou chaos [--seed N] [--requests N]   # seeded fault campaign with
 //!                                           # invariant checking
+//! caribou fleet [--apps N] [--hours H]      # multi-tenant fleet re-plan
+//!               [--perturb SPEC]            # with incremental re-solve
 //! caribou trace <journal.jsonl> [--limit N] # replay a telemetry journal
 //! caribou benchmarks                        # list available benchmarks
 //! ```
@@ -61,7 +63,54 @@ USAGE:
                     [--input small|large] [--worst-case] [--telemetry <out.jsonl>]
     caribou chaos [--seed N] [--requests N] [--duration-s S] [--drop P]
                   [--no-breaker] [--seeds K] [--workers N] [--json]
+    caribou fleet [--apps N] [--hours H] [--workers K] [--seed S]
+                  [--capacity C] [--perturb <spec>] [--verify]
+                  [--telemetry <out.jsonl>]
     caribou trace <journal.jsonl> [--limit N]
+
+FLEET PERTURBATION SPEC:
+    Comma-separated forecast revisions: h<HOUR>[:<region>](*FACTOR|+DELTA|-DELTA)
+    e.g. `h7*1.5` (hour 7, all regions, intensity x1.5),
+         `h7:us-west-2+120,h3:ca-central-1-40` (per-region shifts in gCO2eq/kWh).
+    With --perturb, the fleet is first solved on the base forecast, then
+    incrementally re-solved against the revision: only apps whose permitted
+    regions read the revised inputs re-enter the solver. --verify diffs the
+    incremental result against a from-scratch solve (exit 1 on mismatch).
+";
+
+const FLEET_USAGE: &str = "\
+caribou fleet — multi-tenant fleet re-plan with incremental re-solve
+
+USAGE:
+    caribou fleet [--apps N] [--hours H] [--workers K] [--seed S]
+                  [--capacity C] [--perturb <spec>] [--verify]
+                  [--telemetry <out.jsonl>]
+
+OPTIONS:
+    --apps N             fleet size (default 24): seeded heterogeneous DAG
+                         apps drawn from the species palette
+    --hours H            simulated hours to re-plan each app for (default 24)
+    --workers K          worker threads; results are bit-identical at any K
+    --seed S             master seed for generation, evaluation and walks
+    --capacity C         shared cross-app estimate-cache capacity (entries)
+    --perturb <spec>     after the full solve, apply forecast revisions and
+                         incrementally re-solve only the invalidated apps
+    --verify             also re-solve the revised fleet from scratch and
+                         fail (exit 1) unless the incremental schedule is
+                         bit-identical
+    --telemetry <path>   record fleet.* / solver.cache.* telemetry to JSONL
+
+PERTURBATION SPEC (comma-separated terms):
+    h<HOUR>[:<region>](*FACTOR|+DELTA|-DELTA)
+    h7*1.5               hour 7, all regions, carbon intensity x1.5
+    h7:us-west-2+120     hour 7, us-west-2 only, +120 gCO2eq/kWh
+    h3:ca-central-1*2,h18-40
+                         several revisions at once; a trailing -DELTA is
+                         parsed after the hyphenated region name
+
+Deterministic results (schedule digest, cell counts, carbon totals,
+per-hour invalidation counts) print to stdout; wall-clock throughput
+(app-hours/s) and cache statistics print to stderr.
 ";
 
 /// A CLI failure: a one-line message plus the process exit code.
@@ -108,6 +157,7 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
@@ -761,6 +811,146 @@ fn cmd_chaos_sweep(
         )
         .into())
     }
+}
+
+/// `caribou fleet`: the multi-tenant fleet re-plan campaign.
+///
+/// Solves `--apps` heterogeneous DAG apps for `--hours` simulated hours
+/// through one shared cross-app estimate cache. Deterministic results
+/// (schedule digest, cell counts, carbon totals) go to stdout — identical
+/// at any `--workers` value, so CI diffs a 1-worker run against a
+/// K-worker run. Wall-clock throughput and (slightly racy under parallel
+/// misses) cache tallies go to stderr.
+fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
+    use caribou_core::fleet::{
+        parse_perturb, replan_incremental, solve_fleet, FleetConfig, FleetEnv,
+    };
+    use caribou_solver::engine::EstimateCache;
+    use caribou_workloads::fleet::generate_fleet;
+
+    if has_flag(args, "--help") || has_flag(args, "-h") {
+        print!("{FLEET_USAGE}");
+        return Ok(());
+    }
+    let mut cfg = FleetConfig {
+        workers: workers(args)?,
+        ..FleetConfig::default()
+    };
+    if let Some(v) = flag(args, "--apps") {
+        cfg.apps = v.parse().map_err(|e| format!("--apps: {e}"))?;
+    }
+    if let Some(v) = flag(args, "--hours") {
+        cfg.hours = v.parse().map_err(|e| format!("--hours: {e}"))?;
+    }
+    if let Some(v) = flag(args, "--seed") {
+        cfg.seed = v.parse().map_err(|e| format!("--seed: {e}"))?;
+    }
+    if let Some(v) = flag(args, "--capacity") {
+        cfg.cache_capacity = v.parse().map_err(|e| format!("--capacity: {e}"))?;
+    }
+    if cfg.apps == 0 || cfg.hours == 0 {
+        return Err("--apps and --hours must be at least 1".into());
+    }
+    let telemetry_path = flag(args, "--telemetry");
+    if let Some(path) = telemetry_path {
+        let sink = caribou_telemetry::JsonlSink::create(path)
+            .map_err(|e| format!("--telemetry {path}: {e}"))?;
+        caribou_telemetry::enable(Box::new(sink));
+    }
+
+    let env = FleetEnv::new(cfg.seed, cfg.hours);
+    let apps = generate_fleet(cfg.seed, cfg.apps, &env.universe);
+    let perturbs = flag(args, "--perturb")
+        .map(|spec| parse_perturb(spec, &env.cloud.regions, &env.universe, cfg.hours))
+        .transpose()?;
+
+    eprintln!(
+        "fleet: {} apps x {} hours, seed {}, {} worker(s), cache capacity {}...",
+        cfg.apps, cfg.hours, cfg.seed, cfg.workers, cfg.cache_capacity
+    );
+    let cache = EstimateCache::shared(cfg.cache_capacity);
+    let wall = std::time::Instant::now();
+    let full = solve_fleet(&apps, &env, &cfg, &cache);
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    println!("fleet:             {} apps x {} hours", cfg.apps, cfg.hours);
+    println!("schedule digest:   {:016x}", full.schedule.digest());
+    println!(
+        "cells solved:      {} ({} reused)",
+        full.solved_cells, full.reused_cells
+    );
+    println!(
+        "schedule carbon:   {:.3} g/invocation-hour (fleet sum)",
+        full.schedule.total_carbon_mean()
+    );
+    println!("solve footprint:   {:.4} g modeled", full.solve_carbon_g);
+    let hits = cache.hit_count();
+    let misses = cache.miss_count();
+    eprintln!(
+        "wall: {wall_s:.2} s, throughput: {:.0} app-hours/s",
+        full.solved_cells as f64 / wall_s
+    );
+    eprintln!(
+        "cache: {hits} hits / {misses} misses ({:.1}% hit rate), {} entries, {} evicted",
+        hits as f64 / (hits + misses).max(1) as f64 * 100.0,
+        cache.len(),
+        cache.eviction_count()
+    );
+
+    if let Some(perturbs) = perturbs {
+        let mut revised = FleetEnv::new(cfg.seed, cfg.hours);
+        revised.apply_perturbations(&perturbs);
+        let wall = std::time::Instant::now();
+        let inc = replan_incremental(&apps, &revised, &cfg, &cache, &full.schedule, &perturbs);
+        let inc_wall_s = wall.elapsed().as_secs_f64();
+
+        println!("-- incremental re-solve after forecast revision --");
+        println!("revisions:         {}", perturbs.len());
+        println!("apps invalidated:  {} of {}", inc.dirty_apps, cfg.apps);
+        let index = caribou_core::fleet::DependencyIndex::build(&apps);
+        for (h, n) in &index.dirty_cells(&revised.universe, &perturbs).per_hour {
+            println!("  hour {h:>2}: {n} app(s) re-planned");
+        }
+        println!(
+            "cells re-solved:   {} ({} reused verbatim)",
+            inc.solved_cells, inc.reused_cells
+        );
+        println!(
+            "cache invalidated: {} entries",
+            inc.cache_entries_invalidated
+        );
+        println!("schedule digest:   {:016x}", inc.schedule.digest());
+        println!(
+            "solve footprint:   {:.4} g modeled ({:.4} g saved vs full re-plan)",
+            inc.solve_carbon_g, inc.saved_solve_carbon_g
+        );
+        eprintln!(
+            "incremental wall: {inc_wall_s:.2} s, throughput: {:.0} app-hours/s",
+            inc.solved_cells.max(1) as f64 / inc_wall_s
+        );
+
+        if has_flag(args, "--verify") {
+            let scratch_cache = EstimateCache::shared(cfg.cache_capacity);
+            let scratch = solve_fleet(&apps, &revised, &cfg, &scratch_cache);
+            if scratch.schedule == inc.schedule {
+                println!("verify:            incremental == from-scratch (bit-identical)");
+            } else {
+                if telemetry_path.is_some() {
+                    caribou_telemetry::finish();
+                }
+                return Err(format!(
+                    "verify FAILED: incremental digest {:016x} != from-scratch {:016x}",
+                    inc.schedule.digest(),
+                    scratch.schedule.digest()
+                )
+                .into());
+            }
+        }
+    }
+    if telemetry_path.is_some() {
+        caribou_telemetry::finish();
+    }
+    Ok(())
 }
 
 fn cmd_trace(args: &[String]) -> Result<(), CliError> {

@@ -1,0 +1,136 @@
+//! The forecast dependency index behind incremental re-solve.
+//!
+//! An `(app, hour)` solve cell is a pure function of the app's static
+//! structure, the fleet seeds, and the carbon forecast restricted to
+//! `(app.forecast_reads(), hour)`: HBSS ranks the app's permitted regions
+//! by intensity at the solve hour, and every Monte Carlo estimate reads
+//! intensity only for assigned regions plus home at that hour (verified
+//! by the incremental-equivalence proptests). The index materializes that
+//! read set per app, so a forecast revision maps to exactly the solve
+//! cells whose inputs changed — everything else reuses its prior plan
+//! verbatim, bit-for-bit.
+
+use std::collections::BTreeMap;
+
+use caribou_model::region::RegionId;
+use caribou_workloads::fleet::FleetApp;
+
+use super::perturb::Perturbation;
+
+/// Per-app forecast read sets.
+#[derive(Debug, Clone)]
+pub struct DependencyIndex {
+    reads: Vec<Vec<RegionId>>,
+}
+
+/// The solve cells a set of forecast revisions dirties.
+#[derive(Debug, Clone, Default)]
+pub struct DirtySet {
+    /// Dirty `(app, hour)` cells, app-major sorted, deduplicated.
+    pub cells: Vec<(usize, usize)>,
+    /// Distinct dirty apps.
+    pub apps: usize,
+    /// Dirty-app count per perturbed hour (for `fleet.invalidate` events).
+    pub per_hour: BTreeMap<usize, usize>,
+}
+
+impl DependencyIndex {
+    /// Builds the index for a fleet.
+    pub fn build(apps: &[FleetApp]) -> Self {
+        DependencyIndex {
+            reads: apps.iter().map(FleetApp::forecast_reads).collect(),
+        }
+    }
+
+    /// The regions app `a`'s solves read from the forecast.
+    pub fn reads(&self, app: usize) -> &[RegionId] {
+        &self.reads[app]
+    }
+
+    /// Maps forecast revisions to the dirty solve cells.
+    ///
+    /// App `a` is dirty at hour `h` iff some revision at `h` touches a
+    /// region in `reads(a)`. Deterministic: output order is app-major and
+    /// independent of the revision order.
+    pub fn dirty_cells(&self, universe: &[RegionId], perturbs: &[Perturbation]) -> DirtySet {
+        let mut cells: Vec<(usize, usize)> = Vec::new();
+        let mut per_hour: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut dirty_apps = vec![false; self.reads.len()];
+        for (a, reads) in self.reads.iter().enumerate() {
+            let mut hours: Vec<usize> = perturbs
+                .iter()
+                .filter(|p| p.touched(universe).iter().any(|r| reads.contains(r)))
+                .map(|p| p.hour)
+                .collect();
+            hours.sort_unstable();
+            hours.dedup();
+            for &h in &hours {
+                cells.push((a, h));
+                *per_hour.entry(h).or_insert(0) += 1;
+            }
+            dirty_apps[a] = !hours.is_empty();
+        }
+        DirtySet {
+            cells,
+            apps: dirty_apps.iter().filter(|d| **d).count(),
+            per_hour,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::perturb::parse_perturb;
+    use super::*;
+    use caribou_model::region::RegionCatalog;
+    use caribou_workloads::fleet::generate_fleet;
+
+    #[test]
+    fn region_targeted_revision_dirties_a_strict_subset() {
+        let cat = RegionCatalog::aws_default();
+        let universe = cat.evaluation_regions();
+        let fleet = generate_fleet(42, 64, &universe);
+        let index = DependencyIndex::build(&fleet);
+
+        // Perturb one non-home-favoured region at one hour: apps whose
+        // permitted sets skip that region must stay clean.
+        let spec = format!("h5:{}*1.7", cat.name(universe[3]));
+        let perturbs = parse_perturb(&spec, &cat, &universe, 24).unwrap();
+        let dirty = index.dirty_cells(&universe, &perturbs);
+        assert!(dirty.apps > 0, "some apps read the perturbed region");
+        assert!(
+            dirty.apps < fleet.len(),
+            "constraint heterogeneity must keep some apps clean"
+        );
+        assert_eq!(dirty.cells.len(), dirty.apps, "one hour dirty per app");
+        assert_eq!(dirty.per_hour.get(&5), Some(&dirty.apps));
+        for (a, h) in &dirty.cells {
+            assert_eq!(*h, 5);
+            assert!(index.reads(*a).contains(&universe[3]));
+        }
+    }
+
+    #[test]
+    fn all_region_revision_dirties_every_app_at_that_hour_only() {
+        let cat = RegionCatalog::aws_default();
+        let universe = cat.evaluation_regions();
+        let fleet = generate_fleet(9, 16, &universe);
+        let index = DependencyIndex::build(&fleet);
+        let perturbs = parse_perturb("h2*1.1", &cat, &universe, 24).unwrap();
+        let dirty = index.dirty_cells(&universe, &perturbs);
+        assert_eq!(dirty.apps, fleet.len());
+        assert_eq!(dirty.cells.len(), fleet.len());
+        assert!(dirty.cells.iter().all(|(_, h)| *h == 2));
+    }
+
+    #[test]
+    fn duplicate_revisions_do_not_duplicate_cells() {
+        let cat = RegionCatalog::aws_default();
+        let universe = cat.evaluation_regions();
+        let fleet = generate_fleet(1, 8, &universe);
+        let index = DependencyIndex::build(&fleet);
+        let perturbs = parse_perturb("h1*2,h1+5", &cat, &universe, 24).unwrap();
+        let dirty = index.dirty_cells(&universe, &perturbs);
+        assert_eq!(dirty.cells.len(), fleet.len(), "h1 counted once per app");
+    }
+}

@@ -1,0 +1,236 @@
+//! Forecast perturbation specs for fleet re-plan experiments.
+//!
+//! Grammar (comma-separated terms):
+//!
+//! ```text
+//! spec   := term ("," term)*
+//! term   := "h" HOUR [":" REGION] op
+//! op     := "*" FACTOR | "+" DELTA | "-" DELTA
+//! ```
+//!
+//! `HOUR` is a simulated-hour index; omitting `REGION` applies the term
+//! to every region of the fleet universe. Examples:
+//!
+//! * `h7*1.5` — hour 7, all regions, carbon intensity × 1.5;
+//! * `h7:us-west-2+120` — hour 7, `us-west-2` only, +120 gCO₂eq/kWh;
+//! * `h3:ca-central-1*2,h18-40` — two revisions at once.
+//!
+//! Region names contain `-`, so a shift's sign is found from the *last*
+//! `-` of a term (after `*` and `+` have been ruled out): in
+//! `h7:us-west-2-40` the region is `us-west-2` and the delta is `-40`.
+
+use caribou_model::region::{RegionCatalog, RegionId};
+
+/// One forecast revision: intensity at (`hour`, `region`) changes by `op`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Perturbation {
+    /// Simulated-hour index the revision applies to.
+    pub hour: usize,
+    /// Affected region; `None` = every region in the fleet universe.
+    pub region: Option<RegionId>,
+    /// The revision.
+    pub op: PerturbOp,
+}
+
+/// How an intensity value is revised.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PerturbOp {
+    /// Multiply by a factor.
+    Scale(f64),
+    /// Add a delta (may be negative; results clamp at 0).
+    Shift(f64),
+}
+
+impl Perturbation {
+    /// Applies the revision to one intensity value (clamped at 0).
+    pub fn apply(&self, value: f64) -> f64 {
+        let v = match self.op {
+            PerturbOp::Scale(f) => value * f,
+            PerturbOp::Shift(d) => value + d,
+        };
+        v.max(0.0)
+    }
+
+    /// The regions of `universe` this revision touches.
+    pub fn touched<'a>(&self, universe: &'a [RegionId]) -> &'a [RegionId] {
+        match self.region {
+            Some(_) => {
+                let i = universe
+                    .iter()
+                    .position(|r| Some(*r) == self.region)
+                    .expect("perturbation region validated against the universe");
+                &universe[i..=i]
+            }
+            None => universe,
+        }
+    }
+}
+
+/// Parses a perturbation spec — see the module docs for the grammar.
+///
+/// `hours` bounds the hour index; regions resolve against `catalog` and
+/// must be members of `universe`.
+pub fn parse_perturb(
+    spec: &str,
+    catalog: &RegionCatalog,
+    universe: &[RegionId],
+    hours: usize,
+) -> Result<Vec<Perturbation>, String> {
+    let mut out = Vec::new();
+    for term in spec.split(',') {
+        let term = term.trim();
+        if term.is_empty() {
+            return Err(format!("--perturb: empty term in `{spec}`"));
+        }
+        out.push(parse_term(term, catalog, universe, hours)?);
+    }
+    Ok(out)
+}
+
+fn parse_term(
+    term: &str,
+    catalog: &RegionCatalog,
+    universe: &[RegionId],
+    hours: usize,
+) -> Result<Perturbation, String> {
+    let body = term
+        .strip_prefix('h')
+        .ok_or_else(|| format!("--perturb: term `{term}` must start with `h<hour>`"))?;
+    let digits = body.chars().take_while(char::is_ascii_digit).count();
+    if digits == 0 {
+        return Err(format!("--perturb: term `{term}` has no hour index"));
+    }
+    let hour: usize = body[..digits]
+        .parse()
+        .map_err(|e| format!("--perturb: bad hour in `{term}`: {e}"))?;
+    if hour >= hours {
+        return Err(format!(
+            "--perturb: hour {hour} out of range (fleet simulates hours 0..{hours})"
+        ));
+    }
+    let rest = &body[digits..];
+    let (region_part, op_part) = match rest.strip_prefix(':') {
+        Some(tail) => {
+            // The op starts at the last `*` or `+`; failing those, at the
+            // last `-` (region names contain `-`).
+            let pos = tail
+                .rfind(['*', '+'])
+                .or_else(|| tail.rfind('-').filter(|p| *p > 0))
+                .ok_or_else(|| format!("--perturb: term `{term}` has no `*`/`+`/`-` op"))?;
+            (Some(&tail[..pos]), &tail[pos..])
+        }
+        None => (None, rest),
+    };
+    let region = match region_part {
+        None => None,
+        Some(name) => {
+            let id = catalog
+                .resolve(name)
+                .map_err(|e| format!("--perturb: {e}"))?;
+            if !universe.contains(&id) {
+                return Err(format!(
+                    "--perturb: region `{name}` is not in the fleet universe"
+                ));
+            }
+            Some(id)
+        }
+    };
+    let mut op_chars = op_part.chars();
+    let op_char = op_chars
+        .next()
+        .ok_or_else(|| format!("--perturb: term `{term}` has no op"))?;
+    let value = op_chars.as_str();
+    let op = match op_char {
+        '*' => PerturbOp::Scale(
+            value
+                .parse()
+                .map_err(|e| format!("--perturb: bad factor in `{term}`: {e}"))?,
+        ),
+        '+' => PerturbOp::Shift(
+            value
+                .parse()
+                .map_err(|e| format!("--perturb: bad delta in `{term}`: {e}"))?,
+        ),
+        '-' => PerturbOp::Shift(
+            -value
+                .parse::<f64>()
+                .map_err(|e| format!("--perturb: bad delta in `{term}`: {e}"))?,
+        ),
+        other => {
+            return Err(format!(
+                "--perturb: unknown op `{other}` in `{term}` (use * + or -)"
+            ))
+        }
+    };
+    if let PerturbOp::Scale(f) = op {
+        if f < 0.0 {
+            return Err(format!("--perturb: negative factor in `{term}`"));
+        }
+    }
+    Ok(Perturbation { hour, region, op })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (RegionCatalog, Vec<RegionId>) {
+        let cat = RegionCatalog::aws_default();
+        let universe = cat.evaluation_regions();
+        (cat, universe)
+    }
+
+    #[test]
+    fn parses_scale_shift_and_region_terms() {
+        let (cat, uni) = setup();
+        let ps = parse_perturb("h7*1.5,h3:us-west-2+120,h5:ca-central-1-40", &cat, &uni, 24)
+            .expect("valid spec");
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].hour, 7);
+        assert_eq!(ps[0].region, None);
+        assert_eq!(ps[0].op, PerturbOp::Scale(1.5));
+        assert_eq!(ps[1].region, cat.id_of("us-west-2"));
+        assert_eq!(ps[1].op, PerturbOp::Shift(120.0));
+        assert_eq!(ps[2].region, cat.id_of("ca-central-1"));
+        assert_eq!(ps[2].op, PerturbOp::Shift(-40.0));
+    }
+
+    #[test]
+    fn negative_shift_splits_after_hyphenated_region() {
+        let (cat, uni) = setup();
+        let ps = parse_perturb("h0:us-west-2-7.5", &cat, &uni, 24).expect("valid");
+        assert_eq!(ps[0].region, cat.id_of("us-west-2"));
+        assert_eq!(ps[0].op, PerturbOp::Shift(-7.5));
+        assert_eq!(ps[0].apply(10.0), 2.5);
+        assert_eq!(ps[0].apply(5.0), 0.0, "clamped at zero");
+    }
+
+    #[test]
+    fn rejects_malformed_terms() {
+        let (cat, uni) = setup();
+        for bad in [
+            "7*1.5",          // missing h prefix
+            "h*1.5",          // missing hour
+            "h99*1.5",        // hour out of range for 24
+            "h1:eu-west-1*2", // region outside the universe
+            "h1:us-west-2",   // no op
+            "h1*-2",          // negative factor
+            "h1:nowhere-1*2", // unknown region
+            "",               // empty
+        ] {
+            assert!(
+                parse_perturb(bad, &cat, &uni, 24).is_err(),
+                "`{bad}` should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn touched_resolves_region_scope() {
+        let (cat, uni) = setup();
+        let all = parse_perturb("h1*2", &cat, &uni, 24).unwrap();
+        assert_eq!(all[0].touched(&uni), &uni[..]);
+        let one = parse_perturb("h1:us-west-1*2", &cat, &uni, 24).unwrap();
+        assert_eq!(one[0].touched(&uni), &[cat.id_of("us-west-1").unwrap()]);
+    }
+}

@@ -23,7 +23,11 @@
 //!   deployable, metering stays honest) under composed fault classes;
 //! * [`loadgen`] — the sustained-load harness driving a benchmark DAG
 //!   with seeded open-loop arrivals, sharded across the worker pool with
-//!   bit-identical results at any worker count.
+//!   bit-identical results at any worker count;
+//! * [`fleet`] — multi-tenant solving: a seeded fleet of heterogeneous
+//!   DAG apps re-planned every simulated hour through one shared,
+//!   cross-app estimate cache, with dependency-indexed incremental
+//!   re-solve after forecast revisions.
 //!
 //! # Quickstart
 //!
@@ -32,6 +36,7 @@
 
 pub mod chaos;
 pub mod error;
+pub mod fleet;
 pub mod framework;
 pub mod loadgen;
 pub mod manager;
@@ -41,6 +46,9 @@ pub mod utility;
 
 pub use chaos::{ChaosConfig, ChaosReport};
 pub use error::CoreError;
+pub use fleet::{
+    replan_incremental, solve_fleet, FleetConfig, FleetEnv, FleetReport, FleetSchedule,
+};
 pub use framework::{Caribou, CaribouConfig, RunReport};
 pub use loadgen::{run_loadgen, LoadReport, LoadgenConfig};
 pub use manager::DeploymentManager;

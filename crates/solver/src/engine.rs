@@ -2,10 +2,11 @@
 //! caching.
 //!
 //! Every candidate evaluation is a *pure function* of the engine's solve
-//! seed, the plan assignment, and the solve hour: the Monte Carlo RNG is
-//! derived by splitting the solve seed through a [`SeedSplitter`]
-//! (SplitMix-style) over those labels, never by threading a walk
-//! generator through the estimate. Purity buys three properties at once:
+//! seed, the app fingerprint, the plan assignment, and the solve hour:
+//! the Monte Carlo RNG is derived by splitting the solve seed through a
+//! [`SeedSplitter`] (SplitMix-style) over those labels, never by
+//! threading a walk generator through the estimate. Purity buys four
+//! properties at once:
 //!
 //! 1. **Worker-count independence** — no evaluation consumes state
 //!    another evaluation produced, so fanning candidates across a
@@ -14,28 +15,47 @@
 //! 2. **Cache soundness** — a cached summary is bit-equal to what a
 //!    fresh computation would return, so a lookup can replace
 //!    [`MonteCarloConfig::batch`]-sized sampling without shifting any
-//!    solve result.
+//!    solve result — and bounded eviction can drop any entry without
+//!    shifting one either.
 //! 3. **Cross-solve sharing** — one engine (and its cache) is safely
 //!    shared across HBSS iterations and across the 24 hourly solves,
 //!    because the hour is part of both the key and the derived seed.
+//! 4. **Cross-app sharing** — a fleet of structurally identical apps can
+//!    share one [`EstimateCache`] through per-app engines created with
+//!    [`EvalEngine::with_cache`]: the app's structural *fingerprint* is
+//!    part of both the key and the derived seed, so two apps only share
+//!    an entry when their estimates are provably bit-equal.
 //!
-//! The cache key is the plan assignment plus the hour bucket — the bit
+//! The cache key is `(fingerprint, assignment, hour-bits)` — the bit
 //! pattern of the solve hour. Bucketing is exact rather than floored
 //! because carbon sources may be continuous in the hour; two solves only
 //! share an entry when their estimates are provably identical.
 //!
-//! Hit/miss tallies accumulate in atomics (worker threads have no
-//! telemetry session of their own) and the coordinating thread publishes
-//! the deltas as `solver.cache.hit` / `solver.cache.miss` via
-//! [`EvalEngine::flush_telemetry`]. Under parallel misses of the same key
-//! the tallies may differ by a few counts between runs — the cached
-//! *values* never do.
+//! The cache is **bounded**: past [`EstimateCache::capacity`] entries the
+//! largest keys are evicted. Because the map is ordered and eviction
+//! keeps the smallest `capacity` keys, the retained *set* depends only on
+//! which keys were ever inserted — never on insertion order — so a run's
+//! cache contents stay worker-count independent, and soundness (property
+//! 2) means eviction can only cost recomputation, never correctness.
+//!
+//! Entries remember which regions their estimate read (the plan's regions
+//! plus home, the only regions the Monte Carlo estimator queries the
+//! carbon source for). [`EstimateCache::invalidate_hour`] uses that to
+//! drop exactly the entries a forecast revision touches — the hook the
+//! fleet subsystem's incremental re-solve builds on.
+//!
+//! Hit/miss/eviction tallies accumulate in atomics (worker threads have
+//! no telemetry session of their own) and the coordinating thread
+//! publishes the deltas as `solver.cache.hit` / `solver.cache.miss` /
+//! `solver.cache.evictions` via [`EvalEngine::flush_telemetry`]. Under
+//! parallel misses of the same key the tallies may differ by a few counts
+//! between runs — the cached *values* never do.
 //!
 //! [`MonteCarloConfig::batch`]: caribou_metrics::montecarlo::MonteCarloConfig
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use caribou_carbon::source::CarbonDataSource;
 use caribou_metrics::montecarlo::{EstimateSummary, StageModels};
@@ -50,38 +70,217 @@ use crate::pool;
 /// never collides with other subsystems splitting the same master seed.
 const EVAL_DOMAIN: u64 = 0xca1b_0e5e_e7a1_0001;
 
+/// Default [`EstimateCache`] capacity: large enough that single-app
+/// solves (24-hour schedules visit a few thousand distinct plans) never
+/// evict, small enough to bound a week-long fleet run.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
+
+/// Cache key: `(app fingerprint, plan assignment, solve-hour bits)`.
+type CacheKey = (u64, Vec<RegionId>, u64);
+
+/// A cached summary plus the regions its estimate read from the carbon
+/// source (assignment ∪ home) — the dependency record invalidation uses.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    summary: EstimateSummary,
+    touched: Vec<RegionId>,
+}
+
+/// A bounded, shareable estimate cache.
+///
+/// One cache may back many [`EvalEngine`]s at once (the fleet case); the
+/// per-engine fingerprint keeps streams and keys of different app
+/// structures apart while letting identical structures share. All
+/// operations take `&self`; the map sits behind a [`Mutex`] and the
+/// tallies in atomics so worker threads can use it directly.
+#[derive(Debug)]
+pub struct EstimateCache {
+    capacity: usize,
+    map: Mutex<BTreeMap<CacheKey, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    flushed_hits: AtomicU64,
+    flushed_misses: AtomicU64,
+    flushed_evictions: AtomicU64,
+}
+
+impl EstimateCache {
+    /// Creates a cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        EstimateCache {
+            capacity: capacity.max(1),
+            map: Mutex::new(BTreeMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            flushed_hits: AtomicU64::new(0),
+            flushed_misses: AtomicU64::new(0),
+            flushed_evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a shareable cache for cross-engine use.
+    pub fn shared(capacity: usize) -> Arc<Self> {
+        Arc::new(Self::new(capacity))
+    }
+
+    /// The entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits so far (across every engine sharing this cache).
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= distinct evaluations computed, absent races).
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the capacity bound so far.
+    pub fn eviction_count(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    fn get(&self, key: &CacheKey) -> Option<EstimateSummary> {
+        let hit = self
+            .map
+            .lock()
+            .expect("cache lock")
+            .get(key)
+            .map(|e| e.summary);
+        match hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    fn insert(&self, key: CacheKey, summary: EstimateSummary, touched: Vec<RegionId>) {
+        let mut map = self.map.lock().expect("cache lock");
+        map.insert(key, CacheEntry { summary, touched });
+        // Deterministic eviction: keep the `capacity` smallest keys. The
+        // retained set is a pure function of the inserted key set, so it
+        // cannot depend on worker count or scheduling.
+        while map.len() > self.capacity {
+            map.pop_last();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every entry whose estimate was computed at `hour` *and* read
+    /// any of `regions` from the carbon source. Returns the number of
+    /// entries dropped.
+    ///
+    /// This is the forecast-revision hook: after the carbon forecast for
+    /// `hour` changes in `regions`, the surviving entries are exactly the
+    /// ones whose inputs are untouched, so serving them stays bit-equal
+    /// to recomputing against the revised forecast.
+    pub fn invalidate_hour(&self, hour: f64, regions: &[RegionId]) -> u64 {
+        let bits = hour.to_bits();
+        let mut map = self.map.lock().expect("cache lock");
+        let before = map.len();
+        map.retain(|(_, _, h), entry| {
+            *h != bits || !entry.touched.iter().any(|r| regions.contains(r))
+        });
+        (before - map.len()) as u64
+    }
+
+    /// Publishes unflushed hit/miss/eviction tallies as
+    /// `solver.cache.{hit,miss,evictions}` counters into the calling
+    /// thread's telemetry session. Call from the coordinating thread —
+    /// workers accumulate, they never record.
+    pub fn flush_telemetry(&self) {
+        if !caribou_telemetry::is_enabled() {
+            return;
+        }
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        let evictions = self.evictions.load(Ordering::Relaxed);
+        let dh = hits.saturating_sub(self.flushed_hits.swap(hits, Ordering::Relaxed));
+        let dm = misses.saturating_sub(self.flushed_misses.swap(misses, Ordering::Relaxed));
+        let de =
+            evictions.saturating_sub(self.flushed_evictions.swap(evictions, Ordering::Relaxed));
+        if dh > 0 {
+            caribou_telemetry::count("solver.cache.hit", dh);
+        }
+        if dm > 0 {
+            caribou_telemetry::count("solver.cache.miss", dm);
+        }
+        if de > 0 {
+            caribou_telemetry::count("solver.cache.evictions", de);
+        }
+        let total = hits + misses;
+        if total > 0 {
+            caribou_telemetry::gauge("solver.cache.hit_rate", hits as f64 / total as f64);
+        }
+    }
+}
+
 /// The deterministic parallel evaluation engine.
 ///
 /// One engine instance corresponds to one logical solve (or one solve
-/// batch, like a 24-hour plan generation) against one frozen
+/// batch, like a 24-hour plan generation) of one app against one frozen
 /// [`SolverContext`] data set. Do **not** reuse an engine after the
-/// forecast or profile behind the context changed: the cache would serve
-/// estimates of the stale data.
+/// forecast or profile behind the context changed — unless the stale
+/// entries were dropped through [`EstimateCache::invalidate_hour`], the
+/// cache would serve estimates of the stale data.
 pub struct EvalEngine {
     solve_seed: u64,
+    fingerprint: u64,
     workers: usize,
-    cache: Mutex<HashMap<(Vec<RegionId>, u64), EstimateSummary>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    flushed_hits: AtomicU64,
-    flushed_misses: AtomicU64,
+    cache: Arc<EstimateCache>,
 }
 
 impl EvalEngine {
-    /// Creates an engine for one solve.
+    /// Creates an engine for one solve, with a private cache.
     ///
     /// `solve_seed` determines every evaluation stream; `workers` caps
     /// the fan-out of [`evaluate_many`](Self::evaluate_many) (1 = fully
     /// sequential, same results).
     pub fn new(solve_seed: u64, workers: usize) -> Self {
+        Self::with_cache(
+            solve_seed,
+            0,
+            workers,
+            EstimateCache::shared(DEFAULT_CACHE_CAPACITY),
+        )
+    }
+
+    /// Creates an engine whose evaluations are keyed and seeded by an app
+    /// `fingerprint` and stored in a shared `cache`.
+    ///
+    /// Sharing contract: every engine on one cache must use the same
+    /// `solve_seed`, and two engines may use the same `fingerprint` only
+    /// when their contexts produce bit-identical estimates for every
+    /// `(plan, hour)` — i.e. the fingerprint must commit to the DAG
+    /// structure, profile, home region, models, and Monte Carlo config.
+    /// Fingerprint 0 is reserved for single-app engines ([`Self::new`]):
+    /// it keeps the legacy evaluation streams bit-for-bit.
+    pub fn with_cache(
+        solve_seed: u64,
+        fingerprint: u64,
+        workers: usize,
+        cache: Arc<EstimateCache>,
+    ) -> Self {
         EvalEngine {
             solve_seed,
+            fingerprint,
             workers: workers.max(1),
-            cache: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            flushed_hits: AtomicU64::new(0),
-            flushed_misses: AtomicU64::new(0),
+            cache,
         }
     }
 
@@ -95,13 +294,29 @@ impl EvalEngine {
         self.solve_seed
     }
 
+    /// The app fingerprint (0 for single-app engines).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The backing estimate cache.
+    pub fn cache(&self) -> &Arc<EstimateCache> {
+        &self.cache
+    }
+
     /// The derived generator for one `(plan, hour)` evaluation — a pure
-    /// function of the solve seed and those labels. Public so tests can
-    /// verify cached results against fresh uncached runs.
+    /// function of the solve seed, the fingerprint, and those labels.
+    /// Public so tests can verify cached results against fresh uncached
+    /// runs.
     pub fn eval_rng(&self, plan: &DeploymentPlan, hour: f64) -> Pcg32 {
-        let mut sp = SeedSplitter::new(self.solve_seed)
-            .absorb(EVAL_DOMAIN)
-            .absorb(hour.to_bits());
+        let mut sp = SeedSplitter::new(self.solve_seed).absorb(EVAL_DOMAIN);
+        // Fingerprint 0 (single-app engines) skips the absorb so the
+        // pre-fleet evaluation streams — and every seeded golden output
+        // derived from them — are preserved bit-for-bit.
+        if self.fingerprint != 0 {
+            sp = sp.absorb(self.fingerprint);
+        }
+        sp = sp.absorb(hour.to_bits());
         for r in plan.assignment() {
             sp = sp.absorb(r.index() as u64);
         }
@@ -121,15 +336,21 @@ impl EvalEngine {
         plan: &DeploymentPlan,
         hour: f64,
     ) -> EstimateSummary {
-        let key = (plan.assignment().to_vec(), hour.to_bits());
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return *hit;
+        let key = (self.fingerprint, plan.assignment().to_vec(), hour.to_bits());
+        if let Some(hit) = self.cache.get(&key) {
+            return hit;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let mut rng = self.eval_rng(plan, hour);
         let estimate = ctx.evaluate(plan, hour, &mut rng);
-        self.cache.lock().expect("cache lock").insert(key, estimate);
+        // The estimator queries the carbon source only for the plan's
+        // regions and home (transmission endpoints and execution sites) —
+        // record them so forecast revisions can invalidate precisely.
+        let mut touched = plan.regions_used();
+        if !touched.contains(&ctx.home) {
+            touched.push(ctx.home);
+            touched.sort_unstable();
+        }
+        self.cache.insert(key, estimate, touched);
         estimate
     }
 
@@ -150,41 +371,110 @@ impl EvalEngine {
         out
     }
 
-    /// Cache hits so far.
+    /// Cache hits so far (cache-wide when the cache is shared).
     pub fn hit_count(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.cache.hit_count()
     }
 
     /// Cache misses (= distinct evaluations computed, absent races).
     pub fn miss_count(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.cache.miss_count()
     }
 
-    /// Distinct `(plan, hour)` entries cached.
+    /// Distinct `(fingerprint, plan, hour)` entries cached.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("cache lock").len()
+        self.cache.len()
     }
 
-    /// Publishes unflushed hit/miss tallies as `solver.cache.{hit,miss}`
-    /// counters into the calling thread's telemetry session. Call from
-    /// the coordinating thread — workers accumulate, they never record.
+    /// Publishes unflushed cache tallies; see
+    /// [`EstimateCache::flush_telemetry`].
     pub fn flush_telemetry(&self) {
-        if !caribou_telemetry::is_enabled() {
-            return;
+        self.cache.flush_telemetry();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(tag: f64) -> EstimateSummary {
+        // Serde round-trip spares the test from spelling out every field
+        // of the (Copy, all-pub) summary struct.
+        let d = format!("{{\"mean\":{tag},\"p95\":{tag},\"std_dev\":0.0,\"n\":1}}");
+        let json = format!(
+            "{{\"latency\":{d},\"cost\":{d},\"carbon\":{d},\
+             \"exec_carbon_mean\":{tag},\"trans_carbon_mean\":{tag},\"samples\":1}}"
+        );
+        serde_json::from_str(&json).expect("summary literal deserializes")
+    }
+
+    fn key(fp: u64, regions: &[u16], hour: f64) -> CacheKey {
+        (
+            fp,
+            regions.iter().map(|r| RegionId(*r)).collect(),
+            hour.to_bits(),
+        )
+    }
+
+    #[test]
+    fn eviction_keeps_smallest_keys_regardless_of_insertion_order() {
+        let keys: Vec<CacheKey> = (0..10u64).map(|i| key(i, &[0, 1], 0.5)).collect();
+        let forward = EstimateCache::new(4);
+        for k in &keys {
+            forward.insert(k.clone(), summary(1.0), vec![RegionId(0)]);
         }
-        let hits = self.hits.load(Ordering::Relaxed);
-        let misses = self.misses.load(Ordering::Relaxed);
-        let dh = hits.saturating_sub(self.flushed_hits.swap(hits, Ordering::Relaxed));
-        let dm = misses.saturating_sub(self.flushed_misses.swap(misses, Ordering::Relaxed));
-        if dh > 0 {
-            caribou_telemetry::count("solver.cache.hit", dh);
+        let backward = EstimateCache::new(4);
+        for k in keys.iter().rev() {
+            backward.insert(k.clone(), summary(1.0), vec![RegionId(0)]);
         }
-        if dm > 0 {
-            caribou_telemetry::count("solver.cache.miss", dm);
+        assert_eq!(forward.len(), 4);
+        assert_eq!(backward.len(), 4);
+        assert_eq!(forward.eviction_count(), 6);
+        assert_eq!(backward.eviction_count(), 6);
+        // Both orders retain exactly the 4 smallest keys.
+        for k in &keys[..4] {
+            assert!(forward.get(k).is_some());
+            assert!(backward.get(k).is_some());
         }
-        let total = hits + misses;
-        if total > 0 {
-            caribou_telemetry::gauge("solver.cache.hit_rate", hits as f64 / total as f64);
+        for k in &keys[4..] {
+            assert!(forward.get(k).is_none());
+            assert!(backward.get(k).is_none());
         }
+    }
+
+    #[test]
+    fn invalidate_hour_drops_only_touched_entries_at_that_hour() {
+        let cache = EstimateCache::new(100);
+        let r0 = RegionId(0);
+        let r1 = RegionId(1);
+        let r2 = RegionId(2);
+        cache.insert(key(1, &[0], 7.5), summary(1.0), vec![r0, r1]);
+        cache.insert(key(1, &[2], 7.5), summary(2.0), vec![r1, r2]);
+        cache.insert(key(1, &[0], 8.5), summary(3.0), vec![r0, r1]);
+        // Revising region 0 at hour 7.5 touches only the first entry.
+        assert_eq!(cache.invalidate_hour(7.5, &[r0]), 1);
+        assert!(cache.get(&key(1, &[0], 7.5)).is_none());
+        assert!(cache.get(&key(1, &[2], 7.5)).is_some());
+        assert!(cache.get(&key(1, &[0], 8.5)).is_some());
+        // Revising every region at hour 7.5 clears the rest of that hour.
+        assert_eq!(cache.invalidate_hour(7.5, &[r0, r1, r2]), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn fingerprints_separate_streams_and_keys() {
+        let cache = EstimateCache::shared(100);
+        let a = EvalEngine::with_cache(7, 0xaaaa, 1, Arc::clone(&cache));
+        let b = EvalEngine::with_cache(7, 0xbbbb, 1, Arc::clone(&cache));
+        let same = EvalEngine::with_cache(7, 0xaaaa, 1, Arc::clone(&cache));
+        let plan = DeploymentPlan::new(vec![RegionId(0), RegionId(1)]);
+        let ra = a.eval_rng(&plan, 0.5).next_u64();
+        let rb = b.eval_rng(&plan, 0.5).next_u64();
+        let rs = same.eval_rng(&plan, 0.5).next_u64();
+        assert_ne!(
+            ra, rb,
+            "different fingerprints must derive different streams"
+        );
+        assert_eq!(ra, rs, "equal fingerprints must derive equal streams");
     }
 }

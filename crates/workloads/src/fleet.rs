@@ -1,0 +1,368 @@
+//! Seeded heterogeneous fleet generation for multi-tenant solving.
+//!
+//! [`generate_fleet`] draws N applications from a small discrete palette
+//! of DAG shapes, execution tiers, data volumes, home regions,
+//! constraints, and tolerances. Two deliberate properties:
+//!
+//! * **Heterogeneity** — shape × tier × volume × home spans ~100 distinct
+//!   structural species, so a fleet of any realistic size mixes chains,
+//!   fan-outs, and sync-join diamonds with different resource profiles.
+//! * **Structural collisions** — the palette is discrete, so a large
+//!   fleet contains many apps that are *bit-identical in structure*
+//!   (same DAG, profile, and home). Each species carries a stable
+//!   [`FleetApp::fingerprint`]; the fleet subsystem keys the shared
+//!   estimate cache on it, so structurally identical apps share Monte
+//!   Carlo estimates no matter which app computed them first.
+//!
+//! Constraints (permitted region sets) and QoS tolerances vary *within*
+//! a species and are excluded from the fingerprint: they change which
+//! candidates a solve may pick, never what a candidate's estimate is.
+
+use caribou_model::builder::Workflow;
+use caribou_model::constraints::Tolerances;
+use caribou_model::dag::WorkflowDag;
+use caribou_model::dist::DistSpec;
+use caribou_model::profile::WorkflowProfile;
+use caribou_model::region::RegionId;
+use caribou_model::rng::SeedSplitter;
+
+/// Domain-separation label for fleet app draws.
+const FLEET_APP_DOMAIN: u64 = 0xca1b_f1ee_7a44_0001;
+/// Domain-separation label for species fingerprints.
+const FLEET_SPECIES_DOMAIN: u64 = 0xca1b_f1ee_7a44_0002;
+
+/// DAG shapes in the palette.
+const SHAPES: [FleetShape; 4] = [
+    FleetShape::Chain2,
+    FleetShape::Chain3,
+    FleetShape::FanOut3,
+    FleetShape::Diamond,
+];
+
+/// Execution tiers: (median seconds, memory MB, cpu utilization).
+const EXEC_TIERS: [(f64, u32, f64); 3] = [(1.0, 512, 0.6), (2.5, 1024, 0.7), (6.0, 1769, 0.8)];
+
+/// Data-volume tiers: (edge payload bytes, external data bytes).
+const DATA_TIERS: [(f64, f64); 3] = [(8e3, 50e3), (128e3, 800e3), (512e3, 3.0e6)];
+
+/// Latency-tolerance palette (vs the home baseline, §7.1).
+const LATENCY_TOLS: [f64; 3] = [0.25, 0.5, 1.0];
+
+/// A DAG shape in the generator's palette.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetShape {
+    /// Two-node chain.
+    Chain2,
+    /// Three-node chain.
+    Chain3,
+    /// One node fanning out to three independent branches.
+    FanOut3,
+    /// Split → two branches → synchronizing join.
+    Diamond,
+}
+
+impl FleetShape {
+    /// Node count of the shape.
+    pub fn node_count(self) -> usize {
+        match self {
+            FleetShape::Chain2 => 2,
+            FleetShape::Chain3 => 3,
+            FleetShape::FanOut3 => 4,
+            FleetShape::Diamond => 4,
+        }
+    }
+
+    /// Stable label for fingerprints and names.
+    fn label(self) -> (&'static str, u64) {
+        match self {
+            FleetShape::Chain2 => ("chain2", 0),
+            FleetShape::Chain3 => ("chain3", 1),
+            FleetShape::FanOut3 => ("fanout3", 2),
+            FleetShape::Diamond => ("diamond", 3),
+        }
+    }
+}
+
+/// One application of a generated fleet.
+#[derive(Debug, Clone)]
+pub struct FleetApp {
+    /// `app-<index>`.
+    pub name: String,
+    /// Position in the fleet (stable across worker counts).
+    pub index: usize,
+    /// Structural species id: equal fingerprints guarantee bit-identical
+    /// `(dag, profile, home)` and thus bit-identical estimates for any
+    /// `(plan, hour)` under the fleet's shared models. Never 0 (reserved
+    /// for single-app engines).
+    pub fingerprint: u64,
+    /// DAG shape drawn for this app.
+    pub shape: FleetShape,
+    /// Validated DAG.
+    pub dag: WorkflowDag,
+    /// Resource profile.
+    pub profile: WorkflowProfile,
+    /// Home region (baseline and external-data anchor).
+    pub home: RegionId,
+    /// Permitted regions per node (home always included, sets sorted).
+    pub permitted: Vec<Vec<RegionId>>,
+    /// QoS tolerances vs the home baseline.
+    pub tolerances: Tolerances,
+}
+
+impl FleetApp {
+    /// The regions this app's solve reads from the carbon forecast at the
+    /// solve hour: HBSS ranks every permitted region, and estimates read
+    /// only assigned regions plus home (a subset). This is the app's row
+    /// in the fleet's forecast dependency index.
+    pub fn forecast_reads(&self) -> Vec<RegionId> {
+        let mut reads: Vec<RegionId> = self.permitted.iter().flatten().copied().collect();
+        reads.sort_unstable();
+        reads.dedup();
+        reads
+    }
+}
+
+/// Generates a seeded fleet of `apps` applications over `universe` (the
+/// candidate regions; the first entries are favoured as homes).
+///
+/// Pure function of `(seed, apps, universe)`: app `i` is drawn from a
+/// [`SeedSplitter`]-derived stream labelled by `i`, so the fleet is
+/// independent of iteration order and any worker count downstream.
+///
+/// # Panics
+///
+/// Panics when `universe` is empty.
+pub fn generate_fleet(seed: u64, apps: usize, universe: &[RegionId]) -> Vec<FleetApp> {
+    assert!(!universe.is_empty(), "fleet universe must be non-empty");
+    (0..apps).map(|i| generate_app(seed, i, universe)).collect()
+}
+
+/// Generates app `index` of the fleet — see [`generate_fleet`].
+pub fn generate_app(seed: u64, index: usize, universe: &[RegionId]) -> FleetApp {
+    let mut rng = SeedSplitter::new(seed)
+        .absorb(FLEET_APP_DOMAIN)
+        .absorb(index as u64)
+        .rng();
+
+    // Structural draws (committed to by the fingerprint).
+    let shape = SHAPES[rng.next_index(SHAPES.len())];
+    let exec_tier = rng.next_index(EXEC_TIERS.len());
+    let data_tier = rng.next_index(DATA_TIERS.len());
+    let home_pick = rng.next_index(universe.len());
+    let home = universe[home_pick];
+
+    // Constraint draws (excluded from the fingerprint: they narrow the
+    // search, not the estimates).
+    let extra_regions = rng.next_index(universe.len()); // 0..universe-1 extras
+    let latency_tol = LATENCY_TOLS[rng.next_index(LATENCY_TOLS.len())];
+
+    let (shape_name, shape_tag) = shape.label();
+    let fingerprint = SeedSplitter::new(FLEET_SPECIES_DOMAIN)
+        .absorb(shape_tag)
+        .absorb(exec_tier as u64)
+        .absorb(data_tier as u64)
+        .absorb(home.index() as u64)
+        .seed()
+        .max(1);
+
+    let (dag, profile) = build_workflow(shape, shape_name, exec_tier, data_tier);
+
+    // Permitted set: home plus `extra_regions` distinct others, drawn
+    // without replacement in rng order, then sorted (constraints keep
+    // permitted sets sorted ascending).
+    let mut others: Vec<RegionId> = universe.iter().copied().filter(|r| *r != home).collect();
+    rng.shuffle(&mut others);
+    let mut set: Vec<RegionId> = std::iter::once(home)
+        .chain(others.into_iter().take(extra_regions))
+        .collect();
+    set.sort_unstable();
+    let permitted = vec![set; dag.node_count()];
+
+    FleetApp {
+        name: format!("app-{index}"),
+        index,
+        fingerprint,
+        shape,
+        dag,
+        profile,
+        home,
+        permitted,
+        tolerances: Tolerances {
+            latency: latency_tol,
+            cost: 1.0,
+            carbon: f64::INFINITY,
+        },
+    }
+}
+
+fn exec_dist(median_s: f64) -> DistSpec {
+    DistSpec::LogNormal {
+        median: median_s,
+        sigma: 0.10,
+    }
+}
+
+fn payload_dist(bytes: f64) -> DistSpec {
+    DistSpec::LogNormal {
+        median: bytes,
+        sigma: 0.05,
+    }
+}
+
+/// Builds the workflow for one species. Deterministic in its arguments —
+/// two apps of the same species get bit-identical DAGs and profiles (the
+/// workflow name is the species label, not the app name, so extracted
+/// structures compare equal across apps).
+fn build_workflow(
+    shape: FleetShape,
+    shape_name: &str,
+    exec_tier: usize,
+    data_tier: usize,
+) -> (WorkflowDag, WorkflowProfile) {
+    let (median_s, memory_mb, cpu) = EXEC_TIERS[exec_tier];
+    let (payload_b, external_b) = DATA_TIERS[data_tier];
+    let mut wf = Workflow::new(format!("{shape_name}_e{exec_tier}_d{data_tier}"), "1.0");
+    let node = |wf: &mut Workflow, name: &str, scale: f64| {
+        wf.serverless_function(name)
+            .memory_mb(memory_mb)
+            .exec_time(exec_dist(median_s * scale))
+            .cpu_utilization(cpu)
+            .register()
+    };
+    match shape {
+        FleetShape::Chain2 | FleetShape::Chain3 => {
+            let n = shape.node_count();
+            let mut prev = wf
+                .serverless_function("F0")
+                .memory_mb(memory_mb)
+                .exec_time(exec_dist(median_s))
+                .cpu_utilization(cpu)
+                // The input is fetched from, and the result returned to,
+                // home-region storage.
+                .external_data_bytes(external_b)
+                .register();
+            for i in 1..n {
+                let next = node(&mut wf, &format!("F{i}"), 1.0);
+                wf.invoke(prev, next, None).payload(payload_dist(payload_b));
+                prev = next;
+            }
+        }
+        FleetShape::FanOut3 => {
+            let prepare = wf
+                .serverless_function("Prepare")
+                .memory_mb(memory_mb)
+                .exec_time(exec_dist(median_s * 0.5))
+                .cpu_utilization(cpu)
+                .external_data_bytes(external_b)
+                .register();
+            for i in 0..3 {
+                let branch = node(&mut wf, &format!("Branch{i}"), 1.0);
+                wf.invoke(prepare, branch, None)
+                    .payload(payload_dist(payload_b));
+            }
+        }
+        FleetShape::Diamond => {
+            let split = wf
+                .serverless_function("Split")
+                .memory_mb(memory_mb)
+                .exec_time(exec_dist(median_s * 0.5))
+                .cpu_utilization(cpu)
+                .external_data_bytes(external_b)
+                .register();
+            let left = node(&mut wf, "Left", 1.0);
+            let right = node(&mut wf, "Right", 1.0);
+            let join = node(&mut wf, "Join", 0.5);
+            wf.invoke(split, left, None)
+                .payload(payload_dist(payload_b));
+            wf.invoke(split, right, None)
+                .payload(payload_dist(payload_b));
+            wf.invoke(left, join, None).payload(payload_dist(payload_b));
+            wf.invoke(right, join, None)
+                .payload(payload_dist(payload_b));
+            // The join waits for both branches: a synchronization node.
+            wf.get_predecessor_data(join);
+        }
+    }
+    wf.set_input(payload_dist(4e3));
+    let (dag, profile, _) = wf
+        .extract()
+        .expect("fleet species are structurally valid by construction");
+    (dag, profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe() -> Vec<RegionId> {
+        (0..4u16).map(RegionId).collect()
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_order_free() {
+        let fleet = generate_fleet(42, 32, &universe());
+        assert_eq!(fleet.len(), 32);
+        for (i, app) in fleet.iter().enumerate() {
+            assert_eq!(app.index, i);
+            // Per-app regeneration matches the batch draw: apps are pure
+            // functions of (seed, index, universe).
+            let solo = generate_app(42, i, &universe());
+            assert_eq!(solo.fingerprint, app.fingerprint);
+            assert_eq!(solo.home, app.home);
+            assert_eq!(solo.permitted, app.permitted);
+            assert_eq!(solo.profile, app.profile);
+        }
+    }
+
+    #[test]
+    fn species_collide_and_share_fingerprints() {
+        let fleet = generate_fleet(7, 200, &universe());
+        let mut by_fp: std::collections::HashMap<u64, Vec<usize>> = Default::default();
+        for app in &fleet {
+            by_fp.entry(app.fingerprint).or_default().push(app.index);
+        }
+        assert!(
+            by_fp.len() < fleet.len(),
+            "a 200-app fleet over a ~144-species palette must collide"
+        );
+        // Same fingerprint ⇒ bit-identical structure, profile, and home.
+        for apps in by_fp.values().filter(|v| v.len() > 1) {
+            let first = &fleet[apps[0]];
+            for &i in &apps[1..] {
+                let other = &fleet[i];
+                assert_eq!(first.home, other.home);
+                assert_eq!(first.profile, other.profile);
+                assert_eq!(first.dag.node_count(), other.dag.node_count());
+                assert_eq!(first.dag.edge_count(), other.dag.edge_count());
+            }
+        }
+    }
+
+    #[test]
+    fn permitted_sets_vary_and_always_include_home() {
+        let fleet = generate_fleet(3, 64, &universe());
+        let mut sizes: std::collections::HashSet<usize> = Default::default();
+        for app in &fleet {
+            for set in &app.permitted {
+                assert!(set.contains(&app.home));
+                assert!(set.windows(2).all(|w| w[0] < w[1]), "sets sorted, unique");
+                sizes.insert(set.len());
+            }
+            let reads = app.forecast_reads();
+            assert!(reads.contains(&app.home));
+        }
+        assert!(sizes.len() > 1, "constraint heterogeneity expected");
+    }
+
+    #[test]
+    fn diamond_has_sync_join_and_chains_do_not() {
+        let fleet = generate_fleet(11, 64, &universe());
+        for app in &fleet {
+            match app.shape {
+                FleetShape::Diamond => assert!(app.dag.has_sync_nodes()),
+                _ => assert!(!app.dag.has_sync_nodes()),
+            }
+            assert_eq!(app.dag.node_count(), app.shape.node_count());
+        }
+    }
+}

@@ -19,9 +19,12 @@
 //! for the continuous evaluations (§9.1 Workload Invocation and Traffic).
 //! [`arrivals`] provides the seeded open-loop arrival processes (Poisson,
 //! diurnal, bursty) behind the `caribou loadgen` sustained-load harness.
+//! [`fleet`] provides the seeded heterogeneous multi-app generator behind
+//! the `caribou fleet` multi-tenant solving subsystem.
 
 pub mod arrivals;
 pub mod benchmarks;
+pub mod fleet;
 pub mod traces;
 
 pub use arrivals::ArrivalProcess;
@@ -29,4 +32,5 @@ pub use benchmarks::{
     all_benchmarks, dna_visualization, image_processing, rag_data_ingestion, text2speech_censoring,
     video_analytics, Benchmark, InputSize,
 };
+pub use fleet::{generate_fleet, FleetApp, FleetShape};
 pub use traces::{azure_trace, trace_from_csv, trace_to_csv, uniform_trace};

@@ -61,6 +61,27 @@ if [[ "${1:-}" != "--fast" ]]; then
     # BENCH_loadgen.json baseline (with 2x slack for slower hosts).
     echo "==> loadgen bench guard"
     cargo bench -q -p caribou-bench --bench loadgen -- --test
+
+    # Deterministic fleet smoke: a multi-tenant re-plan (full solve, then
+    # incremental re-solve after a single-hour forecast revision, with
+    # --verify diffing incremental against from-scratch) must print a
+    # bit-identical summary at 1 and 4 workers.
+    echo "==> caribou fleet smoke (32 apps x 6 hours, 1 vs 4 workers)"
+    cargo run -q --release -p caribou-core --bin caribou -- \
+        fleet --apps 32 --hours 6 --seed 42 --perturb 'h3:us-west-2*2' \
+        --verify --workers 1 >/tmp/caribou-fleet-1w.txt
+    cargo run -q --release -p caribou-core --bin caribou -- \
+        fleet --apps 32 --hours 6 --seed 42 --perturb 'h3:us-west-2*2' \
+        --verify --workers 4 >/tmp/caribou-fleet-4w.txt
+    diff /tmp/caribou-fleet-1w.txt /tmp/caribou-fleet-4w.txt
+    rm -f /tmp/caribou-fleet-1w.txt /tmp/caribou-fleet-4w.txt
+
+    # Fleet bench guard: worker-count-invariant schedules, cross-app
+    # cache hit-rate floor, warm re-solves adding zero misses,
+    # incremental-equivalence, and app-hours/s at or above the committed
+    # BENCH_fleet.json baseline (with 2x slack for slower hosts).
+    echo "==> fleet bench guard"
+    cargo bench -q -p caribou-bench --bench fleet -- --test
 fi
 
 # Panic-free user-input surface: the formerly panicking resolution paths
