@@ -1,0 +1,247 @@
+//! Cross-provider solve benchmark and guard for the multi-provider
+//! substrate.
+//!
+//! The criterion group measures the 24-hour cross-provider schedule
+//! (`aws,gcp` universe) in hour-cells per second, cold- and warm-cache.
+//! The guard at the end enforces the substrate contract:
+//!
+//! * cross-provider hourly schedules are bit-identical at 1 and 4
+//!   workers;
+//! * the hourly solve's estimate cache hit rate clears a floor (hour-to-
+//!   hour plan reuse is load-bearing across providers too);
+//! * provider bits are part of the cache key: an AWS-only engine sharing
+//!   the cross-provider cache never reads the other's entries;
+//! * measured single-worker throughput stays within 2x of the committed
+//!   `BENCH_providers.json` baseline (and above an absolute floor).
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use caribou_carbon::source::{ForecastingSource, RegionalSource};
+use caribou_carbon::synth::SyntheticCarbonSource;
+use caribou_metrics::carbonmodel::{CarbonModel, TransmissionScenario};
+use caribou_metrics::costmodel::CostModel;
+use caribou_metrics::montecarlo::{DefaultModels, MonteCarloConfig};
+use caribou_model::constraints::Objective;
+use caribou_model::region::{Provider, ProviderSet, RegionId};
+use caribou_model::rng::Pcg32;
+use caribou_simcloud::cloud::SimCloud;
+use caribou_simcloud::orchestration::Orchestrator;
+use caribou_solver::context::SolverContext;
+use caribou_solver::engine::{EstimateCache, EvalEngine};
+use caribou_solver::hbss::HbssSolver;
+use caribou_solver::hourly::solve_hourly_with;
+use caribou_workloads::benchmarks::{all_benchmarks, InputSize};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+
+/// Absolute floor (hour-cells/second, release build, 1 worker) under
+/// which cross-provider solving has regressed badly on any plausible
+/// machine.
+const HOURS_PER_S_FLOOR: f64 = 2.0;
+
+/// Minimum cold-cache hit rate over one 24-hour cross-provider solve:
+/// hour-to-hour candidate reuse must survive the provider-qualified key.
+const COLD_HIT_RATE_FLOOR: f64 = 0.20;
+
+/// Builds the `caribou plan text2speech --hourly --providers aws,gcp`
+/// solver world and hands the context (plus the universe's provider bits
+/// and a per-RegionId provider lookup) to `f`. The context borrows a
+/// pile of locals, hence the shape.
+fn with_ctx<R>(
+    f: impl FnOnce(
+        &SolverContext<'_, ForecastingSource<'_, RegionalSource>, DefaultModels<'_>>,
+        u64,
+        &[Provider],
+    ) -> R,
+) -> R {
+    let set = ProviderSet::parse("aws,gcp").expect("static provider set");
+    let cloud = SimCloud::for_providers(set, 7).expect("aws,gcp backends exist");
+    let regions: Vec<RegionId> = SimCloud::evaluation_universe(set)
+        .iter()
+        .map(|n| cloud.regions.resolve(n).expect("universe resolves"))
+        .collect();
+    let bench = all_benchmarks(InputSize::Small)
+        .into_iter()
+        .find(|b| b.dag.name().contains("text2speech"))
+        .expect("benchmark exists");
+    let carbon = RegionalSource::new(
+        &cloud.regions,
+        SyntheticCarbonSource::aws_calibrated(20231015),
+    )
+    .expect("calibrated zones cover the catalog");
+    let home = cloud.region("us-east-1").expect("aws home");
+    let mut constraints = bench.constraints.clone();
+    constraints.tolerances.latency = 0.10;
+    constraints.tolerances.cost = 1.0;
+    let permitted = constraints
+        .permitted_regions(&bench.dag, &regions, &cloud.regions, home)
+        .expect("constraints valid");
+    let forecast = ForecastingSource::fit(&carbon, &regions, 0.0, 48);
+    let models = DefaultModels {
+        profile: &bench.profile,
+        runtime: &cloud.compute,
+        latency: &cloud.latency,
+        orchestrator: Orchestrator::Caribou,
+    };
+    let ctx = SolverContext {
+        dag: &bench.dag,
+        profile: &bench.profile,
+        permitted: &permitted,
+        home,
+        objective: Objective::Carbon,
+        tolerances: constraints.tolerances,
+        carbon_source: &forecast,
+        carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+        cost_model: CostModel::new(&cloud.pricing),
+        models: &models,
+        mc_config: MonteCarloConfig::default(),
+    };
+    let bits = cloud.regions.provider_bits(&regions);
+    let provider_of: Vec<Provider> = cloud.regions.iter().map(|(_, s)| s.provider).collect();
+    f(&ctx, bits, &provider_of)
+}
+
+fn solve_24h<S, M>(
+    ctx: &SolverContext<'_, S, M>,
+    bits: u64,
+    workers: usize,
+    cache: Arc<EstimateCache>,
+) -> (caribou_model::plan::HourlyPlans, EvalEngine)
+where
+    S: caribou_carbon::source::CarbonDataSource + Sync,
+    M: caribou_metrics::montecarlo::StageModels + Sync,
+{
+    let engine = EvalEngine::with_cache_providers(7, 0, bits, workers, cache);
+    let plans = solve_hourly_with(
+        &engine,
+        &HbssSolver::new(),
+        ctx,
+        0.0,
+        0.0,
+        86_400.0,
+        &mut Pcg32::seed(7),
+    );
+    (plans, engine)
+}
+
+fn bench_providers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("providers");
+    group.sample_size(10);
+    with_ctx(|ctx, bits, _| {
+        group.bench_function(BenchmarkId::new("solve_24h", "aws_gcp_cold"), |b| {
+            b.iter(|| {
+                let cache = EstimateCache::shared(1 << 16);
+                black_box(solve_24h(ctx, bits, 1, cache).0)
+            });
+        });
+        let warm = EstimateCache::shared(1 << 16);
+        solve_24h(ctx, bits, 1, Arc::clone(&warm));
+        group.bench_function(BenchmarkId::new("solve_24h", "aws_gcp_warm"), |b| {
+            b.iter(|| black_box(solve_24h(ctx, bits, 1, Arc::clone(&warm)).0));
+        });
+    });
+    group.finish();
+}
+
+/// Hard guard on the cross-provider substrate contract plus the
+/// committed throughput baseline.
+fn guard_providers() {
+    with_ctx(|ctx, bits, provider_of| {
+        assert_ne!(bits, 0, "aws,gcp universe must carry non-AWS bits");
+
+        // Bit-identical 24-hour schedules at 1 and 4 workers.
+        let (p1, e1) = solve_24h(ctx, bits, 1, EstimateCache::shared(1 << 16));
+        let (p4, _) = solve_24h(ctx, bits, 4, EstimateCache::shared(1 << 16));
+        assert_eq!(p1, p4, "worker count changed the cross-provider schedule");
+
+        // The schedule actually spans providers (the point of the wider
+        // plan space): at least one assignment lands on a non-AWS region.
+        let crosses = (0..24).any(|h| {
+            p1.plan_for_hour(h)
+                .assignment()
+                .iter()
+                .any(|r| provider_of[r.index()] != Provider::Aws)
+        });
+        assert!(crosses, "no hour offloaded to the second provider");
+
+        // Cold hit rate: hour-to-hour reuse through the provider-keyed
+        // cache.
+        let (hits, misses) = (e1.hit_count() as f64, e1.miss_count() as f64);
+        let cold_rate = hits / (hits + misses).max(1.0);
+        println!("providers/guard: cold hit rate {:.1}%", cold_rate * 100.0);
+        assert!(
+            cold_rate >= COLD_HIT_RATE_FLOOR,
+            "cold hit rate {cold_rate:.3} below floor {COLD_HIT_RATE_FLOOR}"
+        );
+
+        // Provider bits are part of the key: an AWS-only engine sharing
+        // the cross-provider cache must not read its entries. Evaluate a
+        // plan the cross-provider engine has certainly cached; the
+        // bits=0 engine must miss.
+        let probe = p1.plan_for_hour(0).clone();
+        let shared = e1.cache();
+        let aws_engine = EvalEngine::with_cache_providers(7, 0, 0, 1, Arc::clone(shared));
+        let misses_before = aws_engine.miss_count();
+        let hits_before = aws_engine.hit_count();
+        aws_engine.evaluate(ctx, &probe, 0.5);
+        assert_eq!(
+            aws_engine.hit_count(),
+            hits_before,
+            "aws-only engine read a provider-qualified cache entry"
+        );
+        assert_eq!(aws_engine.miss_count(), misses_before + 1);
+
+        // Throughput: best of 3 cold single-worker 24-hour solves.
+        let mut best_s = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            black_box(solve_24h(ctx, bits, 1, EstimateCache::shared(1 << 16)).0);
+            best_s = best_s.min(start.elapsed().as_secs_f64());
+        }
+        let throughput = 24.0 / best_s;
+        println!("providers/guard: {throughput:.1} hour-cells/s (1 worker, cold, best of 3)");
+        assert!(
+            throughput >= HOURS_PER_S_FLOOR,
+            "cross-provider throughput {throughput:.1} hour-cells/s below floor {HOURS_PER_S_FLOOR:.1}"
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_providers.json");
+        if let Some((committed_tp, committed_rate)) = read_baseline(path) {
+            println!(
+                "providers/guard: committed baseline {committed_tp:.1} hour-cells/s, {:.1}% hit rate",
+                committed_rate * 100.0
+            );
+            assert!(
+                throughput >= committed_tp / 2.0,
+                "throughput {throughput:.1} fell below half the committed baseline {committed_tp:.1}"
+            );
+            assert!(
+                cold_rate >= committed_rate - 0.10,
+                "cold hit rate {cold_rate:.3} fell more than 10pp below committed {committed_rate:.3}"
+            );
+        }
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let json = format!(
+            "{{\n  \"hour_cells_per_s_1w\": {throughput:.1},\n  \"cold_hit_rate\": {cold_rate:.3},\n  \"cores\": {cores}\n}}\n"
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("providers/guard: could not write {path}: {e}");
+        }
+    });
+}
+
+fn read_baseline(path: &str) -> Option<(f64, f64)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let value: serde_json::Value = serde_json::from_str(&text).ok()?;
+    Some((
+        value.get("hour_cells_per_s_1w")?.as_f64()?,
+        value.get("cold_hit_rate")?.as_f64()?,
+    ))
+}
+
+criterion_group!(benches, bench_providers);
+
+fn main() {
+    benches();
+    guard_providers();
+}

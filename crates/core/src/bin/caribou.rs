@@ -33,6 +33,7 @@ use caribou_metrics::costmodel::CostModel;
 use caribou_metrics::montecarlo::{DefaultModels, MonteCarloConfig};
 use caribou_model::constraints::Objective;
 use caribou_model::manifest::DeploymentManifest;
+use caribou_model::region::ProviderSet;
 use caribou_model::rng::Pcg32;
 use caribou_simcloud::cloud::SimCloud;
 use caribou_simcloud::orchestration::Orchestrator;
@@ -55,18 +56,28 @@ USAGE:
     caribou carbon <region> [--hours N]
     caribou carbon --zone <grid-zone> [--hours N]
     caribou plan <benchmark> [--input small|large] [--hour H] [--worst-case]
-                 [--hourly] [--workers N]
+                 [--hourly] [--workers N] [--providers aws[,gcp]]
     caribou simulate <benchmark> [--input small|large] [--days D] [--per-day N] [--worst-case]
                      [--telemetry <out.jsonl>] [--workers N] [--json]
+                     [--providers aws[,gcp]]
     caribou loadgen <benchmark> [--invocations N] [--seed S] [--workers N]
                     [--arrival poisson|diurnal|bursty] [--rate PER_S]
                     [--input small|large] [--worst-case] [--telemetry <out.jsonl>]
     caribou chaos [--seed N] [--requests N] [--duration-s S] [--drop P]
                   [--no-breaker] [--seeds K] [--workers N] [--json]
+                  [--providers aws[,gcp]]
     caribou fleet [--apps N] [--hours H] [--workers K] [--seed S]
                   [--capacity C] [--perturb <spec>] [--verify]
-                  [--telemetry <out.jsonl>]
+                  [--telemetry <out.jsonl>] [--providers aws[,gcp]]
     caribou trace <journal.jsonl> [--limit N]
+
+PROVIDERS:
+    --providers takes a comma-separated provider list (aws, gcp). The
+    default `aws` replays the single-provider substrate byte-for-byte;
+    `aws,gcp` widens the candidate universe with the GCP backend's
+    regions so plans may split one DAG across providers. Regions can be
+    provider-qualified anywhere a region name is accepted
+    (`aws:us-east-1`, `gcp:us-west1`).
 
 FLEET PERTURBATION SPEC:
     Comma-separated forecast revisions: h<HOUR>[:<region>](*FACTOR|+DELTA|-DELTA)
@@ -84,7 +95,7 @@ caribou fleet — multi-tenant fleet re-plan with incremental re-solve
 USAGE:
     caribou fleet [--apps N] [--hours H] [--workers K] [--seed S]
                   [--capacity C] [--perturb <spec>] [--verify]
-                  [--telemetry <out.jsonl>]
+                  [--telemetry <out.jsonl>] [--providers aws[,gcp]]
 
 OPTIONS:
     --apps N             fleet size (default 24): seeded heterogeneous DAG
@@ -99,6 +110,8 @@ OPTIONS:
                          fail (exit 1) unless the incremental schedule is
                          bit-identical
     --telemetry <path>   record fleet.* / solver.cache.* telemetry to JSONL
+    --providers LIST     provider backends whose regions join the candidate
+                         universe (default `aws`; `aws,gcp` for cross-cloud)
 
 PERTURBATION SPEC (comma-separated terms):
     h<HOUR>[:<region>](*FACTOR|+DELTA|-DELTA)
@@ -195,6 +208,45 @@ fn workers(args: &[String]) -> Result<usize, String> {
             Ok(_) => Err("--workers: must be at least 1".into()),
             Err(e) => Err(format!("--workers: {e}")),
         },
+    }
+}
+
+/// Parses `--providers aws[,gcp]` (default AWS-only, the legacy substrate).
+fn providers(args: &[String]) -> Result<ProviderSet, String> {
+    match flag(args, "--providers") {
+        None => Ok(ProviderSet::aws_only()),
+        Some(spec) => ProviderSet::parse(spec).map_err(|e| format!("--providers: {e}")),
+    }
+}
+
+/// Builds the simulated cloud and candidate-region universe for a
+/// provider set. The AWS-only default goes through the legacy
+/// constructor (byte-identical output); wider sets assemble the cloud
+/// from the trait backends and union their evaluation regions.
+fn cloud_for(
+    set: ProviderSet,
+    seed: u64,
+) -> Result<(SimCloud, Vec<caribou_model::region::RegionId>), String> {
+    if set.is_aws_only() {
+        let cloud = SimCloud::aws(seed);
+        let regions = cloud.regions.evaluation_regions();
+        return Ok((cloud, regions));
+    }
+    let cloud = SimCloud::for_providers(set, seed).map_err(|e| e.to_string())?;
+    let regions = SimCloud::evaluation_universe(set)
+        .iter()
+        .map(|n| cloud.regions.resolve(n).map_err(|e| e.to_string()))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((cloud, regions))
+}
+
+/// Renders a region for output: bare name on single-provider runs (the
+/// legacy format the goldens pin), `provider:name` on cross-provider runs.
+fn region_label(cloud: &SimCloud, set: ProviderSet, id: caribou_model::region::RegionId) -> String {
+    if set.is_aws_only() {
+        cloud.regions.name(id).to_string()
+    } else {
+        cloud.regions.qualified(id).to_string()
     }
 }
 
@@ -297,7 +349,7 @@ fn cmd_carbon(args: &[String]) -> Result<(), CliError> {
         .first()
         .filter(|a| !a.starts_with("--"))
         .ok_or("usage: caribou carbon <region> [--hours N], or --zone <grid-zone>")?;
-    let catalog = caribou_model::region::RegionCatalog::aws_default();
+    let catalog = caribou_model::region::RegionCatalog::multi_cloud();
     let region = catalog.resolve(region_name).map_err(|e| CliError {
         message: e.to_string(),
         exit: 2,
@@ -327,13 +379,13 @@ fn cmd_plan(args: &[String]) -> Result<(), CliError> {
         .unwrap_or(12.5);
     let bench = find_benchmark(name, input)?;
 
-    let cloud = SimCloud::aws(7);
+    let pset = providers(args)?;
+    let (cloud, regions) = cloud_for(pset, 7)?;
     let carbon = RegionalSource::new(
         &cloud.regions,
         SyntheticCarbonSource::aws_calibrated(20231015),
     )?;
     let home = cloud.region("us-east-1").map_err(|e| e.to_string())?;
-    let regions = cloud.regions.evaluation_regions();
     let mut constraints = bench.constraints.clone();
     constraints.tolerances.latency = 0.10;
     constraints.tolerances.cost = 1.0;
@@ -383,10 +435,10 @@ fn cmd_plan(args: &[String]) -> Result<(), CliError> {
         );
         for h in 0..24 {
             let plan = plans.plan_for_hour(h);
-            let assignment: Vec<&str> = bench
+            let assignment: Vec<String> = bench
                 .dag
                 .all_nodes()
-                .map(|n| cloud.regions.name(plan.region_of(n)))
+                .map(|n| region_label(&cloud, pset, plan.region_of(n)))
                 .collect();
             println!("  hour {h:>2}: {}", assignment.join(", "));
         }
@@ -408,7 +460,7 @@ fn cmd_plan(args: &[String]) -> Result<(), CliError> {
         println!(
             "  {:<20} -> {}",
             bench.dag.node(node).name,
-            cloud.regions.name(outcome.best.region_of(node))
+            region_label(&cloud, pset, outcome.best.region_of(node))
         );
     }
     let best = ctx.metric_of(&outcome.best_estimate);
@@ -443,12 +495,12 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
         .unwrap_or(1500.0);
     let bench = find_benchmark(name, input)?;
 
-    let cloud = SimCloud::aws(7);
+    let pset = providers(args)?;
+    let (cloud, regions) = cloud_for(pset, 7)?;
     let carbon = RegionalSource::new(
         &cloud.regions,
         SyntheticCarbonSource::aws_calibrated(20231015),
     )?;
-    let regions = cloud.regions.evaluation_regions();
     let mut config = CaribouConfig::new(regions, scenario(args));
     if flag(args, "--workers").is_some() {
         config.workers = workers(args)?;
@@ -524,7 +576,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
     let by_region = {
         let mut counts: Vec<(String, usize)> = Vec::new();
         for s in &report.samples {
-            let n = caribou.cloud.regions.name(s.majority_region).to_string();
+            let n = region_label(&caribou.cloud, pset, s.majority_region);
             match counts.iter_mut().find(|(r, _)| *r == n) {
                 Some((_, c)) => *c += 1,
                 None => counts.push((n, 1)),
@@ -655,6 +707,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
         }
     }
     config.breaker_enabled = !has_flag(args, "--no-breaker");
+    config.providers = providers(args)?;
     let sweep: usize = flag(args, "--seeds")
         .map(|v| v.parse().map_err(|e| format!("--seeds: {e}")))
         .transpose()?
@@ -667,12 +720,13 @@ fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
     }
 
     eprintln!(
-        "chaos campaign: seed {} · {} requests over {:.0} s · drop {} · breaker {}",
+        "chaos campaign: seed {} · {} requests over {:.0} s · drop {} · breaker {} · providers {}",
         config.seed,
         config.requests,
         config.duration_s,
         config.drop_prob,
         if config.breaker_enabled { "on" } else { "off" },
+        config.providers,
     );
     let report = caribou_core::chaos::run_campaign(&config);
 
@@ -858,7 +912,8 @@ fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
         caribou_telemetry::enable(Box::new(sink));
     }
 
-    let env = FleetEnv::new(cfg.seed, cfg.hours);
+    let pset = providers(args)?;
+    let env = FleetEnv::for_providers(cfg.seed, cfg.hours, pset).map_err(|e| e.to_string())?;
     let apps = generate_fleet(cfg.seed, cfg.apps, &env.universe);
     let perturbs = flag(args, "--perturb")
         .map(|spec| parse_perturb(spec, &env.cloud.regions, &env.universe, cfg.hours))
@@ -898,7 +953,8 @@ fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
     );
 
     if let Some(perturbs) = perturbs {
-        let mut revised = FleetEnv::new(cfg.seed, cfg.hours);
+        let mut revised =
+            FleetEnv::for_providers(cfg.seed, cfg.hours, pset).map_err(|e| e.to_string())?;
         revised.apply_perturbations(&perturbs);
         let wall = std::time::Instant::now();
         let inc = replan_incremental(&apps, &revised, &cfg, &cache, &full.schedule, &perturbs);

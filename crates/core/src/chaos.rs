@@ -31,7 +31,7 @@ use caribou_model::dag::NodeId;
 use caribou_model::dist::DistSpec;
 use caribou_model::manifest::DeploymentManifest;
 use caribou_model::plan::{DeploymentPlan, HourlyPlans};
-use caribou_model::region::RegionId;
+use caribou_model::region::{ProviderSet, RegionId};
 use caribou_model::rng::Pcg32;
 use caribou_simcloud::cloud::SimCloud;
 use caribou_simcloud::faults::FaultPlan;
@@ -54,6 +54,11 @@ pub struct ChaosConfig {
     pub breaker_enabled: bool,
     /// Per-attempt stochastic message-drop probability.
     pub drop_prob: f64,
+    /// Providers whose regions participate in the campaign. The default
+    /// AWS-only set replays the exact legacy campaign byte-for-byte;
+    /// `aws,gcp` offloads across both substrates so faults can force
+    /// cross-provider re-routes.
+    pub providers: ProviderSet,
 }
 
 impl Default for ChaosConfig {
@@ -64,6 +69,7 @@ impl Default for ChaosConfig {
             duration_s: 6.0 * 3600.0,
             breaker_enabled: true,
             drop_prob: 0.02,
+            providers: ProviderSet::aws_only(),
         }
     }
 }
@@ -151,11 +157,26 @@ fn chaos_app(home: RegionId) -> WorkflowApp {
 
 /// Runs one seeded chaos campaign and returns its report.
 pub fn run_campaign(config: &ChaosConfig) -> ChaosReport {
-    let mut cloud = SimCloud::aws(config.seed);
+    // The AWS-only default takes the legacy constructor so the campaign
+    // replays byte-for-byte; multi-provider sets assemble the cloud from
+    // the trait backends and widen the offload universe.
+    let mut cloud = if config.providers.is_aws_only() {
+        SimCloud::aws(config.seed)
+    } else {
+        SimCloud::for_providers(config.providers, config.seed)
+            .expect("chaos providers must have backends")
+    };
     let home = cloud
         .region("us-east-1")
         .expect("default AWS catalog includes us-east-1");
-    let regions = cloud.regions.evaluation_regions();
+    let regions: Vec<RegionId> = if config.providers.is_aws_only() {
+        cloud.regions.evaluation_regions()
+    } else {
+        SimCloud::evaluation_universe(config.providers)
+            .iter()
+            .map(|n| cloud.regions.resolve(n).expect("backend region present"))
+            .collect()
+    };
 
     // Flat carbon: the campaign studies robustness, not carbon.
     let mut carbon = TableSource::new();
@@ -359,6 +380,23 @@ mod tests {
             report.requests
         );
         assert!(report.fell_back_home > 0, "faults forced some failovers");
+    }
+
+    #[test]
+    fn multi_provider_campaign_upholds_invariants() {
+        let mut cfg = quick(42, true);
+        cfg.providers = ProviderSet::parse("aws,gcp").unwrap();
+        let report = run_campaign(&cfg);
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(
+            report.completed_clean + report.fell_back_home + report.failed,
+            report.requests,
+            "no invocation lost across the provider boundary"
+        );
+        // Same seed, same config → same report; and the widened offload
+        // universe genuinely changes the campaign relative to aws-only.
+        assert_eq!(report, run_campaign(&cfg));
+        assert_ne!(report, run_campaign(&quick(42, true)));
     }
 
     #[test]

@@ -43,7 +43,7 @@ use caribou_metrics::costmodel::CostModel;
 use caribou_metrics::montecarlo::{DefaultModels, MonteCarloConfig};
 use caribou_model::constraints::Objective;
 use caribou_model::plan::DeploymentPlan;
-use caribou_model::region::RegionId;
+use caribou_model::region::{ProviderSet, RegionId};
 use caribou_model::rng::{mix64, SeedSplitter};
 use caribou_simcloud::cloud::SimCloud;
 use caribou_simcloud::orchestration::Orchestrator;
@@ -117,6 +117,7 @@ pub struct FleetEnv {
     pub forecast: BTreeMap<RegionId, Vec<f64>>,
     seed: u64,
     hours: usize,
+    provider_bits: u64,
 }
 
 impl FleetEnv {
@@ -124,11 +125,37 @@ impl FleetEnv {
     /// Electricity-Maps-calibrated forecast materialized at hourly
     /// resolution. Pure function of `(seed, hours)`.
     pub fn new(seed: u64, hours: usize) -> Self {
-        let cloud = SimCloud::aws(seed);
-        let universe = cloud.regions.evaluation_regions();
+        Self::for_providers(seed, hours, ProviderSet::aws_only())
+            .expect("the AWS backend always exists")
+    }
+
+    /// [`FleetEnv::new`] over an explicit provider set: the candidate
+    /// universe unions every member backend's evaluation regions, and the
+    /// env carries the universe's provider bits so fleet evaluation
+    /// streams and cache keys separate from the AWS-only ones
+    /// (aws-only ⇒ bits 0 ⇒ byte-identical legacy env).
+    pub fn for_providers(
+        seed: u64,
+        hours: usize,
+        providers: ProviderSet,
+    ) -> Result<Self, caribou_model::error::ModelError> {
+        let cloud = if providers.is_aws_only() {
+            SimCloud::aws(seed)
+        } else {
+            SimCloud::for_providers(providers, seed)?
+        };
+        let universe: Vec<RegionId> = if providers.is_aws_only() {
+            cloud.regions.evaluation_regions()
+        } else {
+            SimCloud::evaluation_universe(providers)
+                .iter()
+                .map(|n| cloud.regions.resolve(n))
+                .collect::<Result<_, _>>()?
+        };
+        let provider_bits = cloud.regions.provider_bits(&universe);
         let synth =
             RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(seed))
-                .expect("the default catalog's grid zones are all calibrated");
+                .expect("the catalog's grid zones are all calibrated");
         let forecast = universe
             .iter()
             .map(|&r| {
@@ -138,13 +165,20 @@ impl FleetEnv {
                 (r, values)
             })
             .collect();
-        FleetEnv {
+        Ok(FleetEnv {
             cloud,
             universe,
             forecast,
             seed,
             hours,
-        }
+            provider_bits,
+        })
+    }
+
+    /// Cache/stream discriminator bits of the universe's non-AWS
+    /// providers (0 on the default AWS-only environment).
+    pub fn provider_bits(&self) -> u64 {
+        self.provider_bits
     }
 
     /// The fleet seed the environment derives from.
@@ -372,11 +406,20 @@ fn run_cells(
             mc_config: cfg.mc,
         })
         .collect();
-    // One engine per app: same solve seed, per-app fingerprint, shared
-    // cache — the cross-app sharing contract of `EvalEngine::with_cache`.
+    // One engine per app: same solve seed, per-app fingerprint, the
+    // env's provider bits, shared cache — the cross-app sharing contract
+    // of `EvalEngine::with_cache_providers`.
     let engines: Vec<EvalEngine> = apps
         .iter()
-        .map(|a| EvalEngine::with_cache(cfg.seed, a.fingerprint, 1, Arc::clone(cache)))
+        .map(|a| {
+            EvalEngine::with_cache_providers(
+                cfg.seed,
+                a.fingerprint,
+                env.provider_bits,
+                1,
+                Arc::clone(cache),
+            )
+        })
         .collect();
     let solver = HbssSolver {
         params: fleet_hbss_params(),
@@ -541,6 +584,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn multi_provider_env_widens_the_universe_and_separates_streams() {
+        let aws = FleetEnv::new(42, 4);
+        assert_eq!(aws.provider_bits(), 0, "aws-only reserves bits 0");
+        let both = FleetEnv::for_providers(42, 4, ProviderSet::parse("aws,gcp").unwrap()).unwrap();
+        assert!(both.universe.len() > aws.universe.len());
+        assert_ne!(both.provider_bits(), 0);
+        // The AWS prefix of the universe is unchanged (same ids, same
+        // forecast values), so aws-only fleets are untouched.
+        assert_eq!(&both.universe[..aws.universe.len()], &aws.universe[..]);
+        for &r in &aws.universe {
+            assert_eq!(aws.forecast[&r], both.forecast[&r]);
+        }
+        // A cross-provider fleet solve stays worker-count invariant.
+        let cfg = FleetConfig {
+            apps: 4,
+            hours: 2,
+            seed: 42,
+            ..FleetConfig::default()
+        };
+        let apps = generate_fleet(cfg.seed, cfg.apps, &both.universe);
+        let solve = |workers: usize| {
+            let cache = EstimateCache::shared(cfg.cache_capacity);
+            let cfg = FleetConfig { workers, ..cfg };
+            solve_fleet(&apps, &both, &cfg, &cache).schedule
+        };
+        assert_eq!(solve(1), solve(4));
     }
 
     #[test]

@@ -183,6 +183,9 @@ struct InvocationCtx<'c, 'a, S: CarbonDataSource> {
     meter: UsageMeter,
     exec_carbon: f64,
     trans_carbon: f64,
+    /// Transmission carbon of the bytes that crossed a provider boundary
+    /// (subset of `trans_carbon`; 0 on single-provider clouds).
+    cross_cloud_carbon: f64,
     completed: bool,
     /// Number of nodes re-routed to the home deployment this invocation.
     failovers: u32,
@@ -275,6 +278,7 @@ impl<S: CarbonDataSource> ExecutionEngine<'_, S> {
             meter: UsageMeter::new(),
             exec_carbon: 0.0,
             trans_carbon: 0.0,
+            cross_cloud_carbon: 0.0,
             completed: true,
             failovers: 0,
             failed_region: None,
@@ -318,6 +322,9 @@ impl<S: CarbonDataSource> ExecutionEngine<'_, S> {
             cost_usd: cost,
             exec_carbon_g: ctx.exec_carbon,
             trans_carbon_g: ctx.trans_carbon,
+            cross_cloud_egress_bytes: ctx.meter.cross_provider_egress_bytes(&ctx.cloud.pricing),
+            cross_cloud_cost_usd: ctx.meter.cross_provider_egress_cost(&ctx.cloud.pricing),
+            cross_cloud_carbon_g: ctx.cross_cloud_carbon,
             meter: ctx.meter,
             completed: ctx.completed,
             failovers: ctx.failovers,
@@ -407,10 +414,16 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
     fn account_transfer(&mut self, from: RegionId, to: RegionId, bytes: f64) {
         self.meter.record_transfer(from, to, bytes);
         let intensity = self.route_intensity(from, to);
-        self.trans_carbon +=
-            self.engine
-                .carbon_model
-                .transmission_carbon(bytes, intensity, from == to);
+        let carbon = self
+            .engine
+            .carbon_model
+            .transmission_carbon(bytes, intensity, from == to);
+        self.trans_carbon += carbon;
+        if from != to
+            && self.cloud.regions.spec(from).provider != self.cloud.regions.spec(to).provider
+        {
+            self.cross_cloud_carbon += carbon;
+        }
     }
 
     fn run(&mut self) {
@@ -1392,6 +1405,47 @@ mod tests {
             second.e2e_latency_s,
             third.e2e_latency_s
         );
+    }
+
+    #[test]
+    fn single_provider_runs_meter_zero_cross_cloud_egress() {
+        let mut cloud = SimCloud::aws(30);
+        let app = chain_app(&cloud);
+        let ca = cloud.region("ca-central-1").unwrap();
+        let mut plan = DeploymentPlan::uniform(2, app.home);
+        plan.set(NodeId(1), ca);
+        let out = run(&mut cloud, &app, &plan, 30);
+        assert!(out.completed);
+        assert!(out.meter.total_egress_bytes() > 0.0);
+        assert_eq!(out.cross_cloud_egress_bytes, 0.0);
+        assert_eq!(out.cross_cloud_cost_usd, 0.0);
+        assert_eq!(out.cross_cloud_carbon_g, 0.0);
+    }
+
+    #[test]
+    fn cross_provider_hop_meters_its_own_egress_line() {
+        use caribou_model::region::{Provider, ProviderSet};
+        let mut cloud =
+            SimCloud::for_providers(ProviderSet::of(&[Provider::Aws, Provider::Gcp]), 31).unwrap();
+        let app = chain_app(&cloud);
+        let gcp_west = cloud.region("gcp:us-west1").unwrap();
+        let mut plan = DeploymentPlan::uniform(2, app.home);
+        plan.set(NodeId(1), gcp_west);
+        let out = run(&mut cloud, &app, &plan, 31);
+        assert!(out.completed);
+        // The A→B payload crossed the provider boundary: the cross-cloud
+        // line is non-zero and strictly a subset of the totals.
+        assert!(out.cross_cloud_egress_bytes > 0.0);
+        assert!(out.cross_cloud_egress_bytes <= out.meter.total_egress_bytes());
+        assert!(out.cross_cloud_cost_usd > 0.0);
+        assert!(out.cross_cloud_cost_usd < out.cost_usd);
+        assert!(out.cross_cloud_carbon_g > 0.0);
+        assert!(out.cross_cloud_carbon_g <= out.trans_carbon_g);
+        // Cross-provider egress bills the internet-tier rate, which is
+        // strictly pricier than the intra-provider inter-region rate.
+        let intra = cloud.pricing.region(app.home).egress_inter_region_per_gb;
+        let cross_rate = out.cross_cloud_cost_usd / (out.cross_cloud_egress_bytes / 1e9);
+        assert!(cross_rate > intra, "cross {cross_rate} intra {intra}");
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::region::Provider;
+
 /// Errors produced when constructing or validating workflow models.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ModelError {
@@ -64,6 +66,28 @@ pub enum ModelError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A bare region name matches regions under more than one provider;
+    /// the caller must qualify it (`provider:name`).
+    AmbiguousRegion {
+        /// The ambiguous bare name.
+        name: String,
+        /// Providers that each have a region of this name.
+        providers: Vec<Provider>,
+    },
+    /// A provider prefix or `--providers` entry was not recognized.
+    UnknownProvider {
+        /// The unrecognized provider label.
+        name: String,
+    },
+    /// A cross-provider latency lookup found no entry in the
+    /// inter-provider penalty table. Cross-provider delivery must never
+    /// silently reuse the intra-provider matrix (or fall back to 0).
+    MissingInterProviderLatency {
+        /// Provider of the sending region.
+        from: Provider,
+        /// Provider of the receiving region.
+        to: Provider,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -94,6 +118,19 @@ impl fmt::Display for ModelError {
             ModelError::UnknownRegion { name } => write!(f, "unknown region `{name}`"),
             ModelError::InvalidDistribution { reason } => {
                 write!(f, "invalid distribution: {reason}")
+            }
+            ModelError::AmbiguousRegion { name, providers } => {
+                let names: Vec<String> = providers.iter().map(|p| p.to_string()).collect();
+                write!(
+                    f,
+                    "region name `{name}` is ambiguous across providers ({}); \
+                     qualify it as `provider:{name}`",
+                    names.join(", ")
+                )
+            }
+            ModelError::UnknownProvider { name } => write!(f, "unknown provider `{name}`"),
+            ModelError::MissingInterProviderLatency { from, to } => {
+                write!(f, "no inter-provider latency entry for `{from}` -> `{to}`")
             }
         }
     }

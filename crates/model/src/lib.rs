@@ -52,5 +52,5 @@ pub use error::ModelError;
 pub use manifest::DeploymentManifest;
 pub use plan::{DeploymentPlan, HourlyPlans};
 pub use profile::WorkflowProfile;
-pub use region::{Provider, RegionCatalog, RegionId, RegionSpec};
+pub use region::{Provider, ProviderRegion, ProviderSet, RegionCatalog, RegionId, RegionSpec};
 pub use rng::Pcg32;

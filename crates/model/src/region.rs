@@ -22,6 +22,30 @@ pub enum Provider {
     Azure,
 }
 
+impl Provider {
+    /// All providers, in catalog order.
+    pub const ALL: [Provider; 3] = [Provider::Aws, Provider::Gcp, Provider::Azure];
+
+    /// Parses a lowercase provider label (`aws`, `gcp`, `azure`).
+    pub fn parse(label: &str) -> Result<Provider, ModelError> {
+        match label {
+            "aws" => Ok(Provider::Aws),
+            "gcp" => Ok(Provider::Gcp),
+            "azure" => Ok(Provider::Azure),
+            other => Err(ModelError::UnknownProvider { name: other.into() }),
+        }
+    }
+
+    /// This provider's bit in a [`ProviderSet`] mask.
+    pub fn bit(self) -> u8 {
+        match self {
+            Provider::Aws => 1 << 0,
+            Provider::Gcp => 1 << 1,
+            Provider::Azure => 1 << 2,
+        }
+    }
+}
+
 impl fmt::Display for Provider {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -29,6 +53,115 @@ impl fmt::Display for Provider {
             Provider::Gcp => write!(f, "gcp"),
             Provider::Azure => write!(f, "azure"),
         }
+    }
+}
+
+/// A compact, copyable set of providers (one bit per [`Provider`]).
+///
+/// Used to parameterize clouds, campaigns, and CLI runs: the default
+/// [`ProviderSet::aws_only`] keeps every legacy code path byte-identical,
+/// while `ProviderSet::parse("aws,gcp")` opens the cross-provider plan
+/// space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProviderSet(u8);
+
+impl ProviderSet {
+    /// The empty set.
+    pub fn empty() -> Self {
+        ProviderSet(0)
+    }
+
+    /// The default single-provider set: AWS only.
+    pub fn aws_only() -> Self {
+        ProviderSet(Provider::Aws.bit())
+    }
+
+    /// A set from an explicit provider list.
+    pub fn of(providers: &[Provider]) -> Self {
+        ProviderSet(providers.iter().fold(0, |m, p| m | p.bit()))
+    }
+
+    /// Parses a comma-separated list, e.g. `aws,gcp`.
+    pub fn parse(spec: &str) -> Result<Self, ModelError> {
+        let mut mask = 0u8;
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            mask |= Provider::parse(part)?.bit();
+        }
+        if mask == 0 {
+            return Err(ModelError::UnknownProvider { name: spec.into() });
+        }
+        Ok(ProviderSet(mask))
+    }
+
+    /// Whether the set contains `provider`.
+    pub fn contains(self, provider: Provider) -> bool {
+        self.0 & provider.bit() != 0
+    }
+
+    /// Whether this is exactly the AWS-only set.
+    pub fn is_aws_only(self) -> bool {
+        self == ProviderSet::aws_only()
+    }
+
+    /// Members in catalog order (AWS first).
+    pub fn iter(self) -> impl Iterator<Item = Provider> {
+        Provider::ALL.into_iter().filter(move |p| self.contains(*p))
+    }
+
+    /// Number of member providers.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw bitmask (bit layout per [`Provider::bit`]).
+    pub fn mask(self) -> u8 {
+        self.0
+    }
+}
+
+impl Default for ProviderSet {
+    fn default() -> Self {
+        ProviderSet::aws_only()
+    }
+}
+
+impl fmt::Display for ProviderSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for p in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// A provider-qualified region name: the canonical cross-provider way to
+/// refer to a region, rendered `provider:name` (e.g. `aws:us-east-1`,
+/// `gcp:us-east1`). Bare names stay valid only while unambiguous.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProviderRegion {
+    /// The provider operating the region.
+    pub provider: Provider,
+    /// The provider-scoped region name.
+    pub name: String,
+}
+
+impl fmt::Display for ProviderRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.provider, self.name)
     }
 }
 
@@ -194,19 +327,92 @@ impl RegionCatalog {
         &self.spec(id).name
     }
 
-    /// Resolves a region name to its id.
+    /// Resolves a bare region name to its id.
+    ///
+    /// Returns `None` both when the name is unknown and when it matches
+    /// regions under more than one provider — a bare name must never
+    /// silently alias one provider's region to another's (use
+    /// [`RegionCatalog::resolve`] with a `provider:name` qualifier, or
+    /// [`RegionCatalog::id_of_qualified`]).
     pub fn id_of(&self, name: &str) -> Option<RegionId> {
+        let mut found = None;
+        for (i, r) in self.regions.iter().enumerate() {
+            if r.name == name {
+                if found.is_some() {
+                    return None; // ambiguous across providers
+                }
+                found = Some(RegionId(i as u16));
+            }
+        }
+        found
+    }
+
+    /// Resolves a name scoped to one provider.
+    pub fn id_of_qualified(&self, provider: Provider, name: &str) -> Option<RegionId> {
         self.regions
             .iter()
-            .position(|r| r.name == name)
+            .position(|r| r.provider == provider && r.name == name)
             .map(|i| RegionId(i as u16))
     }
 
     /// Resolves a region name, returning a [`ModelError`] when unknown.
+    ///
+    /// Accepts both bare names (`us-east-1`) and provider-qualified names
+    /// (`aws:us-east-1`). A bare name that matches regions under multiple
+    /// providers returns [`ModelError::AmbiguousRegion`] instead of
+    /// silently picking one.
     pub fn resolve(&self, name: &str) -> Result<RegionId, ModelError> {
-        self.id_of(name).ok_or_else(|| ModelError::UnknownRegion {
-            name: name.to_string(),
-        })
+        if let Some((prefix, bare)) = name.split_once(':') {
+            let provider = Provider::parse(prefix)?;
+            return self
+                .id_of_qualified(provider, bare)
+                .ok_or_else(|| ModelError::UnknownRegion {
+                    name: name.to_string(),
+                });
+        }
+        let matches: Vec<Provider> = self
+            .regions
+            .iter()
+            .filter(|r| r.name == name)
+            .map(|r| r.provider)
+            .collect();
+        match matches.len() {
+            0 => Err(ModelError::UnknownRegion {
+                name: name.to_string(),
+            }),
+            1 => Ok(self
+                .id_of_qualified(matches[0], name)
+                .expect("just matched")),
+            _ => Err(ModelError::AmbiguousRegion {
+                name: name.to_string(),
+                providers: matches,
+            }),
+        }
+    }
+
+    /// The provider-qualified identity of a region id.
+    pub fn qualified(&self, id: RegionId) -> ProviderRegion {
+        let spec = self.spec(id);
+        ProviderRegion {
+            provider: spec.provider,
+            name: spec.name.clone(),
+        }
+    }
+
+    /// The set of providers operating regions in `ids`.
+    pub fn providers_of(&self, ids: &[RegionId]) -> ProviderSet {
+        ProviderSet(
+            ids.iter()
+                .fold(0u8, |m, id| m | self.spec(*id).provider.bit()),
+        )
+    }
+
+    /// Cache/stream discriminator bits for the non-AWS providers among
+    /// `ids`: 0 for any AWS-only set, so legacy AWS-shaped evaluation
+    /// streams and cache keys stay bit-identical (the solver's
+    /// fingerprint-0 reservation).
+    pub fn provider_bits(&self, ids: &[RegionId]) -> u64 {
+        (self.providers_of(ids).mask() & !Provider::Aws.bit()) as u64
     }
 
     /// Iterates over `(RegionId, &RegionSpec)` pairs.
@@ -295,6 +501,94 @@ mod tests {
         let cat = RegionCatalog::aws_default();
         let id = cat.id_of("us-east-1").unwrap();
         assert!(cat.distance_km(id, id) < 1e-9);
+    }
+
+    /// A catalog where two providers operate a region with the same bare
+    /// name — the aliasing hazard provider-qualified resolution exists for.
+    fn colliding_catalog() -> RegionCatalog {
+        let mut cat = RegionCatalog::new();
+        for provider in [Provider::Aws, Provider::Gcp] {
+            cat.push(RegionSpec {
+                name: "dual-1".to_string(),
+                provider,
+                country: "US".to_string(),
+                grid_zone: "US-MIDA-PJM".to_string(),
+                latitude: 39.0,
+                longitude: -77.0,
+            });
+        }
+        cat
+    }
+
+    #[test]
+    fn bare_name_collision_never_aliases() {
+        let cat = colliding_catalog();
+        // Bare lookups refuse to guess.
+        assert_eq!(cat.id_of("dual-1"), None);
+        match cat.resolve("dual-1") {
+            Err(ModelError::AmbiguousRegion { name, providers }) => {
+                assert_eq!(name, "dual-1");
+                assert_eq!(providers, vec![Provider::Aws, Provider::Gcp]);
+            }
+            other => panic!("expected AmbiguousRegion, got {other:?}"),
+        }
+        // Qualified lookups hit distinct ids.
+        let aws = cat.resolve("aws:dual-1").unwrap();
+        let gcp = cat.resolve("gcp:dual-1").unwrap();
+        assert_ne!(aws, gcp);
+        assert_eq!(cat.qualified(aws).to_string(), "aws:dual-1");
+        assert_eq!(cat.qualified(gcp).to_string(), "gcp:dual-1");
+        assert!(matches!(
+            cat.resolve("azure:dual-1"),
+            Err(ModelError::UnknownRegion { .. })
+        ));
+        assert!(matches!(
+            cat.resolve("nimbus:dual-1"),
+            Err(ModelError::UnknownProvider { .. })
+        ));
+    }
+
+    #[test]
+    fn qualified_resolution_on_unambiguous_catalogs_is_transparent() {
+        let cat = RegionCatalog::multi_cloud();
+        // Bare names keep resolving (every name is provider-unique here).
+        let bare = cat.resolve("us-east-1").unwrap();
+        let qualified = cat.resolve("aws:us-east-1").unwrap();
+        assert_eq!(bare, qualified);
+        assert_eq!(
+            cat.resolve("gcp:us-west1").unwrap(),
+            cat.id_of("us-west1").unwrap()
+        );
+        // A name under the wrong provider is unknown, not aliased.
+        assert!(cat.resolve("gcp:us-east-1").is_err());
+    }
+
+    #[test]
+    fn provider_sets_parse_and_mask() {
+        assert_eq!(ProviderSet::parse("aws").unwrap(), ProviderSet::aws_only());
+        let both = ProviderSet::parse("aws,gcp").unwrap();
+        assert!(both.contains(Provider::Aws) && both.contains(Provider::Gcp));
+        assert!(!both.is_aws_only());
+        assert_eq!(both.len(), 2);
+        assert_eq!(both.to_string(), "aws,gcp");
+        assert_eq!(ProviderSet::parse("gcp, aws").unwrap(), both);
+        assert!(ProviderSet::parse("aws,ibm").is_err());
+        assert!(ProviderSet::parse("").is_err());
+        assert_eq!(ProviderSet::default(), ProviderSet::aws_only());
+    }
+
+    #[test]
+    fn provider_bits_reserve_zero_for_aws() {
+        let cat = RegionCatalog::multi_cloud();
+        let aws_only = cat.evaluation_regions();
+        assert_eq!(cat.provider_bits(&aws_only), 0);
+        let mixed: Vec<RegionId> = cat.all_ids();
+        assert_ne!(cat.provider_bits(&mixed), 0);
+        assert_eq!(
+            cat.provider_bits(&mixed),
+            (Provider::Gcp.bit()) as u64,
+            "only non-AWS providers contribute bits"
+        );
     }
 
     #[test]

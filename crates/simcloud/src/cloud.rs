@@ -1,6 +1,7 @@
 //! The [`SimCloud`] façade bundling every simulated service.
 
-use caribou_model::region::{RegionCatalog, RegionId};
+use caribou_model::error::ModelError;
+use caribou_model::region::{ProviderSet, RegionCatalog, RegionId};
 use caribou_model::rng::Pcg32;
 
 use crate::blob::BlobStore;
@@ -9,9 +10,10 @@ use crate::compute::LambdaRuntime;
 use crate::faults::FaultPlan;
 use crate::iam::Iam;
 use crate::kv::KvStore;
-use crate::latency::LatencyModel;
+use crate::latency::{InterProviderLatency, LatencyModel};
 use crate::meter::UsageMeter;
 use crate::pricing::PricingCatalog;
+use crate::providers::backend_for;
 use crate::pubsub::PubSub;
 use crate::registry::ContainerRegistry;
 use crate::warm::WarmPool;
@@ -84,6 +86,105 @@ impl SimCloud {
         }
     }
 
+    /// Assembles a cloud from provider backends: the catalog is the union
+    /// of each member provider's regions (AWS first, so AWS ids match the
+    /// legacy catalog), and every service is parameterized through the
+    /// [`crate::providers::ProviderBackend`] trait objects.
+    ///
+    /// `for_providers(ProviderSet::aws_only(), seed)` is behaviorally
+    /// identical to [`SimCloud::aws`] — same catalog, same constants, same
+    /// RNG draw order — so all single-provider goldens are preserved.
+    ///
+    /// Errors with [`ModelError::UnknownProvider`] for providers without a
+    /// backend (e.g. `azure`), and with
+    /// [`ModelError::MissingInterProviderLatency`] when the inter-provider
+    /// penalty table lacks a pair the catalog requires.
+    pub fn for_providers(set: ProviderSet, seed: u64) -> Result<Self, ModelError> {
+        let mut regions = RegionCatalog::new();
+        let mut backends = Vec::new();
+        for p in set.iter() {
+            let b = backend_for(p).ok_or_else(|| ModelError::UnknownProvider {
+                name: p.to_string(),
+            })?;
+            for spec in b.regions() {
+                regions.push(spec);
+            }
+            backends.push(b);
+        }
+        if regions.is_empty() {
+            return Err(ModelError::UnknownProvider {
+                name: set.to_string(),
+            });
+        }
+        let backend_of = |spec: &caribou_model::region::RegionSpec| {
+            backend_for(spec.provider).expect("member providers have backends")
+        };
+
+        let latency =
+            LatencyModel::from_catalog_with_providers(&regions, &InterProviderLatency::defaults())?;
+
+        let mut per_region = Vec::with_capacity(regions.len());
+        let mut provider_of = Vec::with_capacity(regions.len());
+        let mut cross_rates = Vec::with_capacity(regions.len());
+        for (_, spec) in regions.iter() {
+            let b = backend_of(spec);
+            let mut row = b.pricing(spec);
+            let kv = b.kv(spec);
+            row.dynamodb_per_write = kv.per_write_usd;
+            row.dynamodb_per_read = kv.per_read_usd;
+            per_region.push(row);
+            provider_of.push(spec.provider);
+            cross_rates.push(b.cross_provider_egress_per_gb(spec));
+        }
+        let pricing = PricingCatalog::with_providers(per_region, provider_of, cross_rates);
+
+        let mut compute = LambdaRuntime::aws_default(&regions);
+        let mut warm = WarmPool::new();
+        let mut registry = ContainerRegistry::new();
+        let mut pubsub = PubSub::new();
+        let mut profiles = Vec::with_capacity(regions.len());
+        for (id, spec) in regions.iter() {
+            let b = backend_of(spec);
+            let prof = b.compute(spec);
+            compute.set_perf_factor(id, prof.perf_factor);
+            compute.set_cold_start(id, prof.cold_start);
+            warm.set_keep_alive(id, prof.keep_alive_s);
+            registry.set_overhead(id, prof.registry_overhead_s);
+            profiles.push(b.messaging(spec));
+        }
+        pubsub.set_profiles(profiles);
+
+        Ok(SimCloud {
+            latency,
+            pricing,
+            compute,
+            pubsub,
+            kv: KvStore::new(),
+            registry,
+            blob: BlobStore::new(),
+            warm,
+            iam: Iam::new(),
+            faults: FaultPlan::none(),
+            meter: UsageMeter::new(),
+            clock: SimClock::new(),
+            rng: Pcg32::seed_stream(seed, 0x5eed),
+            regions,
+        })
+    }
+
+    /// The region-name universe this cloud's provider set contributes to
+    /// evaluation campaigns: the AWS evaluation regions (§9.1) plus each
+    /// additional provider's evaluation regions, in catalog order.
+    pub fn evaluation_universe(set: ProviderSet) -> Vec<&'static str> {
+        let mut names = Vec::new();
+        for p in set.iter() {
+            if let Some(b) = backend_for(p) {
+                names.extend_from_slice(b.evaluation_regions());
+            }
+        }
+        names
+    }
+
     /// Installs a fault plan, propagating the message-drop probability and
     /// the windowed faults (outages, partitions, gray failures, throttles)
     /// to the pub/sub and KV services so each delivery attempt and each
@@ -148,6 +249,92 @@ mod tests {
         assert_eq!(cloud.kv.now_s, 15.0);
         cloud.set_fault_now(25.0);
         assert!(!cloud.pubsub.faults.region_down(ca, cloud.pubsub.now_s));
+    }
+
+    #[test]
+    fn aws_only_backend_cloud_matches_legacy_cloud() {
+        use caribou_model::rng::Pcg32;
+
+        let legacy = SimCloud::aws(42);
+        let mut built = SimCloud::for_providers(ProviderSet::aws_only(), 42).unwrap();
+        assert_eq!(built.regions.len(), legacy.regions.len());
+        for (id, spec) in legacy.regions.iter() {
+            assert_eq!(built.regions.spec(id), spec);
+            assert_eq!(built.pricing.region(id), legacy.pricing.region(id));
+            assert_eq!(
+                built.compute.perf_factor(id),
+                legacy.compute.perf_factor(id)
+            );
+            assert_eq!(
+                built.warm.keep_alive_for(id),
+                crate::warm::DEFAULT_KEEP_ALIVE_S
+            );
+            for (other, _) in legacy.regions.iter() {
+                assert_eq!(
+                    built.latency.one_way(id, other),
+                    legacy.latency.one_way(id, other)
+                );
+            }
+        }
+        // Identical RNG draw order through the messaging path.
+        let mut legacy = SimCloud::aws(42);
+        let east = legacy.region("us-east-1").unwrap();
+        let ca = legacy.region("ca-central-1").unwrap();
+        let key = crate::pubsub::TopicKey {
+            workflow: "wf".into(),
+            stage: "a".into(),
+            region: ca,
+        };
+        legacy.pubsub.create_topic(key.clone());
+        built.pubsub.create_topic(key.clone());
+        let mut ra = Pcg32::seed(9);
+        let mut rb = Pcg32::seed(9);
+        for _ in 0..100 {
+            let a = legacy
+                .pubsub
+                .publish(&key, east, 4096.0, &legacy.latency, &mut ra);
+            let b = built
+                .pubsub
+                .publish(&key, east, 4096.0, &built.latency, &mut rb);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn multi_provider_cloud_differs_where_it_should() {
+        let cloud = SimCloud::for_providers(ProviderSet::parse("aws,gcp").unwrap(), 7).unwrap();
+        // Catalog is the multi-cloud union, AWS ids first.
+        assert_eq!(cloud.regions.len(), RegionCatalog::multi_cloud().len());
+        let aws_west = cloud.region("aws:us-west-2").unwrap();
+        let gcp_west = cloud.region("gcp:us-west1").unwrap();
+        // Cross-provider latency carries the explicit peering penalty on
+        // top of distance (the regions are geographically close).
+        let plain = LatencyModel::from_catalog(&cloud.regions);
+        assert!(cloud.latency.rtt(aws_west, gcp_west) > plain.rtt(aws_west, gcp_west) + 0.007);
+        // Cross-provider egress bills the internet tier.
+        assert!(cloud.pricing.is_cross_provider(aws_west, gcp_west));
+        assert!(
+            cloud.pricing.egress_cost(aws_west, gcp_west, 1e9)
+                > cloud
+                    .pricing
+                    .egress_cost(aws_west, cloud.region("us-east-1").unwrap(), 1e9)
+        );
+        // GCP warm decay is faster; KV pricing is flat.
+        assert!(cloud.warm.keep_alive_for(gcp_west) < cloud.warm.keep_alive_for(aws_west));
+        let gp = cloud.pricing.region(gcp_west);
+        assert_eq!(gp.dynamodb_per_read, gp.dynamodb_per_write);
+        // The evaluation universe grows with the provider set.
+        let aws_universe = SimCloud::evaluation_universe(ProviderSet::aws_only());
+        let both = SimCloud::evaluation_universe(ProviderSet::parse("aws,gcp").unwrap());
+        assert_eq!(aws_universe.len(), 4);
+        assert!(both.len() > aws_universe.len());
+        assert!(both.contains(&"us-west1"));
+    }
+
+    #[test]
+    fn providers_without_backend_error() {
+        let err = SimCloud::for_providers(ProviderSet::parse("azure").unwrap(), 1).unwrap_err();
+        assert!(matches!(err, ModelError::UnknownProvider { .. }));
     }
 
     #[test]

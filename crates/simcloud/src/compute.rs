@@ -65,6 +65,10 @@ pub struct LambdaRuntime {
     /// track per-container warm pools; the paper's workloads are frequent
     /// enough that cold starts are rare).
     pub cold_start_prob: f64,
+    /// Per-region cold-start curves overriding [`LambdaRuntime::cold_start`]
+    /// (providers differ: GCP's curve is steeper than Lambda's). Empty in
+    /// legacy single-provider runtimes.
+    cold_start_override: Vec<Option<DistSpec>>,
 }
 
 impl LambdaRuntime {
@@ -94,6 +98,7 @@ impl LambdaRuntime {
                 sigma: 0.35,
             },
             cold_start_prob: 0.02,
+            cold_start_override: Vec::new(),
         }
     }
 
@@ -105,6 +110,23 @@ impl LambdaRuntime {
     /// Overrides a region's performance factor.
     pub fn set_perf_factor(&mut self, region: RegionId, factor: f64) {
         self.perf_factor[region.index()] = factor;
+    }
+
+    /// Overrides a region's cold-start curve (provider-specific curves).
+    pub fn set_cold_start(&mut self, region: RegionId, dist: DistSpec) {
+        if self.cold_start_override.len() < self.perf_factor.len() {
+            self.cold_start_override
+                .resize(self.perf_factor.len(), None);
+        }
+        self.cold_start_override[region.index()] = Some(dist);
+    }
+
+    /// The cold-start curve governing a region.
+    pub fn cold_start_for(&self, region: RegionId) -> &DistSpec {
+        self.cold_start_override
+            .get(region.index())
+            .and_then(|o| o.as_ref())
+            .unwrap_or(&self.cold_start)
     }
 
     /// Simulates one execution of a function stage.
@@ -141,7 +163,7 @@ impl LambdaRuntime {
         let noise = rng.lognormal(0.0, self.exec_sigma);
         let compute_s = base * self.perf_factor(region) * noise;
         let cold_s = if cold {
-            self.cold_start.sample(rng).max(0.0)
+            self.cold_start_for(region).sample(rng).max(0.0)
         } else {
             0.0
         };
@@ -226,6 +248,26 @@ mod tests {
         assert!(rec.cold_start);
         assert!(rec.cold_start_s > 0.0);
         assert!(rec.duration_s > 1.0);
+    }
+
+    #[test]
+    fn per_region_cold_start_override_applies() {
+        let (cat, mut rt) = runtime();
+        rt.exec_sigma = 0.0;
+        let east = cat.id_of("us-east-1").unwrap();
+        let west = cat.id_of("us-west-2").unwrap();
+        rt.set_cold_start(west, DistSpec::Constant { value: 2.5 });
+        let spec = DistSpec::Constant { value: 1.0 };
+        let mut rng = Pcg32::seed(5);
+        let a = rt.execute_forced(east, &spec, 1024, 0.7, true, &mut rng);
+        let b = rt.execute_forced(west, &spec, 1024, 0.7, true, &mut rng);
+        // East keeps the shared curve; west pays the overridden constant.
+        assert!(a.cold_start_s < 2.5);
+        assert!((b.cold_start_s - 2.5).abs() < 1e-12);
+        assert!(matches!(
+            rt.cold_start_for(east),
+            DistSpec::LogNormal { .. }
+        ));
     }
 
     #[test]

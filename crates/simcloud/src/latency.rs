@@ -9,7 +9,8 @@
 //! Manager prefers learned transmission distributions and falls back to
 //! this model when no history exists.
 
-use caribou_model::region::{RegionCatalog, RegionId};
+use caribou_model::error::ModelError;
+use caribou_model::region::{Provider, RegionCatalog, RegionId};
 use caribou_model::rng::Pcg32;
 
 /// Effective propagation speed of light in fiber, km/s.
@@ -18,6 +19,50 @@ const FIBER_KM_PER_S: f64 = 200_000.0;
 const ROUTE_FACTOR: f64 = 1.6;
 /// Fixed per-hop processing overhead, seconds (one way).
 const HOP_OVERHEAD_S: f64 = 0.0008;
+
+/// One-way latency penalties for traffic crossing provider boundaries.
+///
+/// Cross-provider traffic exits one backbone and re-enters another through
+/// public peering, which costs extra hops no intra-provider matrix
+/// captures. The table is explicit: a missing pair is the typed
+/// [`ModelError::MissingInterProviderLatency`], never a silent 0 or a
+/// silent reuse of the intra-provider matrix.
+#[derive(Debug, Clone, Default)]
+pub struct InterProviderLatency {
+    entries: Vec<(Provider, Provider, f64)>,
+}
+
+impl InterProviderLatency {
+    /// An empty table (every cross-provider lookup errors).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The default calibration: AWS ↔ GCP peer through public exchanges at
+    /// roughly +4 ms one way.
+    pub fn defaults() -> Self {
+        Self::empty().with_pair(Provider::Aws, Provider::Gcp, 0.004)
+    }
+
+    /// Adds a symmetric penalty for a provider pair.
+    pub fn with_pair(mut self, a: Provider, b: Provider, penalty_s: f64) -> Self {
+        self.entries.push((a, b, penalty_s));
+        self
+    }
+
+    /// The one-way penalty between two providers: 0 within one provider, a
+    /// typed error for a pair the table does not cover.
+    pub fn penalty_s(&self, from: Provider, to: Provider) -> Result<f64, ModelError> {
+        if from == to {
+            return Ok(0.0);
+        }
+        self.entries
+            .iter()
+            .find(|(a, b, _)| (*a == from && *b == to) || (*a == to && *b == from))
+            .map(|(_, _, p)| *p)
+            .ok_or(ModelError::MissingInterProviderLatency { from, to })
+    }
+}
 
 /// Latency/bandwidth model between regions.
 ///
@@ -72,6 +117,32 @@ impl LatencyModel {
             inter_bandwidth_bps: 30.0e6,
             jitter_sigma: 0.08,
         }
+    }
+
+    /// Builds the model from a multi-provider catalog: the distance-based
+    /// calibration plus an explicit one-way penalty for every
+    /// cross-provider pair. Fails with the typed
+    /// [`ModelError::MissingInterProviderLatency`] when the table lacks a
+    /// provider pair present in the catalog — cross-provider delivery must
+    /// never silently reuse the intra-provider matrix.
+    ///
+    /// On a single-provider catalog no pair crosses providers, so the
+    /// result is identical to [`LatencyModel::from_catalog`].
+    pub fn from_catalog_with_providers(
+        catalog: &RegionCatalog,
+        penalties: &InterProviderLatency,
+    ) -> Result<Self, ModelError> {
+        let mut model = Self::from_catalog(catalog);
+        let n = model.n;
+        for (a, sa) in catalog.iter() {
+            for (b, sb) in catalog.iter() {
+                if sa.provider != sb.provider {
+                    let penalty = penalties.penalty_s(sa.provider, sb.provider)?;
+                    model.one_way[a.index() * n + b.index()] += penalty;
+                }
+            }
+        }
+        Ok(model)
     }
 
     /// Overrides the one-way base latency between a pair (both directions),
@@ -183,6 +254,61 @@ mod tests {
         assert_eq!(lm.one_way(a, b), 0.1);
         assert_eq!(lm.one_way(b, a), 0.1);
         assert_eq!(lm.rtt(a, b), 0.2);
+    }
+
+    #[test]
+    fn cross_provider_pairs_pay_explicit_penalty() {
+        let cat = RegionCatalog::multi_cloud();
+        let plain = LatencyModel::from_catalog(&cat);
+        let lm = LatencyModel::from_catalog_with_providers(&cat, &InterProviderLatency::defaults())
+            .unwrap();
+        let aws_east = cat.resolve("aws:us-east-1").unwrap();
+        let aws_west = cat.resolve("aws:us-west-2").unwrap();
+        let gcp_west = cat.resolve("gcp:us-west1").unwrap();
+        // Intra-provider entries are untouched.
+        assert_eq!(
+            lm.one_way(aws_east, aws_west),
+            plain.one_way(aws_east, aws_west)
+        );
+        // Cross-provider entries carry the penalty in both directions.
+        assert!(
+            (lm.one_way(aws_west, gcp_west) - plain.one_way(aws_west, gcp_west) - 0.004).abs()
+                < 1e-12
+        );
+        assert!((lm.rtt(aws_west, gcp_west) - plain.rtt(aws_west, gcp_west) - 0.008).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_inter_provider_pair_is_a_typed_error() {
+        let cat = RegionCatalog::multi_cloud();
+        let err = LatencyModel::from_catalog_with_providers(&cat, &InterProviderLatency::empty())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::MissingInterProviderLatency { .. }
+        ));
+        let table = InterProviderLatency::defaults();
+        assert!(table.penalty_s(Provider::Aws, Provider::Azure).is_err());
+        assert_eq!(table.penalty_s(Provider::Gcp, Provider::Gcp).unwrap(), 0.0);
+        // Symmetric lookup.
+        assert_eq!(
+            table.penalty_s(Provider::Gcp, Provider::Aws).unwrap(),
+            table.penalty_s(Provider::Aws, Provider::Gcp).unwrap()
+        );
+    }
+
+    #[test]
+    fn single_provider_catalog_identical_with_penalty_table() {
+        let cat = RegionCatalog::aws_default();
+        let plain = LatencyModel::from_catalog(&cat);
+        let with =
+            LatencyModel::from_catalog_with_providers(&cat, &InterProviderLatency::defaults())
+                .unwrap();
+        for (a, _) in cat.iter() {
+            for (b, _) in cat.iter() {
+                assert_eq!(plain.one_way(a, b), with.one_way(a, b));
+            }
+        }
     }
 
     #[test]

@@ -27,6 +27,9 @@
 //!   network partitions, gray failures, KV throttling, cold-start storms,
 //!   deployment failures, message drops), deterministic under a seed;
 //! * [`meter`] — usage metering and billing;
+//! * [`providers`] — trait-based provider backends (`aws`, `gcp`-like)
+//!   with per-provider messaging, KV, registry/compute, and pricing
+//!   semantics;
 //! * [`orchestration`] — transition-overhead models for Step-Functions-,
 //!   SNS-, and Caribou-style orchestration (§9.6);
 //! * [`cloud`] — the [`cloud::SimCloud`] façade bundling everything.
@@ -45,12 +48,14 @@ pub mod latency;
 pub mod meter;
 pub mod orchestration;
 pub mod pricing;
+pub mod providers;
 pub mod pubsub;
 pub mod registry;
 pub mod warm;
 
 pub use cloud::SimCloud;
 pub use compute::{ExecutionRecord, LambdaRuntime};
-pub use latency::LatencyModel;
+pub use latency::{InterProviderLatency, LatencyModel};
 pub use meter::UsageMeter;
 pub use pricing::PricingCatalog;
+pub use providers::{backend_for, ProviderBackend};

@@ -107,6 +107,27 @@ impl UsageMeter {
         self.egress_bytes.values().sum()
     }
 
+    /// Bytes moved between regions of *different providers* (its own
+    /// cost/carbon line in cross-provider runs; always 0 on legacy
+    /// single-provider catalogs).
+    pub fn cross_provider_egress_bytes(&self, pricing: &PricingCatalog) -> f64 {
+        self.egress_bytes
+            .iter()
+            .filter(|((from, to), _)| pricing.is_cross_provider(*from, *to))
+            .map(|(_, bytes)| bytes)
+            .sum()
+    }
+
+    /// Egress cost of the bytes that crossed a provider boundary, USD — a
+    /// subset of [`UsageMeter::cost`]'s egress component.
+    pub fn cross_provider_egress_cost(&self, pricing: &PricingCatalog) -> f64 {
+        self.egress_bytes
+            .iter()
+            .filter(|((from, to), _)| pricing.is_cross_provider(*from, *to))
+            .map(|((from, to), bytes)| pricing.egress_cost(*from, *to, *bytes))
+            .sum()
+    }
+
     /// Prices the accumulated usage in USD.
     pub fn cost(&self, pricing: &PricingCatalog) -> f64 {
         let mut total = 0.0;

@@ -5,7 +5,7 @@
 //! window; per-region multipliers capture the small premium of some
 //! regions. The free tier is deliberately not modeled, matching §7.1.
 
-use caribou_model::region::{RegionCatalog, RegionId};
+use caribou_model::region::{Provider, RegionCatalog, RegionId};
 use serde::{Deserialize, Serialize};
 
 /// Prices for one region, in USD.
@@ -48,7 +48,7 @@ impl RegionPricing {
     }
 
     /// Scales all prices by a region premium factor.
-    fn scaled(&self, f: f64) -> Self {
+    pub fn scaled(&self, f: f64) -> Self {
         RegionPricing {
             lambda_gb_second: self.lambda_gb_second * f,
             lambda_per_request: self.lambda_per_request * f,
@@ -67,6 +67,14 @@ impl RegionPricing {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PricingCatalog {
     per_region: Vec<RegionPricing>,
+    /// Provider of each region. Empty in legacy single-provider catalogs:
+    /// every pair then bills at the inter-region tier, exactly as before.
+    #[serde(default)]
+    provider_of: Vec<Provider>,
+    /// Egress price per GB from each region toward another provider
+    /// (typically the internet tier). Empty when `provider_of` is empty.
+    #[serde(default)]
+    cross_provider_egress_per_gb: Vec<f64>,
 }
 
 impl PricingCatalog {
@@ -100,7 +108,41 @@ impl PricingCatalog {
                 base.scaled(premium)
             })
             .collect();
-        PricingCatalog { per_region }
+        PricingCatalog {
+            per_region,
+            provider_of: Vec::new(),
+            cross_provider_egress_per_gb: Vec::new(),
+        }
+    }
+
+    /// Builds a provider-aware catalog from explicit rows: per-region
+    /// prices, the provider of each region, and the per-region
+    /// cross-provider egress rate. All three must have one entry per
+    /// catalog region.
+    pub fn with_providers(
+        per_region: Vec<RegionPricing>,
+        provider_of: Vec<Provider>,
+        cross_provider_egress_per_gb: Vec<f64>,
+    ) -> Self {
+        assert_eq!(per_region.len(), provider_of.len());
+        assert_eq!(per_region.len(), cross_provider_egress_per_gb.len());
+        PricingCatalog {
+            per_region,
+            provider_of,
+            cross_provider_egress_per_gb,
+        }
+    }
+
+    /// Whether a pair of regions belongs to different providers (always
+    /// `false` on legacy catalogs built without provider rows).
+    pub fn is_cross_provider(&self, from: RegionId, to: RegionId) -> bool {
+        match (
+            self.provider_of.get(from.index()),
+            self.provider_of.get(to.index()),
+        ) {
+            (Some(a), Some(b)) => a != b,
+            _ => false,
+        }
     }
 
     /// Prices for one region.
@@ -133,12 +175,20 @@ impl PricingCatalog {
     }
 
     /// Egress cost for moving `bytes` from `from` toward `to`.
+    ///
+    /// Same-provider pairs bill at the source region's inter-region tier;
+    /// cross-provider pairs leave the provider's backbone and bill at the
+    /// source's cross-provider (internet) rate instead.
     pub fn egress_cost(&self, from: RegionId, to: RegionId, bytes: f64) -> f64 {
         if from == to {
             0.0
         } else {
             let gb = bytes.max(0.0) / 1.0e9;
-            gb * self.region(from).egress_inter_region_per_gb
+            if self.is_cross_provider(from, to) {
+                gb * self.cross_provider_egress_per_gb[from.index()]
+            } else {
+                gb * self.region(from).egress_inter_region_per_gb
+            }
         }
     }
 
@@ -216,6 +266,28 @@ mod tests {
             pc.region(west1).lambda_gb_second > pc.region(east).lambda_gb_second,
             "us-west-1 carries a premium"
         );
+    }
+
+    #[test]
+    fn cross_provider_egress_bills_cross_rate() {
+        let base = RegionPricing::us_east_1_baseline();
+        let pc = PricingCatalog::with_providers(
+            vec![base.clone(), base.clone(), base.clone()],
+            vec![Provider::Aws, Provider::Aws, Provider::Gcp],
+            vec![0.09, 0.09, 0.12],
+        );
+        let (a, b, g) = (RegionId(0), RegionId(1), RegionId(2));
+        assert!(!pc.is_cross_provider(a, b));
+        assert!(pc.is_cross_provider(a, g));
+        // Same provider: inter-region tier. Cross provider: cross rate.
+        assert!((pc.egress_cost(a, b, 1e9) - 0.02).abs() < 1e-12);
+        assert!((pc.egress_cost(a, g, 1e9) - 0.09).abs() < 1e-12);
+        assert!((pc.egress_cost(g, a, 1e9) - 0.12).abs() < 1e-12);
+        // Legacy catalogs never see a cross-provider pair.
+        let (cat, legacy) = catalogs();
+        let e = cat.id_of("us-east-1").unwrap();
+        let w = cat.id_of("us-west-2").unwrap();
+        assert!(!legacy.is_cross_provider(e, w));
     }
 
     #[test]

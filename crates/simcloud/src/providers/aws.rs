@@ -1,0 +1,117 @@
+//! The AWS-shaped provider backend.
+//!
+//! This module is the legacy substrate, verbatim, behind the
+//! [`ProviderBackend`] traits: SNS-style pull fan-out pub/sub with
+//! decorrelated-jitter retries, DynamoDB's asymmetric read/write units,
+//! the published Lambda cold-start curve with the ~10-minute keep-alive,
+//! and the AWS price list with tiered inter-region egress. Every constant
+//! here must stay equal to its historical hard-coded value so that
+//! AWS-only runs remain bit-identical to the pre-refactor substrate.
+
+use caribou_model::dist::DistSpec;
+use caribou_model::region::{Provider, RegionCatalog, RegionSpec};
+
+use crate::pricing::RegionPricing;
+use crate::warm::DEFAULT_KEEP_ALIVE_S;
+
+use super::{
+    ComputeBackend, ComputeProfile, KvBackend, KvProfile, MessagingBackend, MessagingProfile,
+    PricingBackend, ProviderBackend,
+};
+
+/// Service-side overhead of a registry push or copy, seconds (matches the
+/// historical `registry::REGISTRY_OVERHEAD_S`).
+const AWS_REGISTRY_OVERHEAD_S: f64 = 1.5;
+
+/// The AWS backend (a unit struct; all state lives in the profiles).
+#[derive(Debug)]
+pub struct AwsBackend;
+
+/// The published per-region price premium over us-east-1 (must match the
+/// historical `PricingCatalog::aws_default` table).
+fn premium(name: &str) -> f64 {
+    match name {
+        "us-east-1" | "us-east-2" => 1.0,
+        "us-west-1" => 1.08,
+        "us-west-2" => 1.0,
+        "ca-central-1" => 1.03,
+        "ca-west-1" => 1.07,
+        "eu-west-1" => 1.02,
+        "eu-central-1" => 1.10,
+        "ap-southeast-2" => 1.15,
+        "sa-east-1" => 1.35,
+        _ => 1.05,
+    }
+}
+
+impl MessagingBackend for AwsBackend {
+    fn messaging(&self, _region: &RegionSpec) -> MessagingProfile {
+        MessagingProfile::aws_sns()
+    }
+}
+
+impl KvBackend for AwsBackend {
+    fn kv(&self, region: &RegionSpec) -> KvProfile {
+        // DynamoDB's asymmetric request units, with the region premium
+        // applied exactly as the legacy pricing catalog does.
+        let f = premium(&region.name);
+        KvProfile {
+            per_write_usd: 1.25 / 1.0e6 * f,
+            per_read_usd: 0.25 / 1.0e6 * f,
+            flat_rate: false,
+        }
+    }
+}
+
+impl ComputeBackend for AwsBackend {
+    fn compute(&self, region: &RegionSpec) -> ComputeProfile {
+        // Must match the historical `LambdaRuntime::aws_default` table.
+        let perf_factor = match region.name.as_str() {
+            "us-east-1" => 1.00,
+            "us-east-2" => 0.99,
+            "us-west-1" => 1.03,
+            "us-west-2" => 1.01,
+            "ca-central-1" => 1.02,
+            "ca-west-1" => 1.04,
+            _ => 1.05,
+        };
+        ComputeProfile {
+            perf_factor,
+            cold_start: DistSpec::LogNormal {
+                median: 0.35,
+                sigma: 0.35,
+            },
+            keep_alive_s: DEFAULT_KEEP_ALIVE_S,
+            registry_overhead_s: AWS_REGISTRY_OVERHEAD_S,
+        }
+    }
+}
+
+impl PricingBackend for AwsBackend {
+    fn pricing(&self, region: &RegionSpec) -> RegionPricing {
+        RegionPricing::us_east_1_baseline().scaled(premium(&region.name))
+    }
+
+    fn cross_provider_egress_per_gb(&self, region: &RegionSpec) -> f64 {
+        // Traffic to another provider leaves AWS's backbone at the
+        // internet tier.
+        self.pricing(region).egress_internet_per_gb
+    }
+}
+
+impl ProviderBackend for AwsBackend {
+    fn provider(&self) -> Provider {
+        Provider::Aws
+    }
+
+    fn regions(&self) -> Vec<RegionSpec> {
+        RegionCatalog::aws_default()
+            .iter()
+            .map(|(_, spec)| spec.clone())
+            .collect()
+    }
+
+    fn evaluation_regions(&self) -> &'static [&'static str] {
+        &["us-east-1", "us-west-1", "us-west-2", "ca-central-1"]
+    }
+}

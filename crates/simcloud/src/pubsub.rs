@@ -18,12 +18,13 @@ use caribou_model::rng::Pcg32;
 
 use crate::faults::FaultPlan;
 use crate::latency::LatencyModel;
+use crate::providers::{DeliveryKind, MessagingProfile};
 
 /// Median service-side publish overhead, seconds (SNS publish + fan-out to
 /// the Lambda trigger).
-const PUBLISH_OVERHEAD_MEDIAN_S: f64 = 0.030;
+pub const PUBLISH_OVERHEAD_MEDIAN_S: f64 = 0.030;
 /// Log-space sigma of the publish overhead.
-const PUBLISH_OVERHEAD_SIGMA: f64 = 0.35;
+pub const PUBLISH_OVERHEAD_SIGMA: f64 = 0.35;
 /// Minimum delay before an unacknowledged delivery is retried, seconds.
 pub const RETRY_BACKOFF_BASE_S: f64 = 0.5;
 /// Cap on any single retry backoff, seconds.
@@ -87,12 +88,31 @@ pub struct PubSub {
     /// positions this at the start of each invocation via
     /// `SimCloud::set_fault_now`.
     pub now_s: f64,
+    /// Per-region messaging profiles (indexed by the subscriber region).
+    /// Empty in legacy clouds: every region then behaves like
+    /// [`MessagingProfile::aws_sns`], reproducing the historical SNS
+    /// constants and RNG draw order exactly.
+    profiles: Vec<MessagingProfile>,
 }
 
 impl PubSub {
     /// Creates the service with no topics.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Installs per-region messaging profiles (one entry per catalog
+    /// region, indexed by the subscriber region).
+    pub fn set_profiles(&mut self, profiles: Vec<MessagingProfile>) {
+        self.profiles = profiles;
+    }
+
+    /// The messaging profile governing delivery to a subscriber region.
+    pub fn profile_for(&self, region: RegionId) -> MessagingProfile {
+        self.profiles
+            .get(region.index())
+            .copied()
+            .unwrap_or_else(MessagingProfile::aws_sns)
     }
 
     /// Creates a topic; idempotent.
@@ -146,13 +166,27 @@ impl PubSub {
         if telemetry {
             caribou_telemetry::event("pubsub.publish", &key.stage, payload_bytes);
         }
+        let profile = self.profile_for(key.region);
         let gray = self
             .faults
             .pair_latency_factor(from, key.region, self.now_s);
-        let mut total = rng.lognormal(PUBLISH_OVERHEAD_MEDIAN_S.ln(), PUBLISH_OVERHEAD_SIGMA);
+        let mut total = rng.lognormal(
+            profile.publish_overhead_median_s.ln(),
+            profile.publish_overhead_sigma,
+        );
+        if let DeliveryKind::PushOrdered {
+            ordering_delay_s, ..
+        } = profile.delivery
+        {
+            // Ordered push delivery serializes within the subscription.
+            total += ordering_delay_s;
+        }
         let mut attempts = 0;
-        let mut backoff = RETRY_BACKOFF_BASE_S;
-        while attempts < MAX_ATTEMPTS {
+        let mut backoff = match profile.delivery {
+            DeliveryKind::PullFanOut { backoff_base_s, .. } => backoff_base_s,
+            DeliveryKind::PushOrdered { .. } => 0.0,
+        };
+        while attempts < profile.max_attempts {
             attempts += 1;
             total += latency.sample_transfer_seconds(from, key.region, payload_bytes, rng) * gray;
             let target_down = self.faults.region_down(key.region, self.now_s);
@@ -179,13 +213,26 @@ impl PubSub {
                     caribou_telemetry::count("fault.partition_drop", 1);
                 }
             }
-            if attempts < MAX_ATTEMPTS {
-                // Decorrelated jitter (AWS architecture blog): grow from the
-                // previous delay, never below the base, never above the cap.
-                backoff = rng
-                    .uniform(RETRY_BACKOFF_BASE_S, backoff * 3.0)
-                    .min(RETRY_BACKOFF_CAP_S);
-                total += backoff;
+            if attempts < profile.max_attempts {
+                match profile.delivery {
+                    DeliveryKind::PullFanOut {
+                        backoff_base_s,
+                        backoff_cap_s,
+                    } => {
+                        // Decorrelated jitter (AWS architecture blog): grow
+                        // from the previous delay, never below the base,
+                        // never above the cap.
+                        backoff = rng
+                            .uniform(backoff_base_s, backoff * 3.0)
+                            .min(backoff_cap_s);
+                        total += backoff;
+                    }
+                    DeliveryKind::PushOrdered { ack_deadline_s, .. } => {
+                        // Push redelivery waits out the fixed ack deadline;
+                        // no jitter draw.
+                        total += ack_deadline_s;
+                    }
+                }
             }
         }
         if telemetry {
@@ -312,6 +359,64 @@ mod tests {
         let min = latencies.iter().cloned().fold(f64::MAX, f64::min);
         let max = latencies.iter().cloned().fold(f64::MIN, f64::max);
         assert!(max - min > 1.0, "min {min} max {max}");
+    }
+
+    #[test]
+    fn default_profile_is_bit_identical_to_legacy_constants() {
+        // Two services, one with the AWS profile installed explicitly and
+        // one without any profiles, must draw identical delivery outcomes
+        // from identical RNG streams.
+        let cat = RegionCatalog::aws_default();
+        let lm = LatencyModel::from_catalog(&cat);
+        let east = cat.id_of("us-east-1").unwrap();
+        let west = cat.id_of("us-west-2").unwrap();
+        let mut legacy = PubSub::new();
+        let mut profiled = PubSub::new();
+        profiled.set_profiles(vec![MessagingProfile::aws_sns(); cat.len()]);
+        for ps in [&mut legacy, &mut profiled] {
+            ps.create_topic(key(west));
+            ps.drop_probability = 0.3;
+        }
+        let mut rng_a = Pcg32::seed(77);
+        let mut rng_b = Pcg32::seed(77);
+        for _ in 0..200 {
+            let a = legacy.publish(&key(west), east, 2048.0, &lm, &mut rng_a);
+            let b = profiled.publish(&key(west), east, 2048.0, &lm, &mut rng_b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn push_ordered_profile_redelivers_on_ack_deadline() {
+        let (cat, lm, mut ps, mut rng) = setup();
+        let r = cat.id_of("us-east-1").unwrap();
+        ps.set_profiles(vec![
+            MessagingProfile {
+                publish_overhead_median_s: 0.020,
+                publish_overhead_sigma: 0.30,
+                max_attempts: 5,
+                delivery: DeliveryKind::PushOrdered {
+                    ack_deadline_s: 1.0,
+                    ordering_delay_s: 0.005,
+                },
+            };
+            cat.len()
+        ]);
+        ps.create_topic(key(r));
+        ps.drop_probability = 1.0;
+        let d = ps.publish(&key(r), r, 128.0, &lm, &mut rng);
+        assert_eq!(d.status, DeliveryStatus::DeadLettered);
+        assert_eq!(d.attempts, 5);
+        // Four fixed ack-deadline waits dominate the latency; unlike the
+        // jittered pull fan-out, repeated dead-letters cluster tightly.
+        assert!(d.latency_s >= 4.0, "latency {}", d.latency_s);
+        let mut latencies = Vec::new();
+        for _ in 0..50 {
+            latencies.push(ps.publish(&key(r), r, 128.0, &lm, &mut rng).latency_s);
+        }
+        let min = latencies.iter().cloned().fold(f64::MAX, f64::min);
+        let max = latencies.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max - min < 1.0, "fixed deadlines: min {min} max {max}");
     }
 
     #[test]

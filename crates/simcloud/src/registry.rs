@@ -39,12 +39,27 @@ pub struct ContainerRegistry {
     images: HashMap<String, ImageInfo>,
     /// `(image, region)` presence set.
     replicas: HashSet<(String, RegionId)>,
+    /// Per-region service overhead overrides (providers differ).
+    overhead_override: HashMap<RegionId, f64>,
 }
 
 impl ContainerRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Overrides the service-side overhead of pushes/copies into a region.
+    pub fn set_overhead(&mut self, region: RegionId, overhead_s: f64) {
+        self.overhead_override.insert(region, overhead_s);
+    }
+
+    /// The service overhead charged for transfers into a region.
+    pub fn overhead_for(&self, region: RegionId) -> f64 {
+        self.overhead_override
+            .get(&region)
+            .copied()
+            .unwrap_or(REGISTRY_OVERHEAD_S)
     }
 
     /// Pushes a freshly built image into `region` (initial deployment,
@@ -61,7 +76,7 @@ impl ContainerRegistry {
         self.replicas.insert((image, region));
         // Developer uplink of ~50 MB/s.
         RegistryTransfer {
-            duration_s: REGISTRY_OVERHEAD_S + size_bytes / 50.0e6,
+            duration_s: self.overhead_for(region) + size_bytes / 50.0e6,
             egress_bytes: 0.0,
         }
     }
@@ -92,7 +107,7 @@ impl ContainerRegistry {
         let transfer = latency.sample_transfer_seconds(from, to, info.size_bytes, rng);
         self.replicas.insert((image.to_string(), to));
         Some(RegistryTransfer {
-            duration_s: REGISTRY_OVERHEAD_S + transfer,
+            duration_s: self.overhead_for(to) + transfer,
             egress_bytes: info.size_bytes,
         })
     }

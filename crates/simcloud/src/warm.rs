@@ -36,6 +36,9 @@ pub struct WarmPool {
     pub enabled: bool,
     /// Idle window after which a container is reclaimed, seconds.
     pub keep_alive_s: f64,
+    /// Per-region keep-alive overrides: providers reclaim idle containers
+    /// at different rates (GCP's decay is faster than Lambda's).
+    keep_alive_override: HashMap<RegionId, f64>,
     last_seen: HashMap<(String, u32, RegionId), SimTime>,
 }
 
@@ -44,6 +47,7 @@ impl Default for WarmPool {
         WarmPool {
             enabled: false,
             keep_alive_s: DEFAULT_KEEP_ALIVE_S,
+            keep_alive_override: HashMap::new(),
             last_seen: HashMap::new(),
         }
     }
@@ -60,8 +64,22 @@ impl WarmPool {
         WarmPool {
             enabled: true,
             keep_alive_s,
+            keep_alive_override: HashMap::new(),
             last_seen: HashMap::new(),
         }
+    }
+
+    /// Overrides the keep-alive window of one region.
+    pub fn set_keep_alive(&mut self, region: RegionId, keep_alive_s: f64) {
+        self.keep_alive_override.insert(region, keep_alive_s);
+    }
+
+    /// The keep-alive window governing a region.
+    pub fn keep_alive_for(&self, region: RegionId) -> f64 {
+        self.keep_alive_override
+            .get(&region)
+            .copied()
+            .unwrap_or(self.keep_alive_s)
     }
 
     /// Whether an invocation of `(workflow, node, region)` at `now` is a
@@ -75,7 +93,7 @@ impl WarmPool {
     ) -> bool {
         let key = (workflow.to_string(), node, region);
         let cold = match self.last_seen.get(&key) {
-            Some(last) => now - last > self.keep_alive_s,
+            Some(last) => now - last > self.keep_alive_for(region),
             None => true,
         };
         self.last_seen.insert(key, now);
@@ -95,7 +113,7 @@ impl WarmPool {
     /// Peeks without recording.
     pub fn is_cold(&self, workflow: &str, node: u32, region: RegionId, now: SimTime) -> bool {
         match self.last_seen.get(&(workflow.to_string(), node, region)) {
-            Some(last) => now - last > self.keep_alive_s,
+            Some(last) => now - last > self.keep_alive_for(region),
             None => true,
         }
     }
@@ -137,6 +155,20 @@ mod tests {
             p.is_cold("other", 0, RegionId(0), 1.0),
             "other workflow cold"
         );
+    }
+
+    #[test]
+    fn per_region_keep_alive_decays_faster() {
+        let mut p = WarmPool::enabled(600.0);
+        p.set_keep_alive(RegionId(1), 240.0);
+        p.check_and_touch("wf", 0, RegionId(0), 0.0);
+        p.check_and_touch("wf", 0, RegionId(1), 0.0);
+        // At t=300 the default region is still warm; the fast-decay
+        // region has already been reclaimed.
+        assert!(!p.is_cold("wf", 0, RegionId(0), 300.0));
+        assert!(p.is_cold("wf", 0, RegionId(1), 300.0));
+        assert_eq!(p.keep_alive_for(RegionId(0)), 600.0);
+        assert_eq!(p.keep_alive_for(RegionId(1)), 240.0);
     }
 
     #[test]

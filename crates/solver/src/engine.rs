@@ -70,13 +70,22 @@ use crate::pool;
 /// never collides with other subsystems splitting the same master seed.
 const EVAL_DOMAIN: u64 = 0xca1b_0e5e_e7a1_0001;
 
+/// Domain-separation label mixed with non-zero provider bits, so a
+/// cross-provider evaluation stream never collides with a fingerprint
+/// absorb of the same numeric value.
+const PROVIDER_DOMAIN: u64 = 0xca1b_0e5e_e7a1_0002;
+
 /// Default [`EstimateCache`] capacity: large enough that single-app
 /// solves (24-hour schedules visit a few thousand distinct plans) never
 /// evict, small enough to bound a week-long fleet run.
 pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 20;
 
-/// Cache key: `(app fingerprint, plan assignment, solve-hour bits)`.
-type CacheKey = (u64, Vec<RegionId>, u64);
+/// Cache key: `(app fingerprint, provider bits, plan assignment,
+/// solve-hour bits)`. Provider bits are 0 for AWS-only plan spaces (the
+/// legacy key shape, zero-extended), non-zero when the universe spans
+/// providers — so cross-provider estimates can never be served to a
+/// single-provider solve or vice versa.
+type CacheKey = (u64, u64, Vec<RegionId>, u64);
 
 /// A cached summary plus the regions its estimate read from the carbon
 /// source (assignment ∪ home) — the dependency record invalidation uses.
@@ -193,7 +202,7 @@ impl EstimateCache {
         let bits = hour.to_bits();
         let mut map = self.map.lock().expect("cache lock");
         let before = map.len();
-        map.retain(|(_, _, h), entry| {
+        map.retain(|(_, _, _, h), entry| {
             *h != bits || !entry.touched.iter().any(|r| regions.contains(r))
         });
         (before - map.len()) as u64
@@ -241,6 +250,7 @@ impl EstimateCache {
 pub struct EvalEngine {
     solve_seed: u64,
     fingerprint: u64,
+    provider_bits: u64,
     workers: usize,
     cache: Arc<EstimateCache>,
 }
@@ -276,9 +286,28 @@ impl EvalEngine {
         workers: usize,
         cache: Arc<EstimateCache>,
     ) -> Self {
+        Self::with_cache_providers(solve_seed, fingerprint, 0, workers, cache)
+    }
+
+    /// Creates an engine whose plan space spans a specific provider set.
+    ///
+    /// `provider_bits` is the non-AWS provider mask of the evaluation
+    /// universe (see `RegionCatalog::provider_bits`): it is part of both
+    /// the cache key and the derived evaluation streams. Bits 0 — the
+    /// AWS-only case — reproduces the legacy key shape and streams
+    /// bit-for-bit, the same reservation fingerprint 0 makes for
+    /// single-app engines.
+    pub fn with_cache_providers(
+        solve_seed: u64,
+        fingerprint: u64,
+        provider_bits: u64,
+        workers: usize,
+        cache: Arc<EstimateCache>,
+    ) -> Self {
         EvalEngine {
             solve_seed,
             fingerprint,
+            provider_bits,
             workers: workers.max(1),
             cache,
         }
@@ -299,6 +328,11 @@ impl EvalEngine {
         self.fingerprint
     }
 
+    /// The non-AWS provider bits of the plan space (0 for AWS-only).
+    pub fn provider_bits(&self) -> u64 {
+        self.provider_bits
+    }
+
     /// The backing estimate cache.
     pub fn cache(&self) -> &Arc<EstimateCache> {
         &self.cache
@@ -315,6 +349,11 @@ impl EvalEngine {
         // derived from them — are preserved bit-for-bit.
         if self.fingerprint != 0 {
             sp = sp.absorb(self.fingerprint);
+        }
+        // Same reservation for providers: AWS-only plan spaces (bits 0)
+        // skip the absorb, keeping pre-multi-provider streams intact.
+        if self.provider_bits != 0 {
+            sp = sp.absorb(PROVIDER_DOMAIN ^ self.provider_bits);
         }
         sp = sp.absorb(hour.to_bits());
         for r in plan.assignment() {
@@ -336,7 +375,12 @@ impl EvalEngine {
         plan: &DeploymentPlan,
         hour: f64,
     ) -> EstimateSummary {
-        let key = (self.fingerprint, plan.assignment().to_vec(), hour.to_bits());
+        let key = (
+            self.fingerprint,
+            self.provider_bits,
+            plan.assignment().to_vec(),
+            hour.to_bits(),
+        );
         if let Some(hit) = self.cache.get(&key) {
             return hit;
         }
@@ -411,6 +455,7 @@ mod tests {
     fn key(fp: u64, regions: &[u16], hour: f64) -> CacheKey {
         (
             fp,
+            0,
             regions.iter().map(|r| RegionId(*r)).collect(),
             hour.to_bits(),
         )
@@ -476,5 +521,35 @@ mod tests {
             "different fingerprints must derive different streams"
         );
         assert_eq!(ra, rs, "equal fingerprints must derive equal streams");
+    }
+
+    #[test]
+    fn provider_bits_separate_streams_and_preserve_legacy() {
+        let cache = EstimateCache::shared(100);
+        let legacy = EvalEngine::with_cache(7, 0, 1, Arc::clone(&cache));
+        let aws_only = EvalEngine::with_cache_providers(7, 0, 0, 1, Arc::clone(&cache));
+        let cross = EvalEngine::with_cache_providers(7, 0, 2, 1, Arc::clone(&cache));
+        let plan = DeploymentPlan::new(vec![RegionId(0), RegionId(1)]);
+        let rl = legacy.eval_rng(&plan, 0.5).next_u64();
+        let ra = aws_only.eval_rng(&plan, 0.5).next_u64();
+        let rc = cross.eval_rng(&plan, 0.5).next_u64();
+        // Bits 0 reproduces the legacy stream exactly; non-zero bits fork
+        // a distinct stream.
+        assert_eq!(rl, ra);
+        assert_ne!(rl, rc);
+        assert_eq!(cross.provider_bits(), 2);
+        // And the cache keys diverge too: the same (plan, hour) evaluated
+        // under different provider bits occupies different entries.
+        cache.insert(
+            (0, 0, plan.assignment().to_vec(), 0.5f64.to_bits()),
+            summary(1.0),
+            vec![RegionId(0)],
+        );
+        assert!(cache
+            .get(&(0, 2, plan.assignment().to_vec(), 0.5f64.to_bits()))
+            .is_none());
+        assert!(cache
+            .get(&(0, 0, plan.assignment().to_vec(), 0.5f64.to_bits()))
+            .is_some());
     }
 }

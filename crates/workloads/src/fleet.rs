@@ -129,6 +129,14 @@ impl FleetApp {
 /// [`SeedSplitter`]-derived stream labelled by `i`, so the fleet is
 /// independent of iteration order and any worker count downstream.
 ///
+/// The universe is provider-agnostic: ids from a multi-provider
+/// [`RegionCatalog`](caribou_model::region::RegionCatalog) (e.g.
+/// `multi_cloud()`) work unchanged, and homes/permitted sets then span
+/// providers. Draws index into `universe` positionally, so the fleet is
+/// a function of the id *list*, not of provider labels — widening the
+/// universe re-draws homes, which is why the fleet CLI keys its cache
+/// streams on the universe's provider bits.
+///
 /// # Panics
 ///
 /// Panics when `universe` is empty.
@@ -352,6 +360,29 @@ mod tests {
             assert!(reads.contains(&app.home));
         }
         assert!(sizes.len() > 1, "constraint heterogeneity expected");
+    }
+
+    #[test]
+    fn multi_provider_universe_draws_cross_provider_homes() {
+        use caribou_model::region::{Provider, RegionCatalog};
+        let cat = RegionCatalog::multi_cloud();
+        let universe: Vec<RegionId> = (0..cat.len() as u16).map(RegionId).collect();
+        let fleet = generate_fleet(42, 64, &universe);
+        let mut providers: std::collections::HashSet<Provider> = Default::default();
+        for app in &fleet {
+            providers.insert(cat.spec(app.home).provider);
+            // Permitted sets may mix providers; every id must resolve.
+            for set in &app.permitted {
+                for r in set {
+                    assert!((r.index()) < cat.len());
+                }
+            }
+        }
+        assert!(
+            providers.contains(&Provider::Aws) && providers.contains(&Provider::Gcp),
+            "a 64-app fleet over the multi-cloud catalog must draw homes \
+             from both providers, got {providers:?}"
+        );
     }
 
     #[test]

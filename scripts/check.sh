@@ -82,6 +82,58 @@ if [[ "${1:-}" != "--fast" ]]; then
     # BENCH_fleet.json baseline (with 2x slack for slower hosts).
     echo "==> fleet bench guard"
     cargo bench -q -p caribou-bench --bench fleet -- --test
+
+    # Cross-provider plan smoke: widening the provider set must change
+    # the schedule (at least one hour offloads to a gcp: region), and the
+    # cross-provider solve must stay bit-identical at 1 vs 4 workers.
+    echo "==> caribou cross-provider smoke (aws vs aws,gcp; 1 vs 4 workers)"
+    cargo run -q --release -p caribou-core --bin caribou -- \
+        plan text2speech --hourly --providers aws \
+        >/tmp/caribou-prov-aws.txt 2>/dev/null
+    cargo run -q --release -p caribou-core --bin caribou -- \
+        plan text2speech --hourly --providers aws,gcp --workers 1 \
+        >/tmp/caribou-prov-multi-1w.txt 2>/dev/null
+    cargo run -q --release -p caribou-core --bin caribou -- \
+        plan text2speech --hourly --providers aws,gcp --workers 4 \
+        >/tmp/caribou-prov-multi-4w.txt 2>/dev/null
+    if diff -q /tmp/caribou-prov-aws.txt /tmp/caribou-prov-multi-1w.txt >/dev/null; then
+        echo "error: aws,gcp schedule identical to aws-only" >&2
+        exit 1
+    fi
+    grep -q 'gcp:' /tmp/caribou-prov-multi-1w.txt || {
+        echo "error: aws,gcp schedule never offloads to a gcp: region" >&2
+        exit 1
+    }
+    diff /tmp/caribou-prov-multi-1w.txt /tmp/caribou-prov-multi-4w.txt
+    rm -f /tmp/caribou-prov-aws.txt /tmp/caribou-prov-multi-1w.txt \
+        /tmp/caribou-prov-multi-4w.txt
+
+    # Golden regression: the default aws-only provider set must replay
+    # the committed pre-refactor stdout byte-for-byte for every seeded
+    # command in goldens/.
+    echo "==> aws-only golden regression (goldens/*.txt)"
+    run_golden() {
+        cargo run -q --release -p caribou-core --bin caribou -- "$@" \
+            >/tmp/caribou-golden.txt 2>/dev/null
+        diff "goldens/$GOLDEN" /tmp/caribou-golden.txt
+        rm -f /tmp/caribou-golden.txt
+    }
+    GOLDEN=plan_dna_hourly_aws.txt run_golden plan dna --hourly
+    GOLDEN=plan_dna_aws.txt run_golden plan dna
+    GOLDEN=simulate_text2speech_aws.txt run_golden \
+        simulate text2speech --days 2 --per-day 20
+    GOLDEN=chaos_seed42_aws.txt run_golden \
+        chaos --seed 42 --requests 200 --duration-s 7200
+    GOLDEN=fleet_32x6_aws.txt run_golden \
+        fleet --apps 32 --hours 6 --seed 42 --perturb 'h3:us-west-2*2' --verify
+
+    # Providers bench guard: worker-count-invariant cross-provider
+    # schedules, a hit-rate floor through the provider-qualified cache
+    # key, aws-only engines blind to cross-provider entries, and
+    # hour-cells/s at or above the committed BENCH_providers.json
+    # baseline (with 2x slack for slower hosts).
+    echo "==> providers bench guard"
+    cargo bench -q -p caribou-bench --bench providers -- --test
 fi
 
 # Panic-free user-input surface: the formerly panicking resolution paths

@@ -25,6 +25,7 @@ fn quick_config(seed: u64, breaker: bool, drop_prob: f64) -> ChaosConfig {
         duration_s: 2.0 * 3600.0,
         breaker_enabled: breaker,
         drop_prob,
+        ..ChaosConfig::default()
     }
 }
 

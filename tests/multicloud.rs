@@ -1,12 +1,30 @@
 //! Multi-cloud integration: GCP regions participate fully, same-grid
-//! regions share intensity across providers, and provider compliance
-//! constraints hold.
+//! regions share intensity across providers, provider compliance
+//! constraints hold, provider-asymmetric faults never alias colocated
+//! regions, and cross-provider solves are worker-count invariant.
 
-use caribou_carbon::source::{CarbonDataSource, RegionalSource};
+use caribou_carbon::series::CarbonSeries;
+use caribou_carbon::source::{CarbonDataSource, ForecastingSource, RegionalSource, TableSource};
 use caribou_carbon::synth::SyntheticCarbonSource;
-use caribou_model::constraints::{Constraints, RegionFilter};
-use caribou_model::region::{Provider, RegionCatalog};
+use caribou_exec::engine::{ExecutionEngine, WorkflowApp};
+use caribou_metrics::carbonmodel::{CarbonModel, TransmissionScenario};
+use caribou_metrics::costmodel::CostModel;
+use caribou_metrics::montecarlo::{DefaultModels, MonteCarloConfig};
+use caribou_model::builder::Workflow;
+use caribou_model::constraints::{Constraints, Objective, RegionFilter};
+use caribou_model::dag::NodeId;
+use caribou_model::dist::DistSpec;
+use caribou_model::plan::DeploymentPlan;
+use caribou_model::region::{Provider, ProviderSet, RegionCatalog, RegionId};
+use caribou_model::rng::Pcg32;
 use caribou_simcloud::cloud::SimCloud;
+use caribou_simcloud::faults::FaultPlan;
+use caribou_simcloud::orchestration::Orchestrator;
+use caribou_solver::context::SolverContext;
+use caribou_solver::engine::{EstimateCache, EvalEngine};
+use caribou_solver::hbss::HbssSolver;
+use caribou_workloads::benchmarks::{all_benchmarks, InputSize};
+use proptest::prelude::*;
 
 #[test]
 fn multi_cloud_catalog_is_complete() {
@@ -96,5 +114,289 @@ fn provider_filter_excludes_foreign_clouds() {
         for r in set {
             assert!(cat.spec(*r).provider == Provider::Gcp || *r == home);
         }
+    }
+}
+
+fn two_stage_app(cloud: &SimCloud) -> WorkflowApp {
+    let mut wf = Workflow::new("wf", "0.1");
+    let a = wf
+        .serverless_function("A")
+        .exec_time(DistSpec::Constant { value: 1.0 })
+        .register();
+    let b = wf
+        .serverless_function("B")
+        .exec_time(DistSpec::Constant { value: 2.0 })
+        .register();
+    wf.invoke(a, b, None)
+        .payload(DistSpec::Constant { value: 10_000.0 });
+    let (dag, profile, _) = wf.extract().unwrap();
+    WorkflowApp {
+        name: "wf".into(),
+        dag,
+        profile,
+        home: cloud.region("aws:us-east-1").unwrap(),
+    }
+}
+
+/// Provider-asymmetric chaos (§6.1 across clouds): an outage of one
+/// provider's region re-routes the offloaded stage across the provider
+/// boundary without losing the invocation, and the *colocated* region of
+/// the other provider — same grid zone, different `RegionId` — is
+/// untouched by the fault.
+#[test]
+fn provider_asymmetric_outage_reroutes_without_aliasing_colocated_region() {
+    let set = ProviderSet::parse("aws,gcp").unwrap();
+    let mut cloud = SimCloud::for_providers(set, 61).unwrap();
+    let app = two_stage_app(&cloud);
+    let gcp_west = cloud.region("gcp:us-west1").unwrap();
+    let aws_west = cloud.region("aws:us-west-2").unwrap();
+    assert_ne!(gcp_west, aws_west);
+    assert_eq!(
+        cloud.regions.spec(gcp_west).grid_zone,
+        cloud.regions.spec(aws_west).grid_zone,
+        "test premise: the two regions share a grid"
+    );
+    cloud.set_faults(FaultPlan::none().with_outage(gcp_west, 0.0, 1e9));
+    let carbon =
+        RegionalSource::new(&cloud.regions, SyntheticCarbonSource::aws_calibrated(61)).unwrap();
+    let engine = ExecutionEngine {
+        carbon_source: &carbon,
+        carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+        orchestrator: Orchestrator::Caribou,
+    };
+
+    // Stage 1 planned into the dead GCP region: the failover crosses the
+    // provider boundary back to the AWS home and completes.
+    let mut plan = DeploymentPlan::uniform(2, app.home);
+    plan.set(NodeId(1), gcp_west);
+    engine.provision(&mut cloud, &app, &plan);
+    let out = engine.invoke(&mut cloud, &app, &plan, 1, 100.0, &mut Pcg32::seed(1));
+    assert!(out.completed, "invocation lost in cross-provider failover");
+    assert!(out.failovers >= 1);
+    assert_eq!(out.failed_region, Some(gcp_west));
+    let rec = out.log.nodes.iter().find(|r| r.node == 1).unwrap();
+    assert_eq!(rec.region, app.home, "stage 1 fell back across providers");
+    assert_eq!(cloud.regions.spec(rec.region).provider, Provider::Aws);
+
+    // The same plan shape through the colocated AWS region is clean: the
+    // outage is keyed by RegionId, never by name or grid zone.
+    let mut plan = DeploymentPlan::uniform(2, app.home);
+    plan.set(NodeId(1), aws_west);
+    engine.provision(&mut cloud, &app, &plan);
+    let out = engine.invoke(&mut cloud, &app, &plan, 2, 300.0, &mut Pcg32::seed(2));
+    assert!(out.completed);
+    assert_eq!(
+        out.failovers, 0,
+        "outage aliased onto the colocated other-provider region"
+    );
+    let rec = out.log.nodes.iter().find(|r| r.node == 1).unwrap();
+    assert_eq!(rec.region, aws_west);
+}
+
+/// Seeded cross-provider win (the acceptance scenario): with `aws,gcp`
+/// the solver splits the Text2Speech DAG across both providers and beats
+/// the best aws-only plan on carbon, deterministically at any worker
+/// count.
+#[test]
+fn cross_provider_plan_splits_dag_and_beats_single_provider_carbon() {
+    // Mirrors `caribou plan text2speech [--providers ...]` at hour 12.5.
+    let solve = |set: ProviderSet| -> (Vec<Provider>, f64) {
+        let aws_only = set == ProviderSet::aws_only();
+        let cloud = if aws_only {
+            SimCloud::aws(7)
+        } else {
+            SimCloud::for_providers(set, 7).unwrap()
+        };
+        let regions: Vec<RegionId> = if aws_only {
+            cloud.regions.evaluation_regions()
+        } else {
+            SimCloud::evaluation_universe(set)
+                .iter()
+                .map(|n| cloud.regions.resolve(n).unwrap())
+                .collect()
+        };
+        let bench = all_benchmarks(InputSize::Small)
+            .into_iter()
+            .find(|b| b.dag.name().contains("text2speech"))
+            .unwrap();
+        let carbon = RegionalSource::new(
+            &cloud.regions,
+            SyntheticCarbonSource::aws_calibrated(20231015),
+        )
+        .unwrap();
+        let home = cloud.region("us-east-1").unwrap();
+        let mut constraints = bench.constraints.clone();
+        constraints.tolerances.latency = 0.10;
+        constraints.tolerances.cost = 1.0;
+        let permitted = constraints
+            .permitted_regions(&bench.dag, &regions, &cloud.regions, home)
+            .unwrap();
+        let forecast = ForecastingSource::fit(&carbon, &regions, 0.0, 48);
+        let models = DefaultModels {
+            profile: &bench.profile,
+            runtime: &cloud.compute,
+            latency: &cloud.latency,
+            orchestrator: Orchestrator::Caribou,
+        };
+        let ctx = SolverContext {
+            dag: &bench.dag,
+            profile: &bench.profile,
+            permitted: &permitted,
+            home,
+            objective: Objective::Carbon,
+            tolerances: constraints.tolerances,
+            carbon_source: &forecast,
+            carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+            cost_model: CostModel::new(&cloud.pricing),
+            models: &models,
+            mc_config: MonteCarloConfig::default(),
+        };
+        let bits = cloud.regions.provider_bits(&regions);
+        let solver = HbssSolver::new();
+        let solve_at = |workers: usize| {
+            let engine =
+                EvalEngine::with_cache_providers(7, 0, bits, workers, EstimateCache::shared(4096));
+            solver.solve_with(&engine, &ctx, 12.5, &mut Pcg32::seed(7))
+        };
+        let base = solve_at(1);
+        // Worker-count invariance of the cross-provider solve.
+        let wide = solve_at(4);
+        assert_eq!(base.best.assignment(), wide.best.assignment());
+        assert_eq!(base.best_estimate, wide.best_estimate);
+        let providers = base
+            .best
+            .assignment()
+            .iter()
+            .map(|r| cloud.regions.spec(*r).provider)
+            .collect();
+        (providers, ctx.metric_of(&base.best_estimate))
+    };
+
+    let (aws_providers, aws_best) = solve(ProviderSet::aws_only());
+    assert!(aws_providers.iter().all(|p| *p == Provider::Aws));
+    let (multi_providers, multi_best) = solve(ProviderSet::parse("aws,gcp").unwrap());
+    assert!(
+        multi_providers.contains(&Provider::Aws) && multi_providers.contains(&Provider::Gcp),
+        "plan must split the DAG across providers, got {multi_providers:?}"
+    );
+    assert!(
+        multi_best < aws_best,
+        "cross-provider plan must beat the single-provider best: {multi_best} vs {aws_best}"
+    );
+}
+
+/// Builds a small cross-provider two-node world for the determinism
+/// proptest — same shape as `tests/solver_determinism.rs`, but over a
+/// multi-provider cloud whose permitted sets span AWS and GCP.
+fn with_cross_ctx<R>(
+    f: impl FnOnce(&SolverContext<'_, TableSource, DefaultModels<'_>>, u64) -> R,
+) -> R {
+    let set = ProviderSet::parse("aws,gcp").unwrap();
+    let cloud = SimCloud::for_providers(set, 9).unwrap();
+    let cat = &cloud.regions;
+    let east = cat.resolve("aws:us-east-1").unwrap();
+    let aws_ca = cat.resolve("aws:ca-central-1").unwrap();
+    let gcp_qc = cat.resolve("gcp:northamerica-northeast1").unwrap();
+    let gcp_west = cat.resolve("gcp:us-west1").unwrap();
+    // Diurnal structure so different hours pick different winners, with
+    // the cheapest regions on both sides of the provider boundary.
+    let mut carbon = TableSource::new();
+    for (id, _) in cat.iter() {
+        let values: Vec<f64> = (0..24)
+            .map(|h| {
+                if id == gcp_west {
+                    if h < 12 {
+                        55.0
+                    } else {
+                        700.0
+                    }
+                } else if id == gcp_qc {
+                    35.0
+                } else if id == aws_ca {
+                    40.0 + 5.0 * (h % 4) as f64
+                } else {
+                    390.0
+                }
+            })
+            .collect();
+        carbon.insert(id, CarbonSeries::new(0, values));
+    }
+    let mut wf = Workflow::new("w", "0.1");
+    let a = wf
+        .serverless_function("A")
+        .exec_time(DistSpec::Constant { value: 5.0 })
+        .register();
+    let b = wf
+        .serverless_function("B")
+        .exec_time(DistSpec::Uniform { lo: 4.0, hi: 8.0 })
+        .register();
+    wf.invoke(a, b, None)
+        .payload(DistSpec::Constant { value: 8_000.0 });
+    let (dag, profile, _) = wf.extract().unwrap();
+    let mut span = vec![east, aws_ca, gcp_west, gcp_qc];
+    span.sort_unstable();
+    let permitted = vec![span.clone(), span.clone()];
+    let models = DefaultModels {
+        profile: &profile,
+        runtime: &cloud.compute,
+        latency: &cloud.latency,
+        orchestrator: Orchestrator::Caribou,
+    };
+    let ctx = SolverContext {
+        dag: &dag,
+        profile: &profile,
+        permitted: &permitted,
+        home: east,
+        objective: Objective::Carbon,
+        tolerances: caribou_model::constraints::Tolerances {
+            latency: 0.5,
+            cost: 0.5,
+            carbon: f64::INFINITY,
+        },
+        carbon_source: &carbon,
+        carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+        cost_model: CostModel::new(&cloud.pricing),
+        models: &models,
+        mc_config: MonteCarloConfig {
+            batch: 60,
+            max_samples: 120,
+            cv_threshold: 0.1,
+        },
+    };
+    let bits = cat.provider_bits(&span);
+    f(&ctx, bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Cross-provider solves are bit-identical at 1, 2 and 8 workers for
+    /// any (engine seed, walk seed, hour) — the provider bits extend the
+    /// evaluation streams but never make them depend on scheduling.
+    #[test]
+    fn cross_provider_solve_is_worker_count_invariant(
+        engine_seed in any::<u64>(),
+        walk_seed in any::<u64>(),
+        hour_idx in 0u8..24,
+    ) {
+        with_cross_ctx(|ctx, bits| {
+            assert_ne!(bits, 0, "aws+gcp universe must set non-AWS bits");
+            let hour = hour_idx as f64 + 0.5;
+            let solver = HbssSolver::new();
+            let solve_at = |workers: usize| {
+                let engine = EvalEngine::with_cache_providers(
+                    engine_seed, 0, bits, workers, EstimateCache::shared(4096),
+                );
+                solver.solve_with(&engine, ctx, hour, &mut Pcg32::seed(walk_seed))
+            };
+            let base = solve_at(1);
+            for w in [2usize, 8] {
+                let other = solve_at(w);
+                assert_eq!(base.best.assignment(), other.best.assignment());
+                assert_eq!(base.best_estimate, other.best_estimate);
+                assert_eq!(base.home_estimate, other.home_estimate);
+                assert_eq!(base.evaluated, other.evaluated);
+            }
+        });
     }
 }
