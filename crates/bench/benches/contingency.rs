@@ -1,0 +1,153 @@
+//! Contingency-failover overhead: installing a precomputed fallback
+//! table must not tax the happy path. While every region is healthy the
+//! per-request cost is two counter branches — `breaker_engaged()` plus
+//! `fallback_engaged()` — and a hand-rolled guard at the end of this
+//! bench fails the run if that combined check ever exceeds the same
+//! 10 ns budget the bare breaker is held to.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use caribou_exec::router::InvocationRouter;
+use caribou_model::plan::{
+    ContingencyEntry, ContingencyTable, DeploymentPlan, Exclusion, HourlyPlans,
+};
+use caribou_model::region::{Provider, RegionId};
+use criterion::{criterion_group, Criterion};
+
+fn plans_on(region: RegionId) -> HourlyPlans {
+    HourlyPlans::hourly(
+        (0..24)
+            .map(|_| DeploymentPlan::uniform(4, region))
+            .collect(),
+        0.0,
+        1e12,
+    )
+}
+
+/// A three-entry table mirroring what `plan --contingency 3` produces:
+/// one provider-wide fallback and two single-region ones.
+fn table() -> ContingencyTable {
+    let entry = |exclusion: Exclusion, excluded: Vec<RegionId>, to: RegionId| ContingencyEntry {
+        exclusion,
+        excluded_regions: excluded,
+        plans: plans_on(to),
+        metric: 1.0,
+    };
+    ContingencyTable {
+        entries: vec![
+            entry(
+                Exclusion::Provider(Provider::Gcp),
+                vec![RegionId(3), RegionId(4)],
+                RegionId(1),
+            ),
+            entry(
+                Exclusion::Region(RegionId(4)),
+                vec![RegionId(4)],
+                RegionId(2),
+            ),
+            entry(
+                Exclusion::Region(RegionId(3)),
+                vec![RegionId(3)],
+                RegionId(1),
+            ),
+        ],
+    }
+}
+
+fn topology() -> Vec<(RegionId, Provider)> {
+    vec![
+        (RegionId(0), Provider::Aws),
+        (RegionId(1), Provider::Aws),
+        (RegionId(2), Provider::Aws),
+        (RegionId(3), Provider::Gcp),
+        (RegionId(4), Provider::Gcp),
+    ]
+}
+
+fn armed_router() -> InvocationRouter {
+    let mut router = InvocationRouter::new(RegionId(0), 4);
+    router.activate(plans_on(RegionId(4)));
+    router.set_contingency(table(), topology());
+    router
+}
+
+fn bench_contingency(c: &mut Criterion) {
+    let mut healthy = armed_router();
+    c.bench_function("contingency/route_healthy", |b| {
+        b.iter(|| black_box(healthy.route(black_box(1000.0))));
+    });
+
+    let mut failed_over = armed_router();
+    for _ in 0..3 {
+        failed_over.record_failure(RegionId(4), 1000.0);
+    }
+    c.bench_function("contingency/route_failed_over", |b| {
+        b.iter(|| black_box(failed_over.route(black_box(1000.0))));
+    });
+
+    let armed = armed_router();
+    c.bench_function("contingency/happy_path_check", |b| {
+        b.iter(|| {
+            let r = black_box(&armed);
+            black_box(r.breaker_engaged() || r.fallback_engaged())
+        });
+    });
+}
+
+/// Hard guard: with a contingency table installed and every region
+/// healthy, the combined `breaker_engaged() || fallback_engaged()`
+/// check must stay under 10 ns per routing decision — the contingency
+/// subsystem rides the existing breaker budget, it does not get its
+/// own. Best-of-batches, as scheduling noise only ever adds time.
+fn guard_contingency_happy_path() {
+    let router = armed_router();
+    assert!(!router.breaker_engaged(), "healthy router: no breaker");
+    assert!(!router.fallback_engaged(), "healthy router: no fallback");
+    const ITERS: u64 = 4_000_000;
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..12 {
+        let start = Instant::now();
+        let mut any = false;
+        for _ in 0..ITERS {
+            let r = black_box(&router);
+            any |= r.breaker_engaged() || r.fallback_engaged();
+        }
+        black_box(any);
+        let ns = start.elapsed().as_nanos() as f64 / ITERS as f64;
+        best_ns = best_ns.min(ns);
+    }
+    println!("contingency/happy_path_guard: best {best_ns:.3} ns per check");
+    assert!(
+        best_ns < 10.0,
+        "contingency happy-path check took {best_ns:.2} ns per routing decision (budget: 10 ns)"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_contingency.json");
+    if let Some(committed_ns) = read_baseline(path) {
+        println!("contingency/happy_path_guard: committed baseline {committed_ns:.3} ns");
+        assert!(
+            best_ns <= (committed_ns * 4.0).max(2.0),
+            "happy-path check {best_ns:.3} ns regressed past 4x the committed {committed_ns:.3} ns"
+        );
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"happy_path_ns\": {best_ns:.3},\n  \"budget_ns\": 10.0,\n  \"cores\": {cores}\n}}\n"
+    );
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("contingency/happy_path_guard: could not write {path}: {e}");
+    }
+}
+
+fn read_baseline(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let value: serde_json::Value = serde_json::from_str(&text).ok()?;
+    value.get("happy_path_ns")?.as_f64()
+}
+
+criterion_group!(benches, bench_contingency);
+
+fn main() {
+    benches();
+    guard_contingency_happy_path();
+}

@@ -27,6 +27,7 @@ pub mod marginal;
 pub mod route;
 pub mod series;
 pub mod source;
+pub mod staleness;
 pub mod synth;
 
 pub use error::CarbonError;

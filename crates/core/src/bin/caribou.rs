@@ -10,7 +10,8 @@
 //! caribou simulate <benchmark> [--days D] [--per-day N] [--worst-case]
 //!                  [--telemetry out.jsonl]  # run the full framework loop
 //! caribou chaos [--seed N] [--requests N]   # seeded fault campaign with
-//!                                           # invariant checking
+//!               [--correlated]              # invariant checking; correlated
+//!                                           # fault classes + failover
 //! caribou fleet [--apps N] [--hours H]      # multi-tenant fleet re-plan
 //!               [--perturb SPEC]            # with incremental re-solve
 //! caribou trace <journal.jsonl> [--limit N] # replay a telemetry journal
@@ -38,6 +39,7 @@ use caribou_model::rng::Pcg32;
 use caribou_simcloud::cloud::SimCloud;
 use caribou_simcloud::orchestration::Orchestrator;
 use caribou_solver::context::SolverContext;
+use caribou_solver::contingency::solve_hourly_with_contingency;
 use caribou_solver::engine::EvalEngine;
 use caribou_solver::hbss::HbssSolver;
 use caribou_solver::hourly::solve_hourly_with;
@@ -56,7 +58,8 @@ USAGE:
     caribou carbon <region> [--hours N]
     caribou carbon --zone <grid-zone> [--hours N]
     caribou plan <benchmark> [--input small|large] [--hour H] [--worst-case]
-                 [--hourly] [--workers N] [--providers aws[,gcp]]
+                 [--hourly [--contingency K]] [--workers N]
+                 [--providers aws[,gcp]]
     caribou simulate <benchmark> [--input small|large] [--days D] [--per-day N] [--worst-case]
                      [--telemetry <out.jsonl>] [--workers N] [--json]
                      [--providers aws[,gcp]]
@@ -65,6 +68,7 @@ USAGE:
                     [--input small|large] [--worst-case] [--telemetry <out.jsonl>]
     caribou chaos [--seed N] [--requests N] [--duration-s S] [--drop P]
                   [--no-breaker] [--seeds K] [--workers N] [--json]
+                  [--correlated [--contingency K] [--scenario provider-outage]]
                   [--providers aws[,gcp]]
     caribou fleet [--apps N] [--hours H] [--workers K] [--seed S]
                   [--capacity C] [--perturb <spec>] [--verify]
@@ -417,17 +421,30 @@ fn cmd_plan(args: &[String]) -> Result<(), CliError> {
         // Full 24-hour schedule through the deterministic evaluation
         // engine: stdout is bit-identical at any --workers value (pool and
         // cache statistics go to stderr), which scripts/check.sh exploits
-        // to smoke-test solver determinism.
+        // to smoke-test solver determinism. With --contingency K the
+        // schedule prefix stays byte-identical (the primary solve consumes
+        // the same RNG prefix) and K ranked fallback entries are appended.
+        let k: usize = flag(args, "--contingency")
+            .map(|v| v.parse().map_err(|e| format!("--contingency: {e}")))
+            .transpose()?
+            .unwrap_or(0);
         let engine = EvalEngine::new(7, workers(args)?);
-        let plans = solve_hourly_with(
-            &engine,
-            &HbssSolver::new(),
-            &ctx,
-            day_start,
-            0.0,
-            86_400.0,
-            &mut Pcg32::seed(7),
-        );
+        let solver = HbssSolver::new();
+        let mut rng = Pcg32::seed(7);
+        let (plans, table) = if k > 0 {
+            let topology: Vec<_> = regions
+                .iter()
+                .map(|&r| (r, cloud.regions.spec(r).provider))
+                .collect();
+            let (plans, table) = solve_hourly_with_contingency(
+                &engine, &solver, &ctx, &topology, day_start, 0.0, 86_400.0, &mut rng, 7, k,
+            );
+            (plans, Some(table))
+        } else {
+            let plans =
+                solve_hourly_with(&engine, &solver, &ctx, day_start, 0.0, 86_400.0, &mut rng);
+            (plans, None)
+        };
         println!(
             "hourly deployment schedule for `{}` ({} input), day starting hour {day_start}:",
             bench.name,
@@ -441,6 +458,33 @@ fn cmd_plan(args: &[String]) -> Result<(), CliError> {
                 .map(|n| region_label(&cloud, pset, plan.region_of(n)))
                 .collect();
             println!("  hour {h:>2}: {}", assignment.join(", "));
+        }
+        if let Some(table) = table {
+            println!(
+                "contingency table ({} fallback entries, coverage-first):",
+                table.len()
+            );
+            for (i, e) in table.entries.iter().enumerate() {
+                let fallback: Vec<String> = e
+                    .plans
+                    .regions_used()
+                    .into_iter()
+                    .map(|r| region_label(&cloud, pset, r))
+                    .collect();
+                let excluded = match e.exclusion {
+                    caribou_model::plan::Exclusion::Region(r) => {
+                        format!("region:{}", region_label(&cloud, pset, r))
+                    }
+                    caribou_model::plan::Exclusion::Provider(p) => format!("provider:{p}"),
+                };
+                println!(
+                    "  {}. {:<28} metric {:.3e}  fallback uses {}",
+                    i + 1,
+                    excluded,
+                    e.metric,
+                    fallback.join(", ")
+                );
+            }
         }
         eprintln!(
             "cache: {} hits / {} misses over {} distinct plans",
@@ -708,6 +752,9 @@ fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
     }
     config.breaker_enabled = !has_flag(args, "--no-breaker");
     config.providers = providers(args)?;
+    if has_flag(args, "--correlated") {
+        return cmd_chaos_correlated(args, config);
+    }
     let sweep: usize = flag(args, "--seeds")
         .map(|v| v.parse().map_err(|e| format!("--seeds: {e}")))
         .transpose()?
@@ -774,6 +821,101 @@ fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
         Err(format!(
             "{} invariant violation(s) detected",
             report.violations.len()
+        )
+        .into())
+    }
+}
+
+/// `caribou chaos --correlated`: campaign under correlated fault classes
+/// (provider-wide outages, shared failure domains, carbon-data outages)
+/// with optional precomputed-contingency failover. `--contingency K`
+/// arms a K-entry fallback table and appends a paired comparison against
+/// the re-route-home baseline (same seed, same faults, no table).
+/// `--scenario provider-outage` swaps the randomized fault plan for the
+/// pinned seeded provider-wide outage (EXPERIMENTS.md "Contingency").
+fn cmd_chaos_correlated(
+    args: &[String],
+    mut config: caribou_core::ChaosConfig,
+) -> Result<(), CliError> {
+    config.contingency = flag(args, "--contingency")
+        .map(|v| v.parse().map_err(|e| format!("--contingency: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    config.workers = workers(args)?;
+    let scenario = match flag(args, "--scenario") {
+        None => false,
+        Some("provider-outage") => true,
+        Some(s) => {
+            return Err(format!("--scenario: unknown scenario `{s}` (try provider-outage)").into())
+        }
+    };
+    let run = |c: &caribou_core::ChaosConfig| {
+        if scenario {
+            caribou_core::chaos::run_provider_outage_scenario(c)
+        } else {
+            caribou_core::chaos::run_correlated_campaign(c)
+        }
+    };
+
+    eprintln!(
+        "correlated chaos: seed {} · {} requests over {:.0} s · contingency {} · providers {} · {} worker(s)",
+        config.seed,
+        config.requests,
+        config.duration_s,
+        config.contingency,
+        config.providers,
+        config.workers.max(1),
+    );
+    let report = run(&config);
+
+    println!(
+        "correlated faults: {} provider outage(s), {} failure domain(s), {} carbon-data outage(s)",
+        report.correlated.provider_outages,
+        report.correlated.failure_domains,
+        report.correlated.carbon_outages,
+    );
+    println!(
+        "contingency table: {} fallback entries",
+        report.contingency_entries
+    );
+    println!("requests:          {}", report.base.requests);
+    println!("completed clean:   {}", report.base.completed_clean);
+    println!("fell back home:    {}", report.base.fell_back_home);
+    println!("reported failed:   {}", report.base.failed);
+    println!("breaker reroutes:  {}", report.base.breaker_reroutes);
+    println!("fallback routed:   {}", report.fallback_routed);
+    println!("recovery probes:   {}", report.probe_requests);
+    println!(
+        "latency:           {:.2} s p50 / {:.2} s p99 / {:.2} s mean",
+        report.base.p50_latency_s, report.base.p99_latency_s, report.base.mean_latency_s
+    );
+    println!("carbon:            {:.3} g total", report.total_carbon_g);
+    let (fresh, lkg, yearly) = report.stale_queries;
+    println!("carbon queries:    {fresh} fresh / {lkg} last-known-good / {yearly} yearly-average");
+
+    if config.contingency > 0 {
+        let mut base_cfg = config;
+        base_cfg.contingency = 0;
+        let baseline = run(&base_cfg);
+        println!(
+            "vs re-route-home:  p99 {:.2} s -> {:.2} s · carbon {:.3} g -> {:.3} g",
+            baseline.base.p99_latency_s,
+            report.base.p99_latency_s,
+            baseline.total_carbon_g,
+            report.total_carbon_g,
+        );
+    }
+
+    if report.base.ok() {
+        println!("invariants:        all upheld");
+        Ok(())
+    } else {
+        for v in &report.base.violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        Err(format!(
+            "{} invariant violation(s) detected",
+            report.base.violations.len()
         )
         .into())
     }

@@ -24,6 +24,17 @@ pub enum CoreError {
         /// them) and the egress those crane copies were billed.
         partial: Box<MigrationReport>,
     },
+    /// A rollout target region is inside a *known* active outage window,
+    /// so the Migrator refuses to start the rollout rather than waste
+    /// crane copies on a region that cannot come up. The plan set is
+    /// retained in `pending` for retry once the window closes.
+    RegionUnavailable {
+        /// Region the fault plan marks as down.
+        region: RegionId,
+        /// When the outage window is known to end, seconds (the latest
+        /// end across all active windows covering the region).
+        until_s: f64,
+    },
     /// A crane image copy failed because the source image is missing.
     ImageMissing {
         /// Image reference.
@@ -49,6 +60,12 @@ impl fmt::Display for CoreError {
                     f,
                     "deployment of `{stage}` to {region} failed ({} region(s) already deployed)",
                     partial.newly_deployed.len()
+                )
+            }
+            CoreError::RegionUnavailable { region, until_s } => {
+                write!(
+                    f,
+                    "rollout refused: {region} is in a known outage until t={until_s}s"
                 )
             }
             CoreError::ImageMissing { image } => write!(f, "image `{image}` missing"),

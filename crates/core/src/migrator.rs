@@ -52,6 +52,30 @@ impl Migrator {
             duration_s: 0.0,
             activated: false,
         };
+        // Contingency guard: refuse to start a rollout into a region the
+        // fault plan already marks as down — the crane copies would be
+        // wasted on a region that cannot come up. The plan set is
+        // retained so `retry_pending` can pick it up once the window
+        // closes. (Outages that *begin* mid-rollout are still surfaced
+        // as `DeploymentFailed` by the per-region check below.)
+        for &region in &needed {
+            if workflow.active_regions.contains(&region) {
+                continue;
+            }
+            if cloud.faults.region_down(region, now_s) {
+                let until_s = cloud.faults.down_until(region, now_s).unwrap_or(now_s);
+                if caribou_telemetry::is_enabled() {
+                    caribou_telemetry::event_at(
+                        now_s,
+                        "migrator.refused",
+                        format!("{}@r{}", workflow.app.name, region.0),
+                        until_s,
+                    );
+                }
+                workflow.pending = Some(plans);
+                return Err(CoreError::RegionUnavailable { region, until_s });
+            }
+        }
         let mut rng = cloud.rng.fork(0x4d16);
         for region in needed {
             if workflow.active_regions.contains(&region) {
@@ -240,8 +264,14 @@ mod tests {
         let mut wf = deployed(&mut cloud);
         let ca = cloud.region("ca-central-1").unwrap();
         cloud.set_faults(FaultPlan::none().with_outage(ca, 0.0, 1000.0));
+        // The outage is already known at rollout time, so the Migrator
+        // refuses up front with the typed error.
         let err = Migrator::rollout(&mut cloud, &mut wf, plans_using(ca, 1e9), 10.0);
-        assert!(matches!(err, Err(CoreError::DeploymentFailed { .. })));
+        assert!(matches!(
+            err,
+            Err(CoreError::RegionUnavailable { region, until_s })
+                if region == ca && until_s == 1000.0
+        ));
         assert!(!wf.router.has_active_plan(10.0), "traffic stays home");
         assert!(wf.pending.is_some(), "plan retained for retry");
         // After the outage, the retry succeeds.
@@ -283,8 +313,11 @@ mod tests {
         let west = cloud.region("us-west-1").unwrap();
         let ca = cloud.region("ca-central-1").unwrap();
         // regions_used() is sorted, so us-west-1 (2) deploys before
-        // ca-central-1 (4) — and only the latter is down.
-        cloud.set_faults(FaultPlan::none().with_outage(ca, 0.0, 1000.0));
+        // ca-central-1 (4) — and an outage *opens mid-rollout* on the
+        // latter (west's crane copy pushes the clock past 10.5 s), so
+        // the up-front guard passes and the failure is a mid-rollout
+        // DeploymentFailed with partial progress.
+        cloud.set_faults(FaultPlan::none().with_outage(ca, 10.5, 1000.0));
         let err = Migrator::rollout(&mut cloud, &mut wf, plans_split(west, ca, 1e9), 10.0);
         let Err(CoreError::DeploymentFailed {
             region, partial, ..
@@ -305,7 +338,7 @@ mod tests {
         let mut wf = deployed(&mut cloud);
         let west = cloud.region("us-west-1").unwrap();
         let ca = cloud.region("ca-central-1").unwrap();
-        cloud.set_faults(FaultPlan::none().with_outage(ca, 0.0, 1000.0));
+        cloud.set_faults(FaultPlan::none().with_outage(ca, 10.5, 1000.0));
         let _ = Migrator::rollout(&mut cloud, &mut wf, plans_split(west, ca, 1e9), 10.0);
         // Outage over: the retry deploys only the region that failed.
         let retry = Migrator::retry_pending(&mut cloud, &mut wf, 2000.0)
@@ -314,6 +347,54 @@ mod tests {
         assert_eq!(retry.newly_deployed, vec![ca], "west is not re-deployed");
         assert!(retry.activated);
         assert!(wf.router.has_active_plan(2000.0));
+    }
+
+    #[test]
+    fn rollout_refused_into_known_outage_does_no_work() {
+        let mut cloud = SimCloud::aws(9);
+        let mut wf = deployed(&mut cloud);
+        let west = cloud.region("us-west-1").unwrap();
+        let ca = cloud.region("ca-central-1").unwrap();
+        cloud.set_faults(FaultPlan::none().with_outage(ca, 0.0, 1000.0));
+        // Even though west (deployed first in region order) is healthy,
+        // the up-front sweep refuses before any crane copy is billed.
+        let err = Migrator::rollout(&mut cloud, &mut wf, plans_split(west, ca, 1e9), 10.0);
+        assert!(matches!(
+            err,
+            Err(CoreError::RegionUnavailable { region, .. }) if region == ca
+        ));
+        assert!(!wf.active_regions.contains(&west), "no partial deploys");
+        assert!(!cloud.registry.has_replica("wf:0.1", west));
+        assert!(wf.pending.is_some(), "plan retained for retry");
+        // Window closed: retry now deploys both regions.
+        let retry = Migrator::retry_pending(&mut cloud, &mut wf, 2000.0)
+            .expect("pending plan retained")
+            .expect("retry succeeds");
+        assert_eq!(retry.newly_deployed, vec![west, ca]);
+        assert!(retry.activated);
+    }
+
+    #[test]
+    fn refused_rollout_emits_refusal_event() {
+        caribou_telemetry::enable(Box::new(caribou_telemetry::MemorySink::default()));
+        let mut cloud = SimCloud::aws(10);
+        let mut wf = deployed(&mut cloud);
+        let ca = cloud.region("ca-central-1").unwrap();
+        cloud.set_faults(FaultPlan::none().with_outage(ca, 0.0, 700.0));
+        let _ = Migrator::rollout(&mut cloud, &mut wf, plans_using(ca, 1e9), 10.0);
+        let finished = caribou_telemetry::finish().expect("session active");
+        let sink = finished
+            .sink
+            .as_any()
+            .downcast_ref::<caribou_telemetry::MemorySink>()
+            .unwrap();
+        let refusals: Vec<_> = sink
+            .events
+            .iter()
+            .filter(|e| e.kind == "migrator.refused")
+            .collect();
+        assert_eq!(refusals.len(), 1);
+        assert_eq!(refusals[0].value, 700.0, "records the window end");
     }
 
     #[test]

@@ -17,11 +17,21 @@
 //! failure re-opens it. The happy path (no breaker tripped) is a single
 //! branch on a counter, so routing cost is unchanged when regions are
 //! healthy.
+//!
+//! When a [`ContingencyTable`] is installed, a tripped breaker engages
+//! *failover* instead of ad-hoc per-node home substitution: breaker
+//! state is aggregated up to provider level (every plan-used region of a
+//! provider blocked ⇒ the whole provider is treated as down) and the
+//! router switches to the best precomputed fallback plan covering the
+//! down set. Recovery is staged through the same half-open probes — once
+//! the probes succeed and every breaker closes, traffic returns to the
+//! primary plan and the time-to-recover is observed on the
+//! `failover.time_to_recover_s` histogram.
 
 use std::collections::HashMap;
 
-use caribou_model::plan::{DeploymentPlan, HourlyPlans};
-use caribou_model::region::RegionId;
+use caribou_model::plan::{ContingencyEntry, ContingencyTable, DeploymentPlan, HourlyPlans};
+use caribou_model::region::{Provider, RegionId};
 
 /// Circuit-breaker tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,6 +87,13 @@ pub struct RouteDecision {
     /// Whether an open circuit breaker substituted home for one or more
     /// of the plan's regions.
     pub breaker_rerouted: bool,
+    /// Whether the invocation was routed on a precomputed contingency
+    /// fallback plan instead of the primary.
+    pub fallback: bool,
+    /// Whether a half-open breaker admitted this request as its recovery
+    /// probe. Probe requests deliberately sample a suspected-down path,
+    /// so latency accounting can treat them as canary traffic.
+    pub probed: bool,
 }
 
 /// Routes invocations of one workflow.
@@ -95,6 +112,16 @@ pub struct InvocationRouter {
     /// Number of breakers currently Open or HalfOpen. The routing happy
     /// path checks only this counter.
     tripped: u32,
+    /// Precomputed fallback plans; when present, tripped breakers engage
+    /// failover instead of per-node home substitution.
+    contingency: Option<ContingencyTable>,
+    /// Region → provider map used to aggregate breaker state up to
+    /// provider level.
+    topology: Vec<(RegionId, Provider)>,
+    /// Index of the currently engaged fallback entry, if any.
+    active_fallback: Option<usize>,
+    /// Simulation time failover first engaged (for time-to-recover).
+    engaged_at_s: f64,
 }
 
 impl InvocationRouter {
@@ -109,7 +136,44 @@ impl InvocationRouter {
             breaker: BreakerConfig::default(),
             breakers: HashMap::new(),
             tripped: 0,
+            contingency: None,
+            topology: Vec::new(),
+            active_fallback: None,
+            engaged_at_s: 0.0,
         }
+    }
+
+    /// Installs a contingency table and the region → provider topology
+    /// used for provider-level health aggregation. Tripped breakers will
+    /// engage precomputed fallback plans instead of ad-hoc home
+    /// substitution.
+    pub fn set_contingency(
+        &mut self,
+        table: ContingencyTable,
+        topology: Vec<(RegionId, Provider)>,
+    ) {
+        self.contingency = Some(table);
+        self.topology = topology;
+        self.active_fallback = None;
+    }
+
+    /// The installed contingency table, if any.
+    pub fn contingency(&self) -> Option<&ContingencyTable> {
+        self.contingency.as_ref()
+    }
+
+    /// The currently engaged fallback entry, if failover is active.
+    pub fn active_fallback(&self) -> Option<&ContingencyEntry> {
+        let idx = self.active_fallback?;
+        Some(&self.contingency.as_ref()?.entries[idx])
+    }
+
+    /// Whether a contingency fallback is currently routing traffic. This
+    /// sits on the routing happy path next to [`Self::breaker_engaged`];
+    /// the bench suite guards the pair under the same 10 ns budget.
+    #[inline]
+    pub fn fallback_engaged(&self) -> bool {
+        self.active_fallback.is_some()
     }
 
     /// Activates a new plan set (called by the Migrator once every
@@ -172,6 +236,8 @@ impl InvocationRouter {
                 benchmark_traffic: true,
                 plan_expired: false,
                 breaker_rerouted: false,
+                fallback: false,
+                probed: false,
             };
         }
         let mut decision = match &self.active {
@@ -182,6 +248,8 @@ impl InvocationRouter {
                     benchmark_traffic: false,
                     plan_expired: false,
                     breaker_rerouted: false,
+                    fallback: false,
+                    probed: false,
                 }
             }
             Some(_) => RouteDecision {
@@ -189,16 +257,26 @@ impl InvocationRouter {
                 benchmark_traffic: false,
                 plan_expired: true,
                 breaker_rerouted: false,
+                fallback: false,
+                probed: false,
             },
             None => RouteDecision {
                 plan: self.home_plan(),
                 benchmark_traffic: false,
                 plan_expired: false,
                 breaker_rerouted: false,
+                fallback: false,
+                probed: false,
             },
         };
         if self.breaker_engaged() {
-            self.apply_breakers(&mut decision, now_s);
+            if self.contingency.is_some() {
+                self.apply_failover(&mut decision, now_s);
+            } else {
+                self.apply_breakers(&mut decision, now_s);
+            }
+        } else if self.active_fallback.is_some() {
+            self.finish_recovery(now_s);
         }
         decision
     }
@@ -220,6 +298,11 @@ impl InvocationRouter {
                 Some((_, b)) => *b,
                 None => {
                     let b = self.blocks(region, now_s);
+                    if !b && self.breaker_state(region) != BreakerState::Closed {
+                        // The region's half-open breaker admitted this
+                        // request as its recovery probe.
+                        decision.probed = true;
+                    }
                     verdicts.push((region, b));
                     b
                 }
@@ -231,6 +314,126 @@ impl InvocationRouter {
                     caribou_telemetry::count("breaker.reroute", 1);
                 }
             }
+        }
+    }
+
+    /// Contingency failover (cold path; at least one breaker tripped and
+    /// a table is installed). Computes per-region block verdicts for
+    /// every tripped breaker in sorted region order — the same staged
+    /// half-open probe semantics as plain breaker mode — aggregates the
+    /// blocked set up to provider level, and switches the decision to
+    /// the best precomputed fallback plan covering it. When no fallback
+    /// covers the down set, degrades to per-node home substitution.
+    fn apply_failover(&mut self, decision: &mut RouteDecision, now_s: f64) {
+        let mut tripped: Vec<RegionId> = self.breakers.keys().copied().collect();
+        tripped.sort_unstable();
+        let mut down: Vec<RegionId> = Vec::new();
+        for region in tripped {
+            if region == self.home {
+                continue;
+            }
+            if self.blocks(region, now_s) {
+                down.push(region);
+            } else if self.breaker_state(region) != BreakerState::Closed {
+                decision.probed = true;
+            }
+        }
+        if down.is_empty() {
+            // Every tripped breaker is admitting its half-open probe this
+            // request: route the primary so the probes actually test it.
+            // Failover stays engaged until the breakers really close.
+            return;
+        }
+
+        // Provider-level aggregation: when every region of a provider the
+        // primary plan set relies on is blocked, treat the whole provider
+        // as down so provider-wide fallbacks match.
+        let plan_regions: Vec<RegionId> = self
+            .active
+            .as_ref()
+            .map(|p| p.regions_used())
+            .unwrap_or_default();
+        let provider_of = |r: RegionId, topo: &[(RegionId, Provider)]| {
+            topo.iter().find(|(reg, _)| *reg == r).map(|(_, p)| *p)
+        };
+        let home_provider = provider_of(self.home, &self.topology);
+        let mut effective = down.clone();
+        for p in Provider::ALL {
+            if Some(p) == home_provider {
+                continue;
+            }
+            let used: Vec<RegionId> = plan_regions
+                .iter()
+                .copied()
+                .filter(|&r| r != self.home && provider_of(r, &self.topology) == Some(p))
+                .collect();
+            if !used.is_empty() && used.iter().all(|r| down.contains(r)) {
+                for &(r, rp) in &self.topology {
+                    if rp == p && !effective.contains(&r) {
+                        effective.push(r);
+                    }
+                }
+            }
+        }
+        effective.sort_unstable();
+
+        let table = self.contingency.as_ref().expect("checked by caller");
+        let chosen = table.entries.iter().position(|e| {
+            !e.plans.expired(now_s) && effective.iter().all(|r| e.excluded_regions.contains(r))
+        });
+        if let Some(idx) = chosen {
+            let entry = &table.entries[idx];
+            let hour = ((now_s / 3600.0) as usize) % 24;
+            decision.plan = entry.plans.plan_for_hour(hour).clone();
+            decision.fallback = true;
+            if self.active_fallback != Some(idx) {
+                if self.active_fallback.is_none() {
+                    self.engaged_at_s = now_s;
+                    if caribou_telemetry::is_enabled() {
+                        caribou_telemetry::count("failover.engaged", 1);
+                    }
+                }
+                if caribou_telemetry::is_enabled() {
+                    caribou_telemetry::event_at(
+                        now_s,
+                        "failover.switch",
+                        table.entries[idx].exclusion.label(),
+                        effective.len() as f64,
+                    );
+                }
+                self.active_fallback = Some(idx);
+            }
+            if caribou_telemetry::is_enabled() {
+                caribou_telemetry::count("failover.rerouted", 1);
+            }
+            return;
+        }
+
+        // No precomputed fallback avoids the whole down set (e.g. home's
+        // own provider degraded): substitute home per blocked node, the
+        // pre-contingency behaviour.
+        for i in 0..decision.plan.len() {
+            let node = caribou_model::dag::NodeId(i as u32);
+            if down.contains(&decision.plan.region_of(node)) {
+                decision.plan.set(node, self.home);
+                decision.breaker_rerouted = true;
+                if caribou_telemetry::is_enabled() {
+                    caribou_telemetry::count("breaker.reroute", 1);
+                }
+            }
+        }
+    }
+
+    /// Ends an engaged failover: every breaker closed (or admitted its
+    /// probe), traffic is back on the primary plan.
+    fn finish_recovery(&mut self, now_s: f64) {
+        if self.active_fallback.take().is_some() && caribou_telemetry::is_enabled() {
+            // The recovery event also bumps the `failover.recovered` counter.
+            caribou_telemetry::observe(
+                "failover.time_to_recover_s",
+                (now_s - self.engaged_at_s).max(0.0),
+            );
+            caribou_telemetry::event_at(now_s, "failover.recovered", "primary", 0.0);
         }
     }
 
@@ -557,5 +760,180 @@ mod tests {
         let d = r.route(20.0);
         assert!(d.benchmark_traffic);
         assert!(!d.breaker_rerouted);
+    }
+
+    use caribou_model::plan::{ContingencyEntry, ContingencyTable, Exclusion};
+
+    fn entry(exclusion: Exclusion, excluded: Vec<RegionId>, region: RegionId) -> ContingencyEntry {
+        ContingencyEntry {
+            exclusion,
+            excluded_regions: excluded,
+            plans: hourly(region, 1e9),
+            metric: 1.0,
+        }
+    }
+
+    fn primary_plan() -> DeploymentPlan {
+        let mut plan = DeploymentPlan::uniform(2, RegionId(3));
+        plan.set(caribou_model::dag::NodeId(1), RegionId(4));
+        plan
+    }
+
+    /// Home r0 (aws), primary splits across r3 and r4 (both gcp);
+    /// fallback excluding r3 routes to r2 (aws), provider-level gcp
+    /// exclusion to r1 (aws).
+    fn failover_router() -> InvocationRouter {
+        let mut r = InvocationRouter::new(RegionId(0), 2);
+        r.activate(HourlyPlans::hourly(vec![primary_plan(); 24], 0.0, 1e9));
+        r.set_contingency(
+            ContingencyTable {
+                entries: vec![
+                    entry(
+                        Exclusion::Region(RegionId(3)),
+                        vec![RegionId(3)],
+                        RegionId(2),
+                    ),
+                    entry(
+                        Exclusion::Provider(Provider::Gcp),
+                        vec![RegionId(3), RegionId(4)],
+                        RegionId(1),
+                    ),
+                ],
+            },
+            vec![
+                (RegionId(0), Provider::Aws),
+                (RegionId(1), Provider::Aws),
+                (RegionId(2), Provider::Aws),
+                (RegionId(3), Provider::Gcp),
+                (RegionId(4), Provider::Gcp),
+            ],
+        );
+        r
+    }
+
+    #[test]
+    fn failover_switches_to_precomputed_fallback() {
+        let mut r = failover_router();
+        // Only r3 blocked; the primary also relies on healthy r4, so the
+        // down set stays region-level and the region entry wins.
+        for _ in 0..3 {
+            r.record_failure(RegionId(3), 10.0);
+        }
+        let d = r.route(20.0);
+        assert!(d.fallback);
+        assert!(!d.breaker_rerouted, "failover replaces home substitution");
+        assert_eq!(d.plan, DeploymentPlan::uniform(2, RegionId(2)));
+        assert!(r.fallback_engaged());
+        assert_eq!(
+            r.active_fallback().unwrap().exclusion,
+            Exclusion::Region(RegionId(3))
+        );
+    }
+
+    #[test]
+    fn provider_level_aggregation_picks_provider_fallback() {
+        let mut r = failover_router();
+        // Every gcp region the primary relies on is blocked: the down set
+        // aggregates to the whole provider and only the provider-level
+        // entry covers it.
+        for _ in 0..3 {
+            r.record_failure(RegionId(3), 10.0);
+            r.record_failure(RegionId(4), 10.0);
+        }
+        let d = r.route(20.0);
+        assert!(d.fallback);
+        assert_eq!(d.plan, DeploymentPlan::uniform(2, RegionId(1)));
+        assert_eq!(
+            r.active_fallback().unwrap().exclusion,
+            Exclusion::Provider(Provider::Gcp)
+        );
+    }
+
+    #[test]
+    fn staged_recovery_returns_to_primary() {
+        let mut r = failover_router();
+        for _ in 0..3 {
+            r.record_failure(RegionId(3), 100.0);
+        }
+        assert!(r.route(150.0).fallback);
+        assert!(r.fallback_engaged());
+        // Past the cooldown the half-open probe rides the primary plan.
+        let probe = r.route(500.0);
+        assert!(!probe.fallback);
+        assert_eq!(probe.plan, primary_plan());
+        assert_eq!(r.breaker_state(RegionId(3)), BreakerState::HalfOpen);
+        // Only one probe: the next request is still on the fallback.
+        assert!(r.route(501.0).fallback);
+        // Probe succeeds → breaker closes → next route recovers.
+        r.record_success(RegionId(3));
+        let d = r.route(502.0);
+        assert!(!d.fallback);
+        assert_eq!(d.plan, primary_plan());
+        assert!(!r.fallback_engaged());
+    }
+
+    #[test]
+    fn failed_probe_stays_on_fallback() {
+        let mut r = failover_router();
+        for _ in 0..3 {
+            r.record_failure(RegionId(3), 100.0);
+        }
+        assert!(r.route(150.0).fallback);
+        let probe = r.route(500.0);
+        assert!(!probe.fallback);
+        r.record_failure(RegionId(3), 500.0);
+        assert_eq!(r.breaker_state(RegionId(3)), BreakerState::Open);
+        assert!(r.route(600.0).fallback);
+        assert!(r.fallback_engaged());
+    }
+
+    #[test]
+    fn uncovered_down_set_degrades_to_home_substitution() {
+        let mut r = failover_router();
+        // Trip an aws region no fallback excludes.
+        for _ in 0..3 {
+            r.record_failure(RegionId(2), 10.0);
+        }
+        // Primary uses r3/r4 (both healthy); nothing substituted.
+        let d = r.route(20.0);
+        assert!(!d.fallback);
+        assert_eq!(d.plan, primary_plan());
+        // Now also trip the primary's own regions: down = {r2, r3, r4};
+        // no entry excludes r2, so blocked plan nodes substitute home.
+        for _ in 0..3 {
+            r.record_failure(RegionId(3), 30.0);
+            r.record_failure(RegionId(4), 30.0);
+        }
+        let d = r.route(40.0);
+        assert!(!d.fallback);
+        assert!(d.breaker_rerouted);
+        assert_eq!(d.plan, r.home_plan());
+    }
+
+    #[test]
+    fn failover_telemetry_counts_engage_and_recover() {
+        caribou_telemetry::enable(Box::new(caribou_telemetry::MemorySink::default()));
+        let mut r = failover_router();
+        for _ in 0..3 {
+            r.record_failure(RegionId(3), 100.0);
+        }
+        assert!(r.route(150.0).fallback);
+        assert!(r.route(160.0).fallback);
+        let _probe = r.route(500.0);
+        r.record_success(RegionId(3));
+        let _ = r.route(502.0);
+        let finished = caribou_telemetry::finish().expect("session active");
+        assert_eq!(finished.recorder.counter("failover.engaged"), 1);
+        assert_eq!(finished.recorder.counter("failover.rerouted"), 2);
+        assert_eq!(finished.recorder.counter("failover.recovered"), 1);
+        let ttr = &finished.recorder.histograms["failover.time_to_recover_s"];
+        assert_eq!(ttr.count, 1);
+        let sink = finished
+            .sink
+            .as_any()
+            .downcast_ref::<caribou_telemetry::MemorySink>()
+            .unwrap();
+        assert!(sink.events.iter().any(|e| e.kind == "failover.switch"));
+        assert!(sink.events.iter().any(|e| e.kind == "failover.recovered"));
     }
 }

@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::dag::{NodeId, WorkflowDag};
 use crate::error::ModelError;
-use crate::region::RegionId;
+use crate::region::{Provider, RegionId};
 
 /// A deployment plan assigning each workflow node to a region.
 ///
@@ -201,6 +201,95 @@ impl HourlyPlans {
     }
 }
 
+/// What a contingency fallback plan was solved without: a single region
+/// or an entire provider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Exclusion {
+    /// The fallback excludes one region.
+    Region(RegionId),
+    /// The fallback excludes every region of a provider.
+    Provider(Provider),
+}
+
+impl Exclusion {
+    /// Stable label for reports (`region:r5`, `provider:gcp`).
+    pub fn label(&self) -> String {
+        match self {
+            Exclusion::Region(r) => format!("region:r{}", r.0),
+            Exclusion::Provider(p) => format!("provider:{p}"),
+        }
+    }
+}
+
+/// One ranked fallback: an exclusion, the concrete regions it removes
+/// from the plan space, the plan set solved without them, and the
+/// objective metric the solver estimated for it (used for ranking).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContingencyEntry {
+    /// What was excluded from the plan space.
+    pub exclusion: Exclusion,
+    /// Concrete regions the exclusion removes. The fallback plan set is
+    /// guaranteed to reference none of them.
+    pub excluded_regions: Vec<RegionId>,
+    /// Fallback plan set solved over the reduced space.
+    pub plans: HourlyPlans,
+    /// Mean objective metric across the 24 hourly plans (lower is
+    /// better); entries are ranked by it.
+    pub metric: f64,
+}
+
+/// Precomputed fallback plans ranked best-first, emitted by the solver
+/// alongside the primary schedule so the runtime can fail over without
+/// re-solving (and without ad-hoc re-route-home).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ContingencyTable {
+    /// Fallback entries, ranked by ascending `metric`.
+    pub entries: Vec<ContingencyEntry>,
+}
+
+impl ContingencyTable {
+    /// A table with no fallbacks.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of fallback entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table holds no fallbacks.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The best-ranked entry whose exclusion covers every region in
+    /// `down` — its plan set is guaranteed not to reference any of them.
+    /// `None` when no precomputed fallback avoids the whole down set.
+    pub fn best_for(&self, down: &[RegionId]) -> Option<&ContingencyEntry> {
+        if down.is_empty() {
+            return None;
+        }
+        self.entries
+            .iter()
+            .find(|e| down.iter().all(|r| e.excluded_regions.contains(r)))
+    }
+
+    /// All distinct regions used across every fallback plan set; the
+    /// Migrator must pre-deploy each of these for failover to be
+    /// deterministic.
+    pub fn regions_used(&self) -> Vec<RegionId> {
+        let mut v: Vec<RegionId> = self
+            .entries
+            .iter()
+            .flat_map(|e| e.plans.regions_used())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,5 +379,48 @@ mod tests {
     #[should_panic]
     fn hourly_requires_24() {
         HourlyPlans::hourly(vec![DeploymentPlan::uniform(1, RegionId(0)); 23], 0.0, 1.0);
+    }
+
+    fn entry(exclusion: Exclusion, excluded: Vec<RegionId>, region: RegionId) -> ContingencyEntry {
+        ContingencyEntry {
+            exclusion,
+            excluded_regions: excluded,
+            plans: HourlyPlans::daily(DeploymentPlan::uniform(2, region), 0.0, 1e9),
+            metric: 1.0,
+        }
+    }
+
+    #[test]
+    fn contingency_best_for_respects_rank_and_coverage() {
+        let table = ContingencyTable {
+            entries: vec![
+                entry(
+                    Exclusion::Region(RegionId(5)),
+                    vec![RegionId(5)],
+                    RegionId(0),
+                ),
+                entry(
+                    Exclusion::Provider(Provider::Gcp),
+                    vec![RegionId(5), RegionId(6)],
+                    RegionId(1),
+                ),
+            ],
+        };
+        // Single-region loss: the best-ranked (first) covering entry wins.
+        let e = table.best_for(&[RegionId(5)]).unwrap();
+        assert_eq!(e.exclusion, Exclusion::Region(RegionId(5)));
+        // Provider-wide loss: only the provider exclusion covers both.
+        let e = table.best_for(&[RegionId(5), RegionId(6)]).unwrap();
+        assert_eq!(e.exclusion, Exclusion::Provider(Provider::Gcp));
+        // No fallback avoids an unexcluded region.
+        assert!(table.best_for(&[RegionId(9)]).is_none());
+        assert!(table.best_for(&[]).is_none());
+        assert_eq!(table.regions_used(), vec![RegionId(0), RegionId(1)]);
+    }
+
+    #[test]
+    fn exclusion_labels_are_stable() {
+        assert_eq!(Exclusion::Region(RegionId(5)).label(), "region:r5");
+        assert_eq!(Exclusion::Provider(Provider::Gcp).label(), "provider:gcp");
     }
 }

@@ -24,6 +24,7 @@
 
 pub mod coarse;
 pub mod context;
+pub mod contingency;
 pub mod engine;
 pub mod exhaustive;
 pub mod hbss;

@@ -127,6 +127,31 @@ if [[ "${1:-}" != "--fast" ]]; then
     GOLDEN=fleet_32x6_aws.txt run_golden \
         fleet --apps 32 --hours 6 --seed 42 --perturb 'h3:us-west-2*2' --verify
 
+    # Correlated chaos smoke: a fixed-seed campaign under correlated
+    # fault classes (provider-wide outage, shared failure domains,
+    # carbon-data outage) with a 3-entry contingency table must uphold
+    # every invariant, print a bit-identical report at 1 and 2 workers,
+    # and replay the committed golden byte-for-byte.
+    echo "==> caribou correlated chaos smoke (seed 42, contingency 3, 1 vs 2 workers)"
+    cargo run -q --release -p caribou-core --bin caribou -- \
+        chaos --correlated --contingency 3 --seed 42 --requests 200 \
+        --duration-s 14400 --providers aws,gcp --workers 1 \
+        >/tmp/caribou-corr-1w.txt 2>/dev/null
+    cargo run -q --release -p caribou-core --bin caribou -- \
+        chaos --correlated --contingency 3 --seed 42 --requests 200 \
+        --duration-s 14400 --providers aws,gcp --workers 2 \
+        >/tmp/caribou-corr-2w.txt 2>/dev/null
+    diff /tmp/caribou-corr-1w.txt /tmp/caribou-corr-2w.txt
+    diff goldens/chaos_correlated_seed42_awsgcp.txt /tmp/caribou-corr-1w.txt
+    rm -f /tmp/caribou-corr-1w.txt /tmp/caribou-corr-2w.txt
+
+    # Contingency bench guard: with a fallback table installed and every
+    # region healthy, the combined breaker+fallback happy-path check must
+    # stay inside the breaker's 10 ns routing budget (and within 4x the
+    # committed BENCH_contingency.json baseline).
+    echo "==> contingency bench guard"
+    cargo bench -q -p caribou-bench --bench contingency -- --test
+
     # Providers bench guard: worker-count-invariant cross-provider
     # schedules, a hit-rate floor through the provider-qualified cache
     # key, aws-only engines blind to cross-provider entries, and

@@ -168,3 +168,49 @@ fn framework_run_survives_transient_outage_of_offload_region() {
         "the retry should activate the clean region"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Correlated fault classes + precomputed-contingency failover (property).
+// ---------------------------------------------------------------------------
+
+use caribou_core::chaos::{run_correlated_campaign, ChaosConfig};
+use caribou_model::region::ProviderSet;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Under arbitrary correlated fault plans (provider-wide outages,
+    /// shared failure domains, carbon-data outages — all drawn from the
+    /// campaign seed) with precomputed-contingency failover armed, no
+    /// invocation is lost (every request classified exactly once), SNS
+    /// request metering stays honest per-invocation and campaign-wide
+    /// (checked inside the campaign's invariant sweep), and the full
+    /// report is bit-identical at 1, 2 and 8 workers.
+    #[test]
+    fn correlated_faults_with_failover_lose_nothing(
+        seed in 0u64..1_000_000,
+        contingency in 0usize..4usize,
+    ) {
+        let cfg = |workers: usize| ChaosConfig {
+            seed,
+            requests: 40,
+            duration_s: 2.0 * 3600.0,
+            providers: ProviderSet::parse("aws,gcp").unwrap(),
+            contingency,
+            workers,
+            ..ChaosConfig::default()
+        };
+        let r1 = run_correlated_campaign(&cfg(1));
+        prop_assert!(r1.base.ok(), "violations: {:?}", r1.base.violations);
+        prop_assert_eq!(
+            r1.base.completed_clean + r1.base.fell_back_home + r1.base.failed,
+            r1.base.requests,
+            "every invocation classified exactly once"
+        );
+        let r2 = run_correlated_campaign(&cfg(2));
+        let r8 = run_correlated_campaign(&cfg(8));
+        prop_assert_eq!(&r1, &r2);
+        prop_assert_eq!(&r1, &r8);
+    }
+}
