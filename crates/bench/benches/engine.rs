@@ -16,7 +16,7 @@ fn bench_invocation_per_workload(c: &mut Criterion) {
     for bench in all_benchmarks(InputSize::Small) {
         let mut env = ExpEnv::new(66);
         let app = WorkflowApp {
-            name: bench.dag.name().to_string(),
+            name: bench.dag.name().into(),
             dag: bench.dag.clone(),
             profile: bench.profile.clone(),
             home: env.home,
@@ -47,7 +47,7 @@ fn bench_cross_region_invocation(c: &mut Criterion) {
     for (label, remote) in [("single_region", false), ("cross_region", true)] {
         let mut env = ExpEnv::new(67);
         let app = WorkflowApp {
-            name: bench.dag.name().to_string(),
+            name: bench.dag.name().into(),
             dag: bench.dag.clone(),
             profile: bench.profile.clone(),
             home: env.home,

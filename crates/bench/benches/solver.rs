@@ -262,13 +262,30 @@ fn guard_parallel_solve() {
 }
 
 /// Records the measured numbers so CI diffs have a committed baseline.
+/// `BENCH_solver.json` is shared with the estimator bench's guard, so the
+/// existing file is merged into rather than overwritten.
 fn write_baseline(speedup_4w: f64, hits: u64, misses: u64, cores: usize) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
-    let json = format!(
-        "{{\n  \"speedup_4w\": {speedup_4w:.3},\n  \"cache_hits\": {hits},\n  \"cache_misses\": {misses},\n  \"cores\": {cores}\n}}\n"
-    );
-    if let Err(e) = std::fs::write(path, json) {
-        eprintln!("solver24/guard: could not write {path}: {e}");
+    let mut root = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<serde_json::Value>(&text).ok())
+        .unwrap_or_else(|| serde_json::Value::Object(serde_json::Map::new()));
+    if let serde_json::Value::Object(map) = &mut root {
+        map.insert(
+            "speedup_4w".to_string(),
+            serde_json::Value::from((speedup_4w * 1000.0).round() / 1000.0),
+        );
+        map.insert("cache_hits".to_string(), serde_json::Value::from(hits));
+        map.insert("cache_misses".to_string(), serde_json::Value::from(misses));
+        map.insert("cores".to_string(), serde_json::Value::from(cores as u64));
+    }
+    match serde_json::to_string_pretty(&root) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("solver24/guard: could not write {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("solver24/guard: could not serialize baseline: {e}"),
     }
 }
 

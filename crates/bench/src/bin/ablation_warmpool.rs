@@ -38,7 +38,7 @@ fn run(warm_pool: bool) -> (f64, f64, f64) {
         };
     }
     let app = WorkflowApp {
-        name: bench.dag.name().to_string(),
+        name: bench.dag.name().into(),
         dag: bench.dag.clone(),
         profile: bench.profile.clone(),
         home: env.home,

@@ -33,7 +33,7 @@ fn main() {
         let env = ExpEnv::new(11);
         let bench = text2speech_censoring(InputSize::Large);
         let app = WorkflowApp {
-            name: bench.dag.name().to_string(),
+            name: bench.dag.name().into(),
             dag: bench.dag.clone(),
             profile: bench.profile.clone(),
             home: env.home,

@@ -37,7 +37,7 @@ fn main() {
                 let mut env = ExpEnv::new(12);
                 env.cloud.compute.cold_start_prob = 0.0;
                 let app = WorkflowApp {
-                    name: bench.dag.name().to_string(),
+                    name: bench.dag.name().into(),
                     dag: bench.dag.clone(),
                     profile: bench.profile.clone(),
                     home: env.home,

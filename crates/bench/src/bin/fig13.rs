@@ -43,7 +43,7 @@ fn main() {
             let env = ExpEnv::new(13);
             let bench = text2speech_censoring(InputSize::Small);
             let app = WorkflowApp {
-                name: bench.dag.name().to_string(),
+                name: bench.dag.name().into(),
                 dag: bench.dag.clone(),
                 profile: bench.profile.clone(),
                 home: env.home,

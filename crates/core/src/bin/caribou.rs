@@ -554,7 +554,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), CliError> {
     constraints.tolerances.latency = 0.10;
     constraints.tolerances.cost = 1.0;
     let app = WorkflowApp {
-        name: bench.dag.name().to_string(),
+        name: bench.dag.name().into(),
         home: caribou
             .cloud
             .region("us-east-1")

@@ -132,7 +132,7 @@ pub fn run_loadgen(bench: &Benchmark, config: &LoadgenConfig) -> Result<LoadRepo
         SyntheticCarbonSource::aws_calibrated(20231015),
     )?;
     let app = WorkflowApp {
-        name: bench.dag.name().to_string(),
+        name: bench.dag.name().into(),
         dag: bench.dag.clone(),
         profile: bench.profile.clone(),
         home,

@@ -102,7 +102,7 @@ impl Migrator {
                 // partial report keeps the billing account consistent.
                 return Err(CoreError::DeploymentFailed {
                     region,
-                    stage: workflow.app.name.clone(),
+                    stage: workflow.app.name.to_string(),
                     partial: Box::new(report),
                 });
             }
@@ -128,7 +128,7 @@ impl Migrator {
             cloud.meter.record_transfer(home, region, copy.egress_bytes);
             for node in workflow.app.dag.all_nodes() {
                 cloud.pubsub.create_topic(TopicKey {
-                    workflow: workflow.app.name.clone(),
+                    workflow: workflow.app.name.to_string(),
                     stage: workflow.app.dag.node(node).name.clone(),
                     region,
                 });

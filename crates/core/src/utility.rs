@@ -73,7 +73,7 @@ impl DeploymentUtility {
         cloud.clock.advance_by(push.duration_s);
         for node in app.dag.all_nodes() {
             cloud.pubsub.create_topic(TopicKey {
-                workflow: app.name.clone(),
+                workflow: app.name.to_string(),
                 stage: app.dag.node(node).name.clone(),
                 region: home,
             });
@@ -116,7 +116,7 @@ impl DeploymentUtility {
         for region in &workflow.active_regions {
             for node in workflow.app.dag.all_nodes() {
                 cloud.pubsub.delete_topic(&TopicKey {
-                    workflow: workflow.app.name.clone(),
+                    workflow: workflow.app.name.to_string(),
                     stage: workflow.app.dag.node(node).name.clone(),
                     region: *region,
                 });

@@ -13,6 +13,7 @@ use caribou_carbon::source::CarbonDataSource;
 use caribou_metrics::carbonmodel::CarbonModel;
 use caribou_metrics::logs::{EdgeRecord, InvocationLog, NodeRecord};
 use caribou_model::dag::{EdgeId, NodeId, WorkflowDag};
+use caribou_model::intern::IStr;
 use caribou_model::plan::DeploymentPlan;
 use caribou_model::profile::WorkflowProfile;
 use caribou_model::region::RegionId;
@@ -30,8 +31,9 @@ use crate::outcome::ExecutionOutcome;
 /// A deployable workflow application: DAG, profile, and home region.
 #[derive(Debug, Clone)]
 pub struct WorkflowApp {
-    /// Workflow name (topic and table namespace).
-    pub name: String,
+    /// Workflow name (topic and table namespace). Interned: stamping it
+    /// onto per-invocation logs is a refcount bump, not an allocation.
+    pub name: IStr,
     /// The workflow DAG.
     pub dag: WorkflowDag,
     /// The workload resource profile.
@@ -78,6 +80,54 @@ impl EdgeState {
 /// models payload *sizes*, so every invocation can share one static
 /// buffer instead of allocating a fresh `Vec` per intermediate write.
 static ZERO_PAYLOAD: [u8; 4096] = [0u8; 4096];
+
+/// Sync nodes with at most this many predecessors use pre-built static
+/// annotation strings (beyond it the atomic update allocates as before).
+const ANN_MAX: usize = 8;
+
+/// Byte offset of the length-`len` block in [`ANN_TABLE`].
+const fn ann_offset(len: usize) -> usize {
+    let mut off = 0;
+    let mut l = 1;
+    while l < len {
+        off += l * (1 << l);
+        l += 1;
+    }
+    off
+}
+
+/// Every `'0'`/`'1'` string of length 1..=[`ANN_MAX`], flattened. The
+/// synchronization-node annotation of §4 is such a string (one character
+/// per decided in-edge), so the atomic read-modify-write can return a
+/// `Bytes::from_static` slice into this table instead of allocating — the
+/// value bytes are identical to the formerly heap-built string, which
+/// matters because the value *length* feeds the KV operation's modeled
+/// transfer latency.
+static ANN_TABLE: [u8; ann_offset(ANN_MAX + 1)] = {
+    let mut t = [0u8; ann_offset(ANN_MAX + 1)];
+    let mut len = 1;
+    while len <= ANN_MAX {
+        let base = ann_offset(len);
+        let mut bits = 0usize;
+        while bits < (1 << len) {
+            let mut i = 0;
+            while i < len {
+                // The first-written annotation is the most significant bit.
+                t[base + bits * len + i] = b'0' + ((bits >> (len - 1 - i)) & 1) as u8;
+                i += 1;
+            }
+            bits += 1;
+        }
+        len += 1;
+    }
+    t
+};
+
+/// The static annotation string for `bits` (MSB-first) of length `len`.
+fn ann_static(len: usize, bits: usize) -> &'static [u8] {
+    let base = ann_offset(len) + bits * len;
+    &ANN_TABLE[base..base + len]
+}
 
 /// Reusable per-invocation buffers.
 ///
@@ -211,7 +261,7 @@ impl<S: CarbonDataSource> ExecutionEngine<'_, S> {
                 // failover publishes to the home topic, so it is created
                 // alongside the plan's even when the plan never uses home.
                 cloud.pubsub.create_topic(TopicKey {
-                    workflow: app.name.clone(),
+                    workflow: app.name.to_string(),
                     stage: app.dag.node(node).name.clone(),
                     region: r,
                 });
@@ -300,6 +350,10 @@ impl<S: CarbonDataSource> ExecutionEngine<'_, S> {
             // are inherently fresh; everything else comes from the scratch.
             caribou_telemetry::count("engine.scratch_allocs", grew);
             caribou_telemetry::gauge("engine.alloc_per_invocation", (grew + 2) as f64);
+            // Per-phase breakdown of the same budget: the two log-record
+            // vectors handed to the caller, plus pooled-buffer growth.
+            caribou_telemetry::gauge("engine.alloc_per_invocation.log_records", 2.0);
+            caribou_telemetry::gauge("engine.alloc_per_invocation.scratch", grew as f64);
             if !ctx.completed {
                 caribou_telemetry::count("exec.incomplete", 1);
             }
@@ -776,7 +830,7 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
         if payload > caribou_simcloud::blob::BLOB_THRESHOLD_BYTES {
             let blob = self.cloud.blob.put(
                 succ_region,
-                self.scratch.key.clone(),
+                &self.scratch.key,
                 payload,
                 from,
                 &self.cloud.latency,
@@ -815,6 +869,8 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
     fn load_intermediate(&mut self, eid: EdgeId, storage: RegionId, reader: RegionId) -> f64 {
         self.scratch.key.clear();
         let _ = write!(self.scratch.key, "inv{}:e{}", self.inv_id, eid.0);
+        self.scratch.table.clear();
+        let _ = write!(self.scratch.table, "caribou-data@{}", storage.0);
         if let Some(blob) = self.cloud.blob.get(
             storage,
             &self.scratch.key,
@@ -825,10 +881,15 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
             self.meter.record_blob(storage, 1, 0);
             // The wrapper first read the KV reference.
             self.meter.record_kv(storage, 1, 0);
+            // Each intermediate is read exactly once; garbage-collect the
+            // object and its reference (TTL-style, unbilled) so the
+            // stores stay bounded under sustained load.
+            self.cloud.blob.reclaim(storage, &self.scratch.key);
+            self.cloud
+                .kv
+                .reclaim(&self.scratch.table, &self.scratch.key);
             return blob.latency_s;
         }
-        self.scratch.table.clear();
-        let _ = write!(self.scratch.table, "caribou-data@{}", storage.0);
         let read = self.cloud.kv.get(
             &self.scratch.table,
             &self.scratch.key,
@@ -837,6 +898,9 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
             self.rng,
         );
         self.meter.record_kv(storage, 1, 0);
+        self.cloud
+            .kv
+            .reclaim(&self.scratch.table, &self.scratch.key);
         read.latency_s
     }
 
@@ -856,11 +920,29 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
             &self.cloud.latency,
             self.rng,
             |prev| {
-                let mut s = prev
-                    .map(|b| String::from_utf8_lossy(b).into_owned())
-                    .unwrap_or_default();
-                s.push(if taken { '1' } else { '0' });
-                bytes::Bytes::from(s)
+                // Append this edge's '0'/'1' to the annotation string.
+                // Small fan-ins return a slice of the static table —
+                // byte-identical to the heap-built string, no allocation.
+                let (len, bits) = match prev {
+                    Some(b) => {
+                        let mut bits = 0usize;
+                        for &c in b.iter() {
+                            bits = (bits << 1) | usize::from(c == b'1');
+                        }
+                        (b.len(), bits)
+                    }
+                    None => (0, 0),
+                };
+                if len < ANN_MAX {
+                    let bits = (bits << 1) | usize::from(taken);
+                    bytes::Bytes::from_static(ann_static(len + 1, bits))
+                } else {
+                    let mut s = prev
+                        .map(|b| String::from_utf8_lossy(b).into_owned())
+                        .unwrap_or_default();
+                    s.push(if taken { '1' } else { '0' });
+                    bytes::Bytes::from(s)
+                }
             },
         );
         self.meter.record_kv(succ_region, 1, 1);
@@ -886,6 +968,21 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
                 caribou_telemetry::count("sync.condition_pending", 1);
             }
             return;
+        }
+        // Every annotation is in. The decision below reads only the
+        // engine-side `edge_state` (the KV record is write-only past this
+        // point), so the annotation item can be garbage-collected now —
+        // recycling its key strings keeps the sync table allocation-free
+        // in steady state.
+        {
+            let succ_region = self.region_of(succ);
+            self.scratch.table.clear();
+            let _ = write!(self.scratch.table, "caribou-sync@{}", succ_region.0);
+            self.scratch.key.clear();
+            let _ = write!(self.scratch.key, "inv{}:n{}", self.inv_id, succ.0);
+            self.cloud
+                .kv
+                .reclaim(&self.scratch.table, &self.scratch.key);
         }
         let mut any_taken = false;
         let mut last_at = 0.0f64;

@@ -8,6 +8,7 @@
 
 use std::collections::HashSet;
 
+use caribou_model::intern::IStr;
 use caribou_model::region::RegionId;
 use serde::{Deserialize, Serialize};
 
@@ -48,8 +49,8 @@ pub struct EdgeRecord {
 /// One complete workflow invocation record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InvocationLog {
-    /// Workflow name.
-    pub workflow: String,
+    /// Workflow name (interned: cloning a log does not copy the name).
+    pub workflow: IStr,
     /// Simulation time of the invocation, seconds since epoch.
     pub at_s: f64,
     /// Whether this invocation was part of the 10% home-region

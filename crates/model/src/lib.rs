@@ -17,6 +17,8 @@
 //! * [`manifest`] — the deployment manifest (the paper's `config.yml` and
 //!   `iam_policy.json`);
 //! * [`dist`] — distribution specifications used throughout the models;
+//! * [`intern`] — interned, cheaply cloneable strings ([`intern::IStr`])
+//!   for the data-plane hot paths;
 //! * [`rng`] — a small, in-repo, seed-deterministic PCG32 generator so that
 //!   every experiment is reproducible independent of external crate
 //!   versions.
@@ -39,6 +41,7 @@ pub mod constraints;
 pub mod dag;
 pub mod dist;
 pub mod error;
+pub mod intern;
 pub mod manifest;
 pub mod plan;
 pub mod profile;
@@ -49,6 +52,7 @@ pub use builder::Workflow;
 pub use constraints::{Constraints, Tolerances};
 pub use dag::{EdgeId, NodeId, WorkflowDag};
 pub use error::ModelError;
+pub use intern::{IStr, StrInterner};
 pub use manifest::DeploymentManifest;
 pub use plan::{DeploymentPlan, HourlyPlans};
 pub use profile::WorkflowProfile;

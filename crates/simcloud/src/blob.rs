@@ -57,6 +57,9 @@ pub struct BlobOpCounts {
 /// Base service-side latency of a blob request, seconds.
 const BLOB_OP_BASE_S: f64 = 0.012;
 
+/// Cap on recycled key strings retained; beyond this they are dropped.
+const BLOB_FREE_LIST_CAP: usize = 256;
+
 /// The object-storage service: one logical bucket per region.
 #[derive(Debug, Default)]
 pub struct BlobStore {
@@ -65,6 +68,11 @@ pub struct BlobStore {
     ops: HashMap<RegionId, BlobOpCounts>,
     /// Request pricing.
     pub pricing: BlobPricing,
+    /// Reusable `(region, key)` lookup buffer so reads allocate nothing.
+    lookup: (RegionId, String),
+    /// Recycled key strings from [`BlobStore::reclaim`] /
+    /// [`BlobStore::delete`], reused by first-time PUTs.
+    free: Vec<String>,
 }
 
 impl BlobStore {
@@ -73,18 +81,38 @@ impl BlobStore {
         Self::default()
     }
 
+    /// Rewrites the reusable lookup buffer to `(region, key)`.
+    fn set_lookup(&mut self, bucket_region: RegionId, key: &str) {
+        self.lookup.0 = bucket_region;
+        self.lookup.1.clear();
+        self.lookup.1.push_str(key);
+    }
+
     /// Uploads an object of `bytes` into `bucket_region`'s bucket from
     /// `from` (cross-region PUTs pay the inter-region path).
     pub fn put(
         &mut self,
         bucket_region: RegionId,
-        key: impl Into<String>,
+        key: &str,
         bytes: f64,
         from: RegionId,
         latency: &LatencyModel,
         rng: &mut Pcg32,
     ) -> BlobAccess {
-        self.objects.insert((bucket_region, key.into()), bytes);
+        self.set_lookup(bucket_region, key);
+        if let Some(slot) = self.objects.get_mut(&self.lookup) {
+            *slot = bytes;
+        } else {
+            let owned = match self.free.pop() {
+                Some(mut s) => {
+                    s.clear();
+                    s.push_str(key);
+                    s
+                }
+                None => key.to_string(),
+            };
+            self.objects.insert((bucket_region, owned), bytes);
+        }
         let c = self.ops.entry(bucket_region).or_default();
         c.puts += 1;
         BlobAccess {
@@ -105,7 +133,8 @@ impl BlobStore {
         latency: &LatencyModel,
         rng: &mut Pcg32,
     ) -> Option<BlobAccess> {
-        let bytes = *self.objects.get(&(bucket_region, key.to_string()))?;
+        self.set_lookup(bucket_region, key);
+        let bytes = *self.objects.get(&self.lookup)?;
         let c = self.ops.entry(bucket_region).or_default();
         c.gets += 1;
         Some(BlobAccess {
@@ -122,9 +151,33 @@ impl BlobStore {
 
     /// Deletes an object, returning whether it existed.
     pub fn delete(&mut self, bucket_region: RegionId, key: &str) -> bool {
-        self.objects
-            .remove(&(bucket_region, key.to_string()))
-            .is_some()
+        self.set_lookup(bucket_region, key);
+        match self.objects.remove_entry(&self.lookup) {
+            Some(((_, owned), _)) => {
+                self.recycle(owned);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes an object without billing (lifecycle-expiry style garbage
+    /// collection of consumed intermediates), recycling the key string.
+    pub fn reclaim(&mut self, bucket_region: RegionId, key: &str) -> bool {
+        self.set_lookup(bucket_region, key);
+        match self.objects.remove_entry(&self.lookup) {
+            Some(((_, owned), _)) => {
+                self.recycle(owned);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn recycle(&mut self, owned: String) {
+        if self.free.len() < BLOB_FREE_LIST_CAP {
+            self.free.push(owned);
+        }
     }
 
     /// Operation counters for a region.

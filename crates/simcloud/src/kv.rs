@@ -68,7 +68,15 @@ pub struct KvStore {
     /// of existing keys allocate nothing (the map only ever owns a key
     /// string for first-time inserts).
     lookup: (String, String),
+    /// Recycled `(table, key)` string pairs from [`KvStore::reclaim`] /
+    /// [`KvStore::delete`]: first-time inserts reuse these buffers, so a
+    /// steady-state write/reclaim cycle (one intermediate per DAG edge per
+    /// invocation) allocates nothing and the store stays bounded.
+    free: Vec<(String, String)>,
 }
+
+/// Cap on recycled key pairs retained; beyond this they are dropped.
+const KV_FREE_LIST_CAP: usize = 256;
 
 impl KvStore {
     /// Creates an empty store.
@@ -82,6 +90,28 @@ impl KvStore {
         self.lookup.0.push_str(table);
         self.lookup.1.clear();
         self.lookup.1.push_str(key);
+    }
+
+    /// An owned `(table, key)` pair for a first-time insert, reusing a
+    /// recycled buffer when one is available.
+    fn owned_pair(&mut self, table: &str, key: &str) -> (String, String) {
+        match self.free.pop() {
+            Some(mut pair) => {
+                pair.0.clear();
+                pair.0.push_str(table);
+                pair.1.clear();
+                pair.1.push_str(key);
+                pair
+            }
+            None => (table.to_string(), key.to_string()),
+        }
+    }
+
+    /// Recycles an owned key pair for later reuse.
+    fn recycle(&mut self, pair: (String, String)) {
+        if self.free.len() < KV_FREE_LIST_CAP {
+            self.free.push(pair);
+        }
     }
 
     /// Creates (or re-homes) a table in `home` region.
@@ -172,8 +202,8 @@ impl KvStore {
         if let Some(slot) = self.data.get_mut(&self.lookup) {
             *slot = value;
         } else {
-            self.data
-                .insert((table.to_string(), key.to_string()), value);
+            let pair = self.owned_pair(table, key);
+            self.data.insert(pair, value);
         }
         self.count(table, from, 0, 1);
         KvAccess {
@@ -185,9 +215,30 @@ impl KvStore {
     /// Deletes a key, returning whether it existed.
     pub fn delete(&mut self, table: &str, key: &str, from: RegionId) -> bool {
         self.count(table, from, 0, 1);
-        self.data
-            .remove(&(table.to_string(), key.to_string()))
-            .is_some()
+        self.set_lookup(table, key);
+        match self.data.remove_entry(&self.lookup) {
+            Some((pair, _)) => {
+                self.recycle(pair);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a key without billing or latency simulation: garbage
+    /// collection of consumed intermediates and annotations, which real
+    /// deployments handle with DynamoDB TTL expiry (not billed as a
+    /// write). Recycles the key strings so the paired first-time insert
+    /// of the next invocation allocates nothing.
+    pub fn reclaim(&mut self, table: &str, key: &str) -> bool {
+        self.set_lookup(table, key);
+        match self.data.remove_entry(&self.lookup) {
+            Some((pair, _)) => {
+                self.recycle(pair);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Atomically transforms the value under a key, returning the
@@ -219,8 +270,8 @@ impl KvStore {
         if let Some(slot) = self.data.get_mut(&self.lookup) {
             *slot = new.clone();
         } else {
-            self.data
-                .insert((table.to_string(), key.to_string()), new.clone());
+            let pair = self.owned_pair(table, key);
+            self.data.insert(pair, new.clone());
         }
         let latency_s = self.op_latency(table, from, latency, size, rng);
         self.count(table, from, 1, 1);
@@ -238,8 +289,8 @@ impl KvStore {
         if self.data.contains_key(&self.lookup) {
             return false;
         }
-        self.data
-            .insert((table.to_string(), key.to_string()), value);
+        let pair = self.owned_pair(table, key);
+        self.data.insert(pair, value);
         true
     }
 
@@ -360,6 +411,24 @@ mod tests {
         assert!(kv.delete("t", "k", r));
         assert!(!kv.delete("t", "k", r));
         assert!(kv.get("t", "k", r, &lm, &mut rng).value.is_none());
+    }
+
+    #[test]
+    fn reclaim_is_unbilled_and_recycles_keys() {
+        let (cat, lm, mut kv, mut rng) = setup();
+        let r = cat.id_of("us-east-1").unwrap();
+        kv.put("t", "k1", Bytes::from_static(b"v"), r, &lm, &mut rng);
+        let writes_before = kv.ops(r).writes;
+        assert!(kv.reclaim("t", "k1"));
+        assert!(!kv.reclaim("t", "k1"));
+        // No billing for the reclaim itself.
+        assert_eq!(kv.ops(r).writes, writes_before);
+        assert!(kv.is_empty());
+        // The recycled pair is reused by the next first-time insert.
+        assert_eq!(kv.free.len(), 1);
+        kv.put("t", "k2", Bytes::from_static(b"w"), r, &lm, &mut rng);
+        assert!(kv.free.is_empty());
+        assert_eq!(kv.peek("t", "k2").unwrap().as_ref(), b"w");
     }
 
     #[test]

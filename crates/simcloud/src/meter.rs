@@ -6,35 +6,47 @@
 //! and for the framework's own overhead accounting (§5.2: the control
 //! logic's overhead must stay below the savings).
 
-use std::collections::BTreeMap;
-
 use caribou_model::region::RegionId;
 use serde::{Deserialize, Serialize};
 
 use crate::pricing::PricingCatalog;
+use crate::tinymap::TinyMap;
+
+/// Inline capacity of the meter's per-region maps: one invocation rarely
+/// touches more regions than this; beyond it the map spills to a heap
+/// `BTreeMap` transparently.
+const METER_INLINE: usize = 8;
+
+/// Per-region counters: inline and allocation-free up to
+/// [`METER_INLINE`] regions.
+pub type RegionMap<V> = TinyMap<RegionId, V, METER_INLINE>;
+/// Per-(from, to) route counters.
+pub type RouteMap<V> = TinyMap<(RegionId, RegionId), V, METER_INLINE>;
 
 /// Accumulated usage, decomposable by region.
 ///
-/// Keyed by `BTreeMap` so that iteration (summing costs, serializing to
-/// JSON/CSV) is deterministic — byte-stable output for identical runs.
+/// Keyed by sorted [`TinyMap`]s so that iteration (summing costs,
+/// serializing to JSON/CSV) is deterministic — byte-stable output for
+/// identical runs — while a fresh per-invocation meter allocates nothing
+/// for the handful of regions it touches.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct UsageMeter {
     /// Lambda GB-seconds per region.
-    pub lambda_gb_s: BTreeMap<RegionId, f64>,
+    pub lambda_gb_s: RegionMap<f64>,
     /// Lambda invocation counts per region.
-    pub lambda_requests: BTreeMap<RegionId, u64>,
+    pub lambda_requests: RegionMap<u64>,
     /// SNS publishes per region.
-    pub sns_publishes: BTreeMap<RegionId, u64>,
+    pub sns_publishes: RegionMap<u64>,
     /// DynamoDB reads per region.
-    pub kv_reads: BTreeMap<RegionId, u64>,
+    pub kv_reads: RegionMap<u64>,
     /// DynamoDB writes per region.
-    pub kv_writes: BTreeMap<RegionId, u64>,
+    pub kv_writes: RegionMap<u64>,
     /// Object-storage GETs per region.
-    pub blob_gets: BTreeMap<RegionId, u64>,
+    pub blob_gets: RegionMap<u64>,
     /// Object-storage PUTs per region.
-    pub blob_puts: BTreeMap<RegionId, u64>,
+    pub blob_puts: RegionMap<u64>,
     /// Egress bytes per (from, to) region pair, `from != to`.
-    pub egress_bytes: BTreeMap<(RegionId, RegionId), f64>,
+    pub egress_bytes: RouteMap<f64>,
 }
 
 impl UsageMeter {
@@ -46,59 +58,59 @@ impl UsageMeter {
     /// Records one Lambda execution.
     pub fn record_lambda(&mut self, region: RegionId, duration_s: f64, memory_mb: u32) {
         let billed = (duration_s * 1000.0).ceil() / 1000.0;
-        *self.lambda_gb_s.entry(region).or_insert(0.0) += billed * memory_mb as f64 / 1024.0;
-        *self.lambda_requests.entry(region).or_insert(0) += 1;
+        *self.lambda_gb_s.entry_or(region, 0.0) += billed * memory_mb as f64 / 1024.0;
+        *self.lambda_requests.entry_or(region, 0) += 1;
     }
 
     /// Records one SNS publish originating in `region`.
     pub fn record_sns(&mut self, region: RegionId) {
-        *self.sns_publishes.entry(region).or_insert(0) += 1;
+        *self.sns_publishes.entry_or(region, 0) += 1;
     }
 
     /// Records DynamoDB operations billed in `region`.
     pub fn record_kv(&mut self, region: RegionId, reads: u64, writes: u64) {
-        *self.kv_reads.entry(region).or_insert(0) += reads;
-        *self.kv_writes.entry(region).or_insert(0) += writes;
+        *self.kv_reads.entry_or(region, 0) += reads;
+        *self.kv_writes.entry_or(region, 0) += writes;
     }
 
     /// Records object-storage requests billed in `region`.
     pub fn record_blob(&mut self, region: RegionId, gets: u64, puts: u64) {
-        *self.blob_gets.entry(region).or_insert(0) += gets;
-        *self.blob_puts.entry(region).or_insert(0) += puts;
+        *self.blob_gets.entry_or(region, 0) += gets;
+        *self.blob_puts.entry_or(region, 0) += puts;
     }
 
     /// Records data moved between regions (no-op when `from == to`).
     pub fn record_transfer(&mut self, from: RegionId, to: RegionId, bytes: f64) {
         if from != to && bytes > 0.0 {
-            *self.egress_bytes.entry((from, to)).or_insert(0.0) += bytes;
+            *self.egress_bytes.entry_or((from, to), 0.0) += bytes;
         }
     }
 
     /// Merges another meter into this one.
     pub fn merge(&mut self, other: &UsageMeter) {
-        for (r, v) in &other.lambda_gb_s {
-            *self.lambda_gb_s.entry(*r).or_insert(0.0) += v;
+        for (r, v) in other.lambda_gb_s.iter() {
+            *self.lambda_gb_s.entry_or(*r, 0.0) += v;
         }
-        for (r, v) in &other.lambda_requests {
-            *self.lambda_requests.entry(*r).or_insert(0) += v;
+        for (r, v) in other.lambda_requests.iter() {
+            *self.lambda_requests.entry_or(*r, 0) += v;
         }
-        for (r, v) in &other.sns_publishes {
-            *self.sns_publishes.entry(*r).or_insert(0) += v;
+        for (r, v) in other.sns_publishes.iter() {
+            *self.sns_publishes.entry_or(*r, 0) += v;
         }
-        for (r, v) in &other.kv_reads {
-            *self.kv_reads.entry(*r).or_insert(0) += v;
+        for (r, v) in other.kv_reads.iter() {
+            *self.kv_reads.entry_or(*r, 0) += v;
         }
-        for (r, v) in &other.kv_writes {
-            *self.kv_writes.entry(*r).or_insert(0) += v;
+        for (r, v) in other.kv_writes.iter() {
+            *self.kv_writes.entry_or(*r, 0) += v;
         }
-        for (r, v) in &other.blob_gets {
-            *self.blob_gets.entry(*r).or_insert(0) += v;
+        for (r, v) in other.blob_gets.iter() {
+            *self.blob_gets.entry_or(*r, 0) += v;
         }
-        for (r, v) in &other.blob_puts {
-            *self.blob_puts.entry(*r).or_insert(0) += v;
+        for (r, v) in other.blob_puts.iter() {
+            *self.blob_puts.entry_or(*r, 0) += v;
         }
-        for (k, v) in &other.egress_bytes {
-            *self.egress_bytes.entry(*k).or_insert(0.0) += v;
+        for (k, v) in other.egress_bytes.iter() {
+            *self.egress_bytes.entry_or(*k, 0.0) += v;
         }
     }
 
@@ -131,28 +143,28 @@ impl UsageMeter {
     /// Prices the accumulated usage in USD.
     pub fn cost(&self, pricing: &PricingCatalog) -> f64 {
         let mut total = 0.0;
-        for (r, gbs) in &self.lambda_gb_s {
+        for (r, gbs) in self.lambda_gb_s.iter() {
             total += gbs * pricing.region(*r).lambda_gb_second;
         }
-        for (r, n) in &self.lambda_requests {
+        for (r, n) in self.lambda_requests.iter() {
             total += *n as f64 * pricing.region(*r).lambda_per_request;
         }
-        for (r, n) in &self.sns_publishes {
+        for (r, n) in self.sns_publishes.iter() {
             total += pricing.sns_cost(*r, *n);
         }
-        for (r, n) in &self.kv_reads {
+        for (r, n) in self.kv_reads.iter() {
             total += pricing.dynamodb_cost(*r, *n, 0);
         }
-        for (r, n) in &self.kv_writes {
+        for (r, n) in self.kv_writes.iter() {
             total += pricing.dynamodb_cost(*r, 0, *n);
         }
-        for (r, n) in &self.blob_gets {
+        for (r, n) in self.blob_gets.iter() {
             total += pricing.blob_cost(*r, *n, 0);
         }
-        for (r, n) in &self.blob_puts {
+        for (r, n) in self.blob_puts.iter() {
             total += pricing.blob_cost(*r, 0, *n);
         }
-        for ((from, to), bytes) in &self.egress_bytes {
+        for ((from, to), bytes) in self.egress_bytes.iter() {
             total += pricing.egress_cost(*from, *to, *bytes);
         }
         total

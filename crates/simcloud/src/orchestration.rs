@@ -11,6 +11,10 @@
 use caribou_model::rng::Pcg32;
 use serde::{Deserialize, Serialize};
 
+/// Log-space sigma of the orchestration overhead distributions (both
+/// transition and setup); shared with the estimator's prepared fast path.
+pub const OVERHEAD_SIGMA: f64 = 0.25;
+
 /// The orchestration mechanism chaining workflow stages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Orchestrator {
@@ -52,7 +56,7 @@ impl Orchestrator {
     /// Samples one transition overhead.
     pub fn sample_transition_s(self, rng: &mut Pcg32) -> f64 {
         let median = self.transition_overhead_median_s();
-        rng.lognormal(median.ln(), 0.25)
+        rng.lognormal(median.ln(), OVERHEAD_SIGMA)
     }
 
     /// Samples the invocation setup overhead.
@@ -61,7 +65,7 @@ impl Orchestrator {
         if median == 0.0 {
             0.0
         } else {
-            rng.lognormal(median.ln(), 0.25)
+            rng.lognormal(median.ln(), OVERHEAD_SIGMA)
         }
     }
 

@@ -184,11 +184,20 @@ impl PricingCatalog {
             0.0
         } else {
             let gb = bytes.max(0.0) / 1.0e9;
-            if self.is_cross_provider(from, to) {
-                gb * self.cross_provider_egress_per_gb[from.index()]
-            } else {
-                gb * self.region(from).egress_inter_region_per_gb
-            }
+            gb * self.egress_rate_per_gb(from, to)
+        }
+    }
+
+    /// The per-GB egress rate applicable from `from` toward `to`: the
+    /// cross-provider (internet) rate when the pair crosses providers, the
+    /// source's inter-region tier otherwise. Intra-region transfers are
+    /// free regardless of this rate; callers must special-case `from == to`
+    /// exactly as [`PricingCatalog::egress_cost`] does.
+    pub fn egress_rate_per_gb(&self, from: RegionId, to: RegionId) -> f64 {
+        if self.is_cross_provider(from, to) {
+            self.cross_provider_egress_per_gb[from.index()]
+        } else {
+            self.region(from).egress_inter_region_per_gb
         }
     }
 

@@ -4,7 +4,7 @@ use caribou_carbon::source::CarbonDataSource;
 use caribou_metrics::carbonmodel::CarbonModel;
 use caribou_metrics::costmodel::CostModel;
 use caribou_metrics::montecarlo::{
-    EstimateSummary, MonteCarloConfig, MonteCarloEstimator, StageModels,
+    EstimateScratch, EstimateSummary, MonteCarloConfig, MonteCarloEstimator, StageModels,
 };
 use caribou_model::constraints::{Objective, Tolerances};
 use caribou_model::dag::WorkflowDag;
@@ -57,6 +57,21 @@ pub struct SolveOutcome {
 impl<S: CarbonDataSource, M: StageModels> SolverContext<'_, S, M> {
     /// Evaluates a plan at an hour.
     pub fn evaluate(&self, plan: &DeploymentPlan, hour: f64, rng: &mut Pcg32) -> EstimateSummary {
+        let mut scratch = EstimateScratch::new();
+        self.evaluate_with_scratch(plan, hour, rng, &mut scratch)
+    }
+
+    /// Evaluates a plan at an hour, reusing caller-owned estimator
+    /// scratch. Bit-identical to [`SolverContext::evaluate`]; the
+    /// [`EvalEngine`](crate::engine::EvalEngine) pools scratch per worker
+    /// so cache misses stop re-allocating node-state columns.
+    pub fn evaluate_with_scratch(
+        &self,
+        plan: &DeploymentPlan,
+        hour: f64,
+        rng: &mut Pcg32,
+        scratch: &mut EstimateScratch,
+    ) -> EstimateSummary {
         let est = MonteCarloEstimator {
             dag: self.dag,
             profile: self.profile,
@@ -67,7 +82,7 @@ impl<S: CarbonDataSource, M: StageModels> SolverContext<'_, S, M> {
             home: self.home,
             config: self.mc_config,
         };
-        est.estimate(plan, hour, rng)
+        est.estimate_with(plan, hour, rng, scratch)
     }
 
     /// The home-region uniform plan.

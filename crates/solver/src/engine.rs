@@ -58,7 +58,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use caribou_carbon::source::CarbonDataSource;
-use caribou_metrics::montecarlo::{EstimateSummary, StageModels};
+use caribou_metrics::montecarlo::{EstimateScratch, EstimateSummary, StageModels};
 use caribou_model::plan::DeploymentPlan;
 use caribou_model::region::RegionId;
 use caribou_model::rng::{Pcg32, SeedSplitter};
@@ -253,6 +253,13 @@ pub struct EvalEngine {
     provider_bits: u64,
     workers: usize,
     cache: Arc<EstimateCache>,
+    /// Pool of estimator scratch buffers (node-state columns, metric
+    /// columns, sort buffer). A cache miss checks one out for the
+    /// duration of the Monte Carlo estimate and returns it afterwards, so
+    /// a solve's misses re-allocate node state only until the pool has
+    /// one scratch per concurrently-evaluating worker. Scratch holds no
+    /// sample state across estimates, so reuse cannot affect results.
+    scratch: Mutex<Vec<EstimateScratch>>,
 }
 
 impl EvalEngine {
@@ -310,6 +317,7 @@ impl EvalEngine {
             provider_bits,
             workers: workers.max(1),
             cache,
+            scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -385,7 +393,14 @@ impl EvalEngine {
             return hit;
         }
         let mut rng = self.eval_rng(plan, hour);
-        let estimate = ctx.evaluate(plan, hour, &mut rng);
+        let mut scratch = self
+            .scratch
+            .lock()
+            .expect("scratch pool")
+            .pop()
+            .unwrap_or_default();
+        let estimate = ctx.evaluate_with_scratch(plan, hour, &mut rng, &mut scratch);
+        self.scratch.lock().expect("scratch pool").push(scratch);
         // The estimator queries the carbon source only for the plan's
         // regions and home (transmission endpoints and execution sites) —
         // record them so forecast revisions can invalidate precisely.

@@ -55,7 +55,7 @@ fn main() {
     let (dag, profile, mut constraints) = wf.extract().expect("valid workflow");
     constraints.tolerances.latency = 0.25;
     let app = WorkflowApp {
-        name: dag.name().to_string(),
+        name: dag.name().into(),
         home: caribou.cloud.region("us-east-1").unwrap(),
         dag,
         profile,

@@ -84,7 +84,7 @@ fn main() {
     constraints.tolerances.latency = 0.15;
     constraints.tolerances.cost = 1.0;
     let app = WorkflowApp {
-        name: bench.dag.name().to_string(),
+        name: bench.dag.name().into(),
         home: caribou.cloud.region("us-east-1").unwrap(),
         dag: bench.dag.clone(),
         profile: bench.profile.clone(),

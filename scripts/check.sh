@@ -42,6 +42,14 @@ if [[ "${1:-}" != "--fast" ]]; then
     echo "==> solver bench guard"
     cargo bench -q -p caribou-bench --bench solver -- --test
 
+    # Estimator bench guard: batched path bit-identical to the scalar
+    # reference at 1/4/8/16 lanes, >=1.7x single-thread at the solver's
+    # default stopping rule, >=4x at the high-precision stopping rule,
+    # and within 2x of the committed BENCH_solver.json estimator
+    # baseline.
+    echo "==> estimator bench guard"
+    cargo bench -q -p caribou-bench --bench estimator -- --test
+
     # Deterministic loadgen smoke: a 50k-invocation sustained-load run
     # must print a bit-identical summary whether the chunks execute on 1
     # or 2 workers.

@@ -29,7 +29,7 @@ fn run_with_constraints(constraints: Constraints, seed: u64) -> (Caribou<Regiona
     let mut caribou = Caribou::new(cloud, carbon, config);
     let bench = text2speech_censoring(InputSize::Small);
     let app = WorkflowApp {
-        name: bench.dag.name().to_string(),
+        name: bench.dag.name().into(),
         home: caribou.cloud.region("us-east-1").unwrap(),
         dag: bench.dag.clone(),
         profile: bench.profile.clone(),

@@ -1,0 +1,337 @@
+//! Differential harness pinning the batched structure-of-arrays Monte
+//! Carlo estimator to the scalar reference path: for *arbitrary*
+//! (workload, plan, hour, seed, stopping rule), `estimate_batched` must
+//! be the same function as `estimate_scalar` — every `f64` in the
+//! returned [`EstimateSummary`] equal bit for bit, at every lane width.
+//!
+//! The generator grows random layered DAGs (2–7 nodes, random extra
+//! edges, conditional probabilities, payload/exec distributions of every
+//! `DistSpec` kind, external data, sync join nodes) and random
+//! multi-region plans, so the batched path's invariant hoisting and
+//! lane-ordered folds are exercised across workflow shapes no hand-written
+//! case covers.
+
+use caribou_carbon::series::CarbonSeries;
+use caribou_carbon::source::TableSource;
+use caribou_metrics::carbonmodel::{CarbonModel, TransmissionScenario};
+use caribou_metrics::costmodel::CostModel;
+use caribou_metrics::montecarlo::{
+    DefaultModels, EstimateSummary, MonteCarloConfig, MonteCarloEstimator, MAX_LANES,
+};
+use caribou_model::builder::Workflow;
+use caribou_model::dist::DistSpec;
+use caribou_model::plan::DeploymentPlan;
+use caribou_model::region::{RegionCatalog, RegionId};
+use caribou_model::rng::Pcg32;
+use caribou_simcloud::compute::LambdaRuntime;
+use caribou_simcloud::latency::LatencyModel;
+use caribou_simcloud::orchestration::Orchestrator;
+use caribou_simcloud::pricing::PricingCatalog;
+use proptest::prelude::*;
+
+/// Lane widths every case is checked at (1 = degenerate batch, 4/8 =
+/// partial, 16 = [`MAX_LANES`]).
+const WIDTHS: [usize; 4] = [1, 4, 8, MAX_LANES];
+
+/// Exact bit-for-bit comparison of every field of two summaries.
+fn assert_bits_eq(scalar: &EstimateSummary, batched: &EstimateSummary, what: &str) {
+    let pairs = [
+        ("latency.mean", scalar.latency.mean, batched.latency.mean),
+        ("latency.p95", scalar.latency.p95, batched.latency.p95),
+        (
+            "latency.std_dev",
+            scalar.latency.std_dev,
+            batched.latency.std_dev,
+        ),
+        ("cost.mean", scalar.cost.mean, batched.cost.mean),
+        ("cost.p95", scalar.cost.p95, batched.cost.p95),
+        ("cost.std_dev", scalar.cost.std_dev, batched.cost.std_dev),
+        ("carbon.mean", scalar.carbon.mean, batched.carbon.mean),
+        ("carbon.p95", scalar.carbon.p95, batched.carbon.p95),
+        (
+            "carbon.std_dev",
+            scalar.carbon.std_dev,
+            batched.carbon.std_dev,
+        ),
+        (
+            "exec_carbon_mean",
+            scalar.exec_carbon_mean,
+            batched.exec_carbon_mean,
+        ),
+        (
+            "trans_carbon_mean",
+            scalar.trans_carbon_mean,
+            batched.trans_carbon_mean,
+        ),
+    ];
+    for (name, s, b) in pairs {
+        assert_eq!(
+            s.to_bits(),
+            b.to_bits(),
+            "{what}: {name} diverged (scalar {s:?} vs batched {b:?})"
+        );
+    }
+    assert_eq!(scalar.latency.n, batched.latency.n, "{what}: latency.n");
+    assert_eq!(scalar.cost.n, batched.cost.n, "{what}: cost.n");
+    assert_eq!(scalar.carbon.n, batched.carbon.n, "{what}: carbon.n");
+    assert_eq!(scalar.samples, batched.samples, "{what}: samples");
+}
+
+struct World {
+    pricing: PricingCatalog,
+    runtime: LambdaRuntime,
+    latency: LatencyModel,
+    carbon: TableSource,
+    regions: Vec<RegionId>,
+}
+
+/// A world with the stochastic knobs ON (cold starts, execution noise):
+/// the batched sampler must reproduce every draw, not just the easy ones.
+fn world() -> World {
+    let cat = RegionCatalog::aws_default();
+    let pricing = PricingCatalog::aws_default(&cat);
+    let runtime = LambdaRuntime::aws_default(&cat);
+    let latency = LatencyModel::from_catalog(&cat);
+    let mut carbon = TableSource::new();
+    for (id, spec) in cat.iter() {
+        // Distinct diurnal shapes per region so carbon depends on both the
+        // placement and the hour.
+        let base = 40.0 + 37.0 * (id.0 % 11) as f64;
+        let values: Vec<f64> = (0..24)
+            .map(|h| base + 25.0 * ((h + id.0 as usize) % 7) as f64)
+            .collect();
+        carbon.insert(id, CarbonSeries::new(0, values));
+        let _ = spec;
+    }
+    let regions = ["us-east-1", "us-east-2", "us-west-2", "ca-central-1"]
+        .iter()
+        .map(|n| cat.id_of(n).unwrap())
+        .collect();
+    World {
+        pricing,
+        runtime,
+        latency,
+        carbon,
+        regions,
+    }
+}
+
+/// One node's genome: (dist kind, shape parameter, memory selector,
+/// external-data selector).
+type NodeGene = (u8, f64, u8, u8);
+/// One potential extra edge's genome: (endpoint word, conditional
+/// selector, probability).
+type EdgeGene = (u64, u8, f64);
+
+fn exec_dist(kind: u8, p: f64) -> DistSpec {
+    match kind % 5 {
+        0 => DistSpec::Constant { value: 0.2 + p },
+        1 => DistSpec::Uniform {
+            lo: 0.1,
+            hi: 0.3 + p,
+        },
+        2 => DistSpec::Normal {
+            mean: 0.4 + p,
+            std_dev: 0.1 + p / 4.0,
+        },
+        3 => DistSpec::LogNormal {
+            median: 0.3 + p,
+            sigma: 0.2 + p / 2.0,
+        },
+        _ => DistSpec::Empirical {
+            samples: vec![0.2, 0.3 + p, 0.6, 0.9 + p],
+        },
+    }
+}
+
+fn payload_dist(kind: u8, p: f64) -> DistSpec {
+    match kind % 4 {
+        0 => DistSpec::Constant {
+            value: 2_000.0 + 60_000.0 * p,
+        },
+        1 => DistSpec::Uniform {
+            lo: 1_000.0,
+            hi: 20_000.0 + 80_000.0 * p,
+        },
+        2 => DistSpec::LogNormal {
+            median: 30_000.0 * (0.2 + p),
+            sigma: 0.4,
+        },
+        _ => DistSpec::Empirical {
+            samples: vec![500.0, 8_000.0, 45_000.0 * (0.5 + p)],
+        },
+    }
+}
+
+/// Builds the workflow and plan a genome describes. Node 0 is the root;
+/// every later node is invoked by an earlier one, so the DAG is connected
+/// and acyclic by construction. Nodes that end up with several in-edges
+/// become sync joins.
+fn build_case(
+    w: &World,
+    nodes: &[NodeGene],
+    extra_edges: &[EdgeGene],
+    plan_picks: &[u64],
+) -> (
+    caribou_model::WorkflowDag,
+    caribou_model::profile::WorkflowProfile,
+    DeploymentPlan,
+) {
+    let n = nodes.len();
+    let mut wf = Workflow::new("diff", "0.1");
+    let mut handles = Vec::with_capacity(n);
+    for (i, &(kind, p, mem, ext)) in nodes.iter().enumerate() {
+        let mut f = wf
+            .serverless_function(format!("F{i}"))
+            .exec_time(exec_dist(kind, p))
+            .memory_mb(512 * (1 + (mem % 4) as u32))
+            .cpu_utilization(0.3 + 0.15 * (mem % 4) as f64);
+        if ext % 3 == 0 {
+            f = f.external_data_bytes(1.0e6 + 2.0e6 * p);
+        }
+        handles.push(f.register());
+    }
+    // Spanning edges: parent of node i drawn from its genome word.
+    let mut in_degree = vec![0usize; n];
+    let mut present = std::collections::HashSet::new();
+    for i in 1..n {
+        let parent = (nodes[i].0 as usize * 31 + i * 17) % i;
+        let (kind, _, _, ext) = nodes[i];
+        let cond = if ext % 2 == 0 {
+            None
+        } else {
+            Some(0.3 + 0.6 * nodes[i].1)
+        };
+        wf.invoke(handles[parent], handles[i], cond)
+            .payload(payload_dist(kind, nodes[i].1));
+        in_degree[i] += 1;
+        present.insert((parent, i));
+    }
+    // Extra edges from the edge genomes, duplicates and self-loops skipped.
+    for &(word, kind, p) in extra_edges {
+        if n < 3 {
+            break;
+        }
+        let to = 2 + (word as usize) % (n - 2);
+        let from = (word as usize >> 16) % to;
+        if present.contains(&(from, to)) {
+            continue;
+        }
+        let cond = if kind % 2 == 0 {
+            None
+        } else {
+            Some(0.2 + 0.7 * p)
+        };
+        wf.invoke(handles[from], handles[to], cond)
+            .payload(payload_dist(kind, p));
+        in_degree[to] += 1;
+        present.insert((from, to));
+    }
+    for (i, &d) in in_degree.iter().enumerate() {
+        if d > 1 {
+            wf.get_predecessor_data(handles[i]);
+        }
+    }
+    wf.set_input(DistSpec::Uniform {
+        lo: 400.0,
+        hi: 6_000.0,
+    });
+    let (dag, profile, _) = wf.extract().unwrap();
+    let assignment: Vec<RegionId> = (0..n)
+        .map(|i| w.regions[plan_picks[i % plan_picks.len()] as usize % w.regions.len()])
+        .collect();
+    (dag, profile, DeploymentPlan::new(assignment))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary (workload, plan, hour, seed) → the batched path is
+    /// bit-identical to the scalar path at widths 1/4/8/16, and the
+    /// dispatching `estimate` entry point agrees too.
+    #[test]
+    fn batched_estimator_is_the_same_function_as_scalar(
+        nodes in collection::vec((any::<u8>(), 0f64..1.0, any::<u8>(), any::<u8>()), 2..8),
+        extra_edges in collection::vec((any::<u64>(), any::<u8>(), 0f64..1.0), 0..4),
+        plan_picks in collection::vec(any::<u64>(), 1..8),
+        rest in (0f64..24.0, any::<u64>(), 10usize..80),
+    ) {
+        let (hour, seed, batch) = rest;
+        let w = world();
+        let (dag, profile, plan) = build_case(&w, &nodes, &extra_edges, &plan_picks);
+        let models = DefaultModels {
+            profile: &profile,
+            runtime: &w.runtime,
+            latency: &w.latency,
+            orchestrator: Orchestrator::Caribou,
+        };
+        let est = MonteCarloEstimator {
+            dag: &dag,
+            profile: &profile,
+            carbon_source: &w.carbon,
+            carbon_model: CarbonModel::new(TransmissionScenario::WORST),
+            cost_model: CostModel::new(&w.pricing),
+            models: &models,
+            home: w.regions[0],
+            config: MonteCarloConfig {
+                batch,
+                max_samples: batch * 4,
+                cv_threshold: 0.05,
+            },
+        };
+        let scalar = est.estimate_scalar(&plan, hour, &mut Pcg32::seed(seed));
+        for lanes in WIDTHS {
+            let batched = est.estimate_batched(&plan, hour, &mut Pcg32::seed(seed), lanes);
+            assert_bits_eq(&scalar, &batched, &format!("lanes={lanes} seed={seed}"));
+        }
+        let dispatched = est.estimate(&plan, hour, &mut Pcg32::seed(seed));
+        assert_bits_eq(&scalar, &dispatched, "dispatching estimate()");
+    }
+}
+
+/// The ragged tail, pinned deterministically: a batch size that is a
+/// multiple of no lane width (and caps mid-batch at `max_samples`), so the
+/// final lane group of every batch — and the final batch itself — is
+/// partial at every width.
+#[test]
+fn ragged_tail_batches_stay_bit_identical() {
+    let w = world();
+    let nodes: Vec<NodeGene> = vec![
+        (3, 0.6, 1, 3),
+        (4, 0.3, 2, 0),
+        (1, 0.8, 0, 1),
+        (2, 0.2, 3, 0),
+        (0, 0.5, 1, 2),
+    ];
+    let extra: Vec<EdgeGene> = vec![(7, 1, 0.4), (9_000_077, 0, 0.9)];
+    let picks = vec![0u64, 2, 3, 1, 2];
+    let (dag, profile, plan) = build_case(&w, &nodes, &extra, &picks);
+    let models = DefaultModels {
+        profile: &profile,
+        runtime: &w.runtime,
+        latency: &w.latency,
+        orchestrator: Orchestrator::Caribou,
+    };
+    let est = MonteCarloEstimator {
+        dag: &dag,
+        profile: &profile,
+        carbon_source: &w.carbon,
+        carbon_model: CarbonModel::new(TransmissionScenario::BEST),
+        cost_model: CostModel::new(&w.pricing),
+        models: &models,
+        home: w.regions[0],
+        // 53 % {4, 8, 16} != 0 and 200 % 53 != 0: ragged everywhere.
+        config: MonteCarloConfig {
+            batch: 53,
+            max_samples: 200,
+            cv_threshold: 0.0,
+        },
+    };
+    let scalar = est.estimate_scalar(&plan, 17.25, &mut Pcg32::seed(4242));
+    // Whole batches are drawn until the cap is met: 4 × 53 = 212.
+    assert_eq!(scalar.samples, 212);
+    for lanes in WIDTHS {
+        let batched = est.estimate_batched(&plan, 17.25, &mut Pcg32::seed(4242), lanes);
+        assert_bits_eq(&scalar, &batched, &format!("ragged lanes={lanes}"));
+    }
+}

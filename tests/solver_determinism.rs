@@ -7,7 +7,9 @@ use caribou_carbon::series::CarbonSeries;
 use caribou_carbon::source::TableSource;
 use caribou_metrics::carbonmodel::{CarbonModel, TransmissionScenario};
 use caribou_metrics::costmodel::CostModel;
-use caribou_metrics::montecarlo::{DefaultModels, MonteCarloConfig};
+use caribou_metrics::montecarlo::{
+    DefaultModels, MonteCarloConfig, MonteCarloEstimator, MAX_LANES,
+};
 use caribou_model::builder::Workflow;
 use caribou_model::constraints::{Objective, Tolerances};
 use caribou_model::dist::DistSpec;
@@ -183,4 +185,70 @@ proptest! {
             assert_eq!(first, fresh);
         });
     }
+
+    /// Lane-width invariance at the solver layer: the estimate the engine
+    /// caches (batched at the default width) is bit-equal to the scalar
+    /// reference path and to the batched path at widths 1/4/8/16 on the
+    /// same derived stream — so every solve result (HBSS walks, 24-hour
+    /// schedules) is independent of the batch width, at any worker count.
+    #[test]
+    fn solver_estimates_are_lane_width_invariant(
+        engine_seed in any::<u64>(),
+        region_picks in (0usize..3, 0usize..3),
+        hour_idx in 0u8..24,
+    ) {
+        with_ctx(|ctx| {
+            let hour = hour_idx as f64 + 0.5;
+            let assignment = vec![
+                ctx.permitted[0][region_picks.0],
+                ctx.permitted[1][region_picks.1],
+            ];
+            let plan = DeploymentPlan::new(assignment);
+            let engine = EvalEngine::new(engine_seed, 1);
+            let cached = engine.evaluate(ctx, &plan, hour);
+            let est = MonteCarloEstimator {
+                dag: ctx.dag,
+                profile: ctx.profile,
+                carbon_source: ctx.carbon_source,
+                carbon_model: ctx.carbon_model,
+                cost_model: ctx.cost_model.clone(),
+                models: ctx.models,
+                home: ctx.home,
+                config: ctx.mc_config,
+            };
+            let scalar =
+                est.estimate_scalar(&plan, hour, &mut engine.eval_rng(&plan, hour));
+            assert_eq!(cached, scalar);
+            for lanes in [1usize, 4, 8, MAX_LANES] {
+                let batched = est.estimate_batched(
+                    &plan, hour, &mut engine.eval_rng(&plan, hour), lanes,
+                );
+                assert_eq!(cached, batched, "lane width {lanes} diverged");
+            }
+        });
+    }
+}
+
+/// Cache misses check estimator scratch out of the engine's pool instead
+/// of allocating node-state columns per `estimate()` call: across many
+/// misses on one worker, exactly one column set is ever allocated.
+#[test]
+fn engine_scratch_pool_reuses_node_state_across_misses() {
+    with_ctx(|ctx| {
+        caribou_telemetry::enable(Box::new(caribou_telemetry::NullSink));
+        let engine = EvalEngine::new(7, 1);
+        let mut misses = 0;
+        for i in 0..3 {
+            for j in 0..3 {
+                let plan = DeploymentPlan::new(vec![ctx.permitted[0][i], ctx.permitted[1][j]]);
+                engine.evaluate(ctx, &plan, 6.5);
+                misses += 1;
+            }
+        }
+        let session = caribou_telemetry::finish().unwrap();
+        assert_eq!(engine.miss_count(), misses);
+        let allocs = session.recorder.counter("montecarlo.node_state_allocs");
+        // 3 counts = one column set, from the first miss only.
+        assert_eq!(allocs, 3, "allocs {allocs} across {misses} misses");
+    });
 }

@@ -41,7 +41,7 @@ fn quickstart_run(seed: u64, horizon_s: f64) -> caribou_core::framework::RunRepo
     constraints.tolerances.latency = 0.15;
     constraints.tolerances.cost = 1.0;
     let app = WorkflowApp {
-        name: bench.dag.name().to_string(),
+        name: bench.dag.name().into(),
         home: caribou.cloud.region("us-east-1").unwrap(),
         dag: bench.dag.clone(),
         profile: bench.profile.clone(),

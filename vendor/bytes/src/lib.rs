@@ -1,13 +1,26 @@
 //! Vendored stand-in for the `bytes` crate: a cheaply clonable, immutable
-//! byte buffer backed by `Arc<Vec<u8>>`. Provides the subset of the real
-//! crate's API that this workspace uses.
+//! byte buffer. Provides the subset of the real crate's API that this
+//! workspace uses.
+//!
+//! Like the real crate, `Bytes::from_static` wraps a `'static` slice
+//! without copying: constructing and cloning a static `Bytes` performs no
+//! allocation, which the execution engine's zero-alloc data plane relies
+//! on. Owned buffers are shared behind an `Arc<Vec<u8>>`, so `clone` is a
+//! refcount bump in either representation. All comparisons, ordering, and
+//! hashing are content-based — the representation is invisible.
 
 use std::ops::Deref;
 use std::sync::Arc;
 
-#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<Vec<u8>>),
+}
+
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<Vec<u8>>,
+    repr: Repr,
 }
 
 impl Bytes {
@@ -15,58 +28,70 @@ impl Bytes {
         Bytes::default()
     }
 
-    pub fn from_static(data: &'static [u8]) -> Self {
+    /// Wraps a static slice without copying or allocating.
+    pub const fn from_static(data: &'static [u8]) -> Self {
         Bytes {
-            data: Arc::new(data.to_vec()),
+            repr: Repr::Static(data),
         }
     }
 
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Bytes {
-            data: Arc::new(data.to_vec()),
+            repr: Repr::Shared(Arc::new(data.to_vec())),
         }
     }
 
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.as_slice().len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.as_slice().is_empty()
     }
 
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.as_ref().clone()
+        self.as_slice().to_vec()
     }
 
     pub fn as_slice(&self) -> &[u8] {
-        &self.data
+        match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared(v) => v,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::from_static(&[])
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::new(v) }
+        Bytes {
+            repr: Repr::Shared(Arc::new(v)),
+        }
     }
 }
 
 impl From<String> for Bytes {
     fn from(s: String) -> Self {
         Bytes {
-            data: Arc::new(s.into_bytes()),
+            repr: Repr::Shared(Arc::new(s.into_bytes())),
         }
     }
 }
@@ -86,12 +111,38 @@ impl From<&'static str> for Bytes {
 impl std::fmt::Debug for Bytes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_slice() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
         }
         write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
     }
 }
 
