@@ -5,19 +5,23 @@
 //! in invocations per second. The guard at the end enforces the harness
 //! contract:
 //!
-//! * the merged report is bit-identical at 1 and 2 workers;
+//! * the merged report is bit-identical at 1 and 2 workers on the
+//!   persistent sharded path, across chunk boundaries;
 //! * the `loadgen.invocations` counter and warm-scratch
 //!   `engine.alloc_per_invocation` gauge land where the buffer-pooling
 //!   scheme says they must;
 //! * measured single-worker throughput stays within 2x of the committed
 //!   `BENCH_loadgen.json` baseline (and above an absolute floor), so a
-//!   data-plane allocation regression fails the bench run.
+//!   data-plane allocation regression fails the bench run;
+//! * peak RSS is flat in the invocation count: quadrupling the run
+//!   length must not grow the VmHWM high-water mark by more than a
+//!   fixed slack, so any reintroduced O(N) buffer (exact latency
+//!   vectors, fully materialized arrival vectors) fails the bench run.
 
 use std::hint::black_box;
 use std::time::Instant;
 
 use caribou_core::loadgen::{run_loadgen, LoadgenConfig};
-use caribou_metrics::carbonmodel::TransmissionScenario;
 use caribou_workloads::arrivals::ArrivalProcess;
 use caribou_workloads::benchmarks::{text2speech_censoring, InputSize};
 use criterion::{criterion_group, BenchmarkId, Criterion};
@@ -26,8 +30,16 @@ use criterion::{criterion_group, BenchmarkId, Criterion};
 /// which the data plane has regressed badly on any plausible machine.
 /// Raised from 5k after the near-zero-alloc work (static payload Bytes,
 /// interned names, free-listed KV/blob keys, TinyMap usage meters) lifted
-/// the 1-core container from ~54k to ~136k inv/s.
+/// the 1-core container from ~54k to ~136k inv/s; the persistent sharded
+/// path holds the same floor.
 const THROUGHPUT_FLOOR: f64 = 100_000.0;
+
+/// Maximum VmHWM growth (KiB) allowed between the 500k-invocation
+/// calibration run and the 2M-invocation run. With O(buckets) streaming
+/// aggregates and per-round arrival buffers both runs touch the same
+/// working set; an O(N) latency or arrival vector would add ~12 MiB for
+/// the extra 1.5M invocations and trip this.
+const RSS_GROWTH_CEILING_KB: u64 = 8 * 1024;
 
 fn config(n: usize, workers: usize) -> LoadgenConfig {
     LoadgenConfig {
@@ -35,7 +47,7 @@ fn config(n: usize, workers: usize) -> LoadgenConfig {
         seed: 42,
         workers,
         arrivals: ArrivalProcess::Poisson { rate_per_s: 100.0 },
-        scenario: TransmissionScenario::BEST,
+        ..LoadgenConfig::default()
     }
 }
 
@@ -53,19 +65,40 @@ fn bench_loadgen(c: &mut Criterion) {
     group.finish();
 }
 
+/// Peak resident set size (VmHWM) in KiB — monotone over the process
+/// lifetime, which is what makes the growth-between-runs check valid.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 /// Hard guard on the loadgen contract plus the committed throughput
 /// baseline.
 fn guard_loadgen() {
     let bench = text2speech_censoring(InputSize::Small);
 
-    // Bit-identical merges at any worker count.
+    // Bit-identical merges at any worker count, across chunk boundaries
+    // (20k invocations = 3 chunks = 3 persistent shards).
     let one = run_loadgen(&bench, &config(20_000, 1)).unwrap();
     let two = run_loadgen(&bench, &config(20_000, 2)).unwrap();
-    assert_eq!(one.latencies_s.len(), two.latencies_s.len());
-    for (a, b) in one.latencies_s.iter().zip(&two.latencies_s) {
-        assert_eq!(a.to_bits(), b.to_bits(), "worker count changed a latency");
+    assert_eq!(one.invocations(), two.invocations());
+    assert!(one.chunks > 1, "guard run must span chunk boundaries");
+    for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+        assert_eq!(
+            one.latency_quantile(q).to_bits(),
+            two.latency_quantile(q).to_bits(),
+            "worker count changed the p{} latency",
+            q * 100.0
+        );
     }
+    assert_eq!(
+        one.mean_latency_s().to_bits(),
+        two.mean_latency_s().to_bits()
+    );
     assert_eq!(one.completed, two.completed);
+    assert_eq!(one.cold_starts, two.cold_starts);
+    assert_eq!(one.warm_starts, two.warm_starts);
     assert_eq!(one.exec_carbon_g.to_bits(), two.exec_carbon_g.to_bits());
     assert_eq!(one.cost_usd.to_bits(), two.cost_usd.to_bits());
 
@@ -80,7 +113,7 @@ fn guard_loadgen() {
         "buffer pooling stopped holding: warm invocations grew pooled buffers"
     );
 
-    // Throughput: best of 3 single-worker 50k runs.
+    // Throughput: best of 3 single-worker 50k runs on the persistent path.
     let cfg = config(50_000, 1);
     let mut best_s = f64::INFINITY;
     for _ in 0..3 {
@@ -102,9 +135,40 @@ fn guard_loadgen() {
             "loadgen throughput {throughput:.0} inv/s fell below half the committed baseline {committed:.0}"
         );
     }
+
+    // Flat RSS: run 500k invocations to park the high-water mark, then 2M;
+    // O(buckets) aggregates and per-round arrival buffers mean the longer
+    // run adds nothing proportional to N.
+    let rss_cfg = |n| LoadgenConfig {
+        arrivals: ArrivalProcess::Diurnal { rate_per_s: 200.0 },
+        ..config(n, 1)
+    };
+    black_box(run_loadgen(&bench, &rss_cfg(500_000)).unwrap().completed);
+    let before_kb = peak_rss_kb();
+    black_box(run_loadgen(&bench, &rss_cfg(2_000_000)).unwrap().completed);
+    let after_kb = peak_rss_kb();
+    let growth_kb = match (before_kb, after_kb) {
+        (Some(b), Some(a)) => {
+            let growth = a.saturating_sub(b);
+            println!(
+                "loadgen/guard: peak RSS {b} KiB after 500k, {a} KiB after 2M (+{growth} KiB)"
+            );
+            assert!(
+                growth <= RSS_GROWTH_CEILING_KB,
+                "peak RSS grew {growth} KiB between 500k and 2M invocations \
+                 (ceiling {RSS_GROWTH_CEILING_KB} KiB): an O(N) buffer is back"
+            );
+            growth as i64
+        }
+        _ => {
+            eprintln!("loadgen/guard: /proc/self/status unavailable; skipping RSS ceiling");
+            -1
+        }
+    };
+
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"invocations_per_s_1w\": {throughput:.0},\n  \"invocations\": 50000,\n  \"cores\": {cores}\n}}\n"
+        "{{\n  \"invocations_per_s_1w\": {throughput:.0},\n  \"invocations\": 50000,\n  \"rss_growth_kb_500k_to_2m\": {growth_kb},\n  \"cores\": {cores}\n}}\n"
     );
     if let Err(e) = std::fs::write(path, json) {
         eprintln!("loadgen/guard: could not write {path}: {e}");

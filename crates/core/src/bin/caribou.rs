@@ -27,7 +27,7 @@ use caribou_carbon::error::CarbonError;
 use caribou_carbon::source::{CarbonDataSource, ForecastingSource, RegionalSource};
 use caribou_carbon::synth::SyntheticCarbonSource;
 use caribou_core::framework::{Caribou, CaribouConfig};
-use caribou_core::loadgen::{run_loadgen, LoadgenConfig};
+use caribou_core::loadgen::{run_loadgen, LoadgenConfig, LoadgenMode};
 use caribou_exec::engine::WorkflowApp;
 use caribou_metrics::carbonmodel::{CarbonModel, TransmissionScenario};
 use caribou_metrics::costmodel::CostModel;
@@ -65,6 +65,7 @@ USAGE:
                      [--providers aws[,gcp]]
     caribou loadgen <benchmark> [--invocations N] [--seed S] [--workers N]
                     [--arrival poisson|diurnal|bursty] [--rate PER_S]
+                    [--shards N] [--chunked] [--no-warm-pool] [--keep-alive-s S]
                     [--input small|large] [--worst-case] [--telemetry <out.jsonl>]
     caribou chaos [--seed N] [--requests N] [--duration-s S] [--drop P]
                   [--no-breaker] [--seeds K] [--workers N] [--json]
@@ -661,12 +662,33 @@ fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
         .transpose()?
         .unwrap_or(100.0);
     let arrivals = ArrivalProcess::parse(flag(args, "--arrival").unwrap_or("poisson"), rate)?;
+    let shards: usize = flag(args, "--shards")
+        .map(|v| v.parse().map_err(|e| format!("--shards: {e}")))
+        .transpose()?
+        .unwrap_or(caribou_core::loadgen::DEFAULT_SHARDS);
+    if shards == 0 {
+        return Err("--shards: must be at least 1".into());
+    }
+    let keep_alive_s: f64 = flag(args, "--keep-alive-s")
+        .map(|v| v.parse().map_err(|e| format!("--keep-alive-s: {e}")))
+        .transpose()?
+        .unwrap_or(caribou_simcloud::warm::DEFAULT_KEEP_ALIVE_S);
+    let mode = if has_flag(args, "--chunked") {
+        LoadgenMode::Chunked
+    } else {
+        LoadgenMode::Persistent
+    };
     let config = LoadgenConfig {
         invocations,
         seed,
         workers: workers(args)?,
+        shards,
         arrivals,
         scenario: scenario(args),
+        mode,
+        warm_pool: !has_flag(args, "--no-warm-pool"),
+        keep_alive_s,
+        capture_latencies: false,
     };
     let telemetry_path = flag(args, "--telemetry");
     if let Some(path) = telemetry_path {
@@ -688,24 +710,36 @@ fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
 
     // The deterministic summary goes to stdout: identical at any worker
     // count, so CI can diff a 1-worker run against an N-worker run.
-    let sorted = report.sorted_latencies();
     println!("benchmark:    {}", bench.dag.name());
     println!("arrival:      {:?}", config.arrivals);
-    println!("invocations:  {}", report.latencies_s.len());
+    match config.mode {
+        LoadgenMode::Persistent => println!(
+            "mode:         persistent ({} shards, {} chunks)",
+            report.shards, report.chunks
+        ),
+        LoadgenMode::Chunked => println!("mode:         chunked ({} chunks)", report.chunks),
+    }
+    println!("invocations:  {}", report.invocations());
     println!(
         "completed:    {} ({:.2}%)",
         report.completed,
-        report.completed as f64 / report.latencies_s.len() as f64 * 100.0
+        report.completed as f64 / report.invocations() as f64 * 100.0
     );
     println!("failovers:    {}", report.failovers);
+    println!(
+        "cold starts:  {} ({:.4}% of {} executions)",
+        report.cold_starts,
+        report.cold_start_rate() * 100.0,
+        report.cold_starts + report.warm_starts
+    );
     println!("sim span:     {:.1} s", report.span_s);
     println!(
         "latency:      {:.4} s mean / {:.4} s p50 / {:.4} s p95 / {:.4} s p99 / {:.4} s max",
         report.mean_latency_s(),
-        report.latency_quantile(&sorted, 0.50),
-        report.latency_quantile(&sorted, 0.95),
-        report.latency_quantile(&sorted, 0.99),
-        sorted.last().copied().unwrap_or(0.0)
+        report.latency_quantile(0.50),
+        report.latency_quantile(0.95),
+        report.latency_quantile(0.99),
+        report.latency.max()
     );
     println!(
         "carbon:       {:.3} g exec + {:.3} g transmission",
@@ -714,7 +748,7 @@ fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
     println!("cost:         ${:.4}", report.cost_usd);
 
     // Perf goes to stderr: wall-clock dependent, excluded from the diff.
-    let throughput = report.latencies_s.len() as f64 / wall_s;
+    let throughput = report.invocations() as f64 / wall_s;
     eprintln!(
         "wall: {wall_s:.2} s, throughput: {throughput:.0} inv/s, pool utilization: {:.0}%",
         report.pool.utilization() * 100.0

@@ -239,6 +239,8 @@ struct InvocationCtx<'c, 'a, S: CarbonDataSource> {
     completed: bool,
     /// Number of nodes re-routed to the home deployment this invocation.
     failovers: u32,
+    /// Number of nodes that executed with a cold start this invocation.
+    cold_starts: u32,
     /// First region observed failing (outage, partition, or dead-letter
     /// target); feeds the router's per-region circuit breaker.
     failed_region: Option<RegionId>,
@@ -331,6 +333,7 @@ impl<S: CarbonDataSource> ExecutionEngine<'_, S> {
             cross_cloud_carbon: 0.0,
             completed: true,
             failovers: 0,
+            cold_starts: 0,
             failed_region: None,
             scratch,
             node_records: Vec::with_capacity(n),
@@ -382,6 +385,7 @@ impl<S: CarbonDataSource> ExecutionEngine<'_, S> {
             meter: ctx.meter,
             completed: ctx.completed,
             failovers: ctx.failovers,
+            cold_starts: ctx.cold_starts,
             failed_region: ctx.failed_region,
         }
     }
@@ -586,6 +590,9 @@ impl<S: CarbonDataSource> InvocationCtx<'_, '_, S> {
             }
             cold
         };
+        if cold {
+            self.cold_starts += 1;
+        }
         if storm && caribou_telemetry::is_enabled() {
             caribou_telemetry::count("fault.cold_storm", 1);
         }

@@ -49,6 +49,11 @@ pub struct ExecutionOutcome {
     pub completed: bool,
     /// Number of nodes re-routed to the home deployment mid-flight.
     pub failovers: u32,
+    /// Number of nodes that paid a cold start (stateful warm-pool misses
+    /// when the pool is enabled, probabilistic draws otherwise). Carried
+    /// on the outcome so callers running the engine on worker threads —
+    /// where telemetry sessions are inactive — still get exact counts.
+    pub cold_starts: u32,
     /// First region observed failing during the invocation, when any —
     /// set even when the failover succeeded, so the router's circuit
     /// breaker learns about flaky regions behind successful requests.

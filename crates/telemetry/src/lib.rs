@@ -21,12 +21,14 @@
 pub mod recorder;
 pub mod replay;
 pub mod sink;
+pub mod sketch;
 pub mod span;
 
 use std::cell::{Cell, RefCell};
 
 pub use recorder::{Event, Histogram, Journal, Recorder, HISTOGRAM_BUCKETS, MIN_BUCKET};
 pub use sink::{JsonlSink, MemorySink, NullSink, TelemetrySink};
+pub use sketch::{Moments, QuantileSketch, SKETCH_BUCKETS, SUB_BUCKETS};
 pub use span::{chrome_trace, flame_summary, SpanRecord, WallSpanGuard};
 
 /// Default ring-buffer capacity of the event journal.

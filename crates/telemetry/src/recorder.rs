@@ -73,10 +73,33 @@ impl Histogram {
         }
     }
 
+    /// Merges another histogram into this one. Bucket counts, `count`,
+    /// `min` and `max` merge exactly and order-insensitively; `sum` is a
+    /// floating-point fold, deterministic for a fixed merge order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+
     /// Quantile estimate: walks buckets and returns the geometric midpoint
     /// of the bucket containing the q-th observation (clamped to the
     /// observed min/max so degenerate histograms stay sensible).
+    ///
+    /// A non-finite `q` returns NaN (it does not order against the rank
+    /// ladder); finite `q` outside `[0, 1]` is clamped.
     pub fn quantile(&self, q: f64) -> f64 {
+        if !q.is_finite() {
+            return f64::NAN;
+        }
         if self.count == 0 {
             return 0.0;
         }
@@ -279,6 +302,67 @@ mod tests {
         let h = Histogram::default();
         assert_eq!(h.quantile(0.5), 0.0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantile_rejects_non_finite_q() {
+        let mut h = Histogram::default();
+        for v in [1.0, 2.0, 3.0] {
+            h.observe(v);
+        }
+        assert!(h.quantile(f64::NAN).is_nan());
+        assert!(h.quantile(f64::INFINITY).is_nan());
+        assert!(h.quantile(f64::NEG_INFINITY).is_nan());
+        // Out-of-range finite q clamps to the extremes.
+        assert_eq!(h.quantile(-1.0).to_bits(), h.quantile(0.0).to_bits());
+        assert_eq!(h.quantile(2.0).to_bits(), h.quantile(1.0).to_bits());
+    }
+
+    #[test]
+    fn merge_matches_single_stream_and_ignores_order_for_counts() {
+        let mut whole = Histogram::default();
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for i in 0..200 {
+            let v = 0.001 * (i as f64 + 1.0) * 1.7;
+            whole.observe(v);
+            if i % 3 == 0 {
+                a.observe(v);
+            } else {
+                b.observe(v);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.buckets, whole.buckets);
+        assert_eq!(ab.count, whole.count);
+        assert_eq!(ab.min, whole.min);
+        assert_eq!(ab.max, whole.max);
+        assert!((ab.sum - whole.sum).abs() < 1e-9);
+        // Integer/min/max state is order-insensitive.
+        assert_eq!(ab.buckets, ba.buckets);
+        assert_eq!(ab.count, ba.count);
+        assert_eq!(ab.min.to_bits(), ba.min.to_bits());
+        assert_eq!(ab.max.to_bits(), ba.max.to_bits());
+    }
+
+    #[test]
+    fn merge_with_empty_histogram_is_identity() {
+        let mut h = Histogram::default();
+        h.observe(2.0);
+        let before = h.clone();
+        h.merge(&Histogram::default());
+        assert_eq!(h.buckets, before.buckets);
+        assert_eq!(h.count, before.count);
+        assert_eq!(h.min, before.min);
+        assert_eq!(h.max, before.max);
+        let mut e = Histogram::default();
+        e.merge(&before);
+        assert_eq!(e.count, before.count);
+        assert_eq!(e.min, before.min);
+        assert_eq!(e.max, before.max);
     }
 
     fn ev(i: usize) -> Event {

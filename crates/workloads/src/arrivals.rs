@@ -99,16 +99,61 @@ impl ArrivalProcess {
     /// Generates the first `n` arrival times (seconds from 0, sorted) by
     /// Lewis thinning. Deterministic in `rng`.
     pub fn generate(&self, n: usize, rng: &mut Pcg32) -> Vec<f64> {
-        let peak = self.peak_rate();
+        let mut gen = ArrivalGen::new(*self, rng.clone());
         let mut out = Vec::with_capacity(n);
-        let mut t = 0.0;
-        while out.len() < n {
-            t += rng.exponential(peak);
-            if rng.next_f64() * peak <= self.rate_at(t) {
-                out.push(t);
+        gen.fill(&mut out, n);
+        *rng = gen.rng;
+        out
+    }
+
+    /// A streaming generator over this process: yields the same sequence
+    /// as [`ArrivalProcess::generate`] without materializing it, so a
+    /// consumer's memory stays independent of the invocation count.
+    pub fn stream(&self, rng: Pcg32) -> ArrivalGen {
+        ArrivalGen::new(*self, rng)
+    }
+}
+
+/// Streaming Lewis-thinning arrival generator. Produces exactly the
+/// sequence [`ArrivalProcess::generate`] would, one arrival at a time:
+/// the thinning state is one running timestamp plus the RNG, so callers
+/// can pull arrivals round by round with O(round) memory.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    rng: Pcg32,
+    peak: f64,
+    t: f64,
+}
+
+impl ArrivalGen {
+    /// Starts the stream at t = 0 with the given generator.
+    pub fn new(process: ArrivalProcess, rng: Pcg32) -> Self {
+        ArrivalGen {
+            peak: process.peak_rate(),
+            process,
+            rng,
+            t: 0.0,
+        }
+    }
+
+    /// The next arrival time, seconds from 0 (monotonically increasing).
+    pub fn next_arrival(&mut self) -> f64 {
+        loop {
+            self.t += self.rng.exponential(self.peak);
+            if self.rng.next_f64() * self.peak <= self.process.rate_at(self.t) {
+                return self.t;
             }
         }
-        out
+    }
+
+    /// Appends the next `n` arrivals to `buf`.
+    pub fn fill(&mut self, buf: &mut Vec<f64>, n: usize) {
+        buf.reserve(n);
+        for _ in 0..n {
+            let t = self.next_arrival();
+            buf.push(t);
+        }
     }
 }
 
@@ -148,6 +193,26 @@ mod tests {
             assert_eq!(a.len(), 2000);
             assert!(a.windows(2).all(|w| w[0] <= w[1]), "{p:?} unsorted");
             assert!(a.iter().all(|t| t.is_finite() && *t > 0.0));
+        }
+    }
+
+    #[test]
+    fn stream_matches_batch_generation() {
+        for p in [
+            ArrivalProcess::Poisson { rate_per_s: 5.0 },
+            ArrivalProcess::Diurnal { rate_per_s: 5.0 },
+            ArrivalProcess::Bursty { rate_per_s: 5.0 },
+        ] {
+            let batch = p.generate(1000, &mut Pcg32::seed(42));
+            let mut gen = p.stream(Pcg32::seed(42));
+            // Pull in uneven pieces: the stream state carries across fills.
+            let mut streamed = Vec::new();
+            gen.fill(&mut streamed, 7);
+            gen.fill(&mut streamed, 500);
+            for _ in 0..493 {
+                streamed.push(gen.next_arrival());
+            }
+            assert_eq!(batch, streamed, "{p:?}");
         }
     }
 

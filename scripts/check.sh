@@ -51,8 +51,9 @@ if [[ "${1:-}" != "--fast" ]]; then
     cargo bench -q -p caribou-bench --bench estimator -- --test
 
     # Deterministic loadgen smoke: a 50k-invocation sustained-load run
-    # must print a bit-identical summary whether the chunks execute on 1
-    # or 2 workers.
+    # (7 chunks on the persistent sharded path, so warm state crosses
+    # chunk boundaries and exchange ticks) must print a bit-identical
+    # summary whether the shards execute on 1 or 2 workers.
     echo "==> caribou loadgen smoke (50k invocations, 1 vs 2 workers)"
     cargo run -q --release -p caribou-core --bin caribou -- \
         loadgen text2speech --invocations 50000 --seed 42 --workers 1 \
@@ -63,10 +64,12 @@ if [[ "${1:-}" != "--fast" ]]; then
     diff /tmp/caribou-loadgen-1w.txt /tmp/caribou-loadgen-2w.txt
     rm -f /tmp/caribou-loadgen-1w.txt /tmp/caribou-loadgen-2w.txt
 
-    # Loadgen bench guard: worker-count-invariant merges, the pooled
-    # engine's allocation telemetry (engine.alloc_per_invocation == 2 at
-    # steady state), and throughput at or above the committed
-    # BENCH_loadgen.json baseline (with 2x slack for slower hosts).
+    # Loadgen bench guard: worker-count-invariant merges across chunk
+    # boundaries, the pooled engine's allocation telemetry
+    # (engine.alloc_per_invocation == 2 at steady state), throughput at
+    # or above the committed BENCH_loadgen.json baseline (with 2x slack
+    # for slower hosts), and a flat-RSS ceiling (quadrupling the run
+    # length must not move the peak-RSS high-water mark).
     echo "==> loadgen bench guard"
     cargo bench -q -p caribou-bench --bench loadgen -- --test
 
